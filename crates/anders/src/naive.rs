@@ -1,0 +1,170 @@
+//! The naive iterate-to-fixpoint solver — a differential-testing oracle.
+//!
+//! Every inclusion rule is re-evaluated over the whole program until
+//! nothing changes. This is the textbook semantics of Andersen's analysis,
+//! written to be obviously correct rather than fast; the worklist solver
+//! and the demand engine are both tested against it.
+
+use ddpa_support::{HybridSet, IndexVec};
+
+use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId};
+
+use crate::solution::Solution;
+
+/// Solves `cp` by global fixpoint iteration.
+pub fn solve(cp: &ConstraintProgram) -> Solution {
+    let n = cp.num_nodes();
+    let mut pts: IndexVec<NodeId, HybridSet> = IndexVec::from_elem(HybridSet::new(), n);
+    let mut call_targets: IndexVec<_, Vec<FuncId>> =
+        IndexVec::from_elem(Vec::new(), cp.callsites().len());
+
+    // Seed: address-of constraints.
+    for a in cp.addr_ofs() {
+        pts[a.dst].insert(a.obj.as_u32());
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        for c in cp.copies() {
+            changed |= union_into(&mut pts, c.dst, c.src);
+        }
+
+        for fa in cp.field_addrs() {
+            let objs: Vec<u32> = pts[fa.base].iter().collect();
+            for o in objs {
+                if let Some(fld) = cp.field_of(NodeId::from_u32(o), fa.field) {
+                    changed |= pts[fa.dst].insert(fld.as_u32());
+                }
+            }
+        }
+
+        for l in cp.loads() {
+            let objs: Vec<u32> = pts[l.ptr].iter().collect();
+            for o in objs {
+                changed |= union_into(&mut pts, l.dst, NodeId::from_u32(o));
+            }
+        }
+
+        for s in cp.stores() {
+            let objs: Vec<u32> = pts[s.ptr].iter().collect();
+            for o in objs {
+                changed |= union_into(&mut pts, NodeId::from_u32(o), s.src);
+            }
+        }
+
+        for (cs_id, cs) in cp.callsites().iter_enumerated() {
+            // Resolve the callee set under the current solution.
+            let callees: Vec<FuncId> = match cs.callee {
+                CalleeRef::Direct(f) => vec![f],
+                CalleeRef::Indirect(fp) => pts[fp]
+                    .iter()
+                    .filter_map(|o| cp.node(NodeId::from_u32(o)).as_func())
+                    .collect(),
+            };
+            for f in callees {
+                let targets = &mut call_targets[cs_id];
+                if let Err(pos) = targets.binary_search(&f) {
+                    targets.insert(pos, f);
+                    changed = true;
+                }
+                let info = cp.func(f);
+                for (arg, formal) in cs.args.iter().zip(&info.formals) {
+                    if let Some(arg) = arg {
+                        changed |= union_into(&mut pts, *formal, *arg);
+                    }
+                }
+                if let Some(dst) = cs.ret_dst {
+                    changed |= union_into(&mut pts, dst, info.ret);
+                }
+            }
+        }
+    }
+
+    let rep = (0..n as u32).collect();
+    Solution::new(rep, pts, call_targets)
+}
+
+/// `pts[dst] ∪= pts[src]`, returning whether `dst` grew.
+fn union_into(pts: &mut IndexVec<NodeId, HybridSet>, dst: NodeId, src: NodeId) -> bool {
+    if dst == src {
+        return false;
+    }
+    // Split the borrow: take the source set out temporarily.
+    let src_set = std::mem::take(&mut pts[src]);
+    let changed = pts[dst].union_with(&src_set);
+    pts[src] = src_set;
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpa_constraints::ConstraintBuilder;
+
+    fn pts_names(cp: &ConstraintProgram, sol: &Solution, name: &str) -> Vec<String> {
+        let node = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"));
+        sol.pts_nodes(node).into_iter().map(|n| cp.display_node(n)).collect()
+    }
+
+    #[test]
+    fn resolves_copies_transitively() {
+        let mut b = ConstraintBuilder::new();
+        let (x, y, z, o) = (b.var("x"), b.var("y"), b.var("z"), b.var("o"));
+        b.addr_of(x, o);
+        b.copy(y, x);
+        b.copy(z, y);
+        let cp = b.build();
+        let sol = solve(&cp);
+        assert_eq!(pts_names(&cp, &sol, "z"), vec!["o"]);
+    }
+
+    #[test]
+    fn loads_and_stores_flow_through_objects() {
+        // p = &o; *p = x; y = *p  ⟹  pts(y) ⊇ pts(x)
+        let mut b = ConstraintBuilder::new();
+        let (p, o, x, y, t) = (b.var("p"), b.var("o"), b.var("x"), b.var("y"), b.var("t"));
+        b.addr_of(p, o);
+        b.addr_of(x, t);
+        b.store(p, x);
+        b.load(y, p);
+        let cp = b.build();
+        let sol = solve(&cp);
+        assert_eq!(pts_names(&cp, &sol, "y"), vec!["t"]);
+        assert_eq!(pts_names(&cp, &sol, "o"), vec!["t"]);
+    }
+
+    #[test]
+    fn indirect_calls_resolve_on_the_fly() {
+        // fp = &f; r = (*fp)(x) with f returning its argument.
+        let mut b = ConstraintBuilder::new();
+        let f = b.func("f", 1);
+        let info = b.func_info(f).clone();
+        b.copy(info.ret, info.formals[0]);
+        let (fp, x, r, o) = (b.var("fp"), b.var("x"), b.var("r"), b.var("o"));
+        b.addr_of(fp, info.object);
+        b.addr_of(x, o);
+        b.call_indirect(fp, vec![Some(x)], Some(r));
+        let cp = b.build();
+        let sol = solve(&cp);
+        assert_eq!(pts_names(&cp, &sol, "r"), vec!["o"]);
+        let cs = cp.callsites().indices().next().expect("callsite");
+        assert_eq!(sol.call_targets(cs), &[f]);
+    }
+
+    #[test]
+    fn cyclic_copies_terminate() {
+        let mut b = ConstraintBuilder::new();
+        let (x, y, o) = (b.var("x"), b.var("y"), b.var("o"));
+        b.copy(x, y);
+        b.copy(y, x);
+        b.addr_of(x, o);
+        let cp = b.build();
+        let sol = solve(&cp);
+        assert_eq!(pts_names(&cp, &sol, "y"), vec!["o"]);
+    }
+}

@@ -1,0 +1,100 @@
+//! The result of an exhaustive analysis.
+
+use ddpa_support::idx::Idx as _;
+use ddpa_support::{HybridSet, IndexVec};
+
+use ddpa_constraints::{CallSiteId, ConstraintProgram, FuncId, NodeId};
+
+/// A complete points-to solution: `pts(v)` for every node, plus the
+/// resolved targets of every call site.
+///
+/// Nodes may have been merged by cycle collapsing; queries go through the
+/// representative table transparently.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// `rep[v]` is the index of the node whose set holds `v`'s answer.
+    rep: Vec<u32>,
+    /// Points-to sets, valid at representative indices.
+    pts: IndexVec<NodeId, HybridSet>,
+    /// Resolved callee set per call site (sorted, deduplicated).
+    call_targets: IndexVec<CallSiteId, Vec<FuncId>>,
+}
+
+impl Solution {
+    pub(crate) fn new(
+        rep: Vec<u32>,
+        pts: IndexVec<NodeId, HybridSet>,
+        call_targets: IndexVec<CallSiteId, Vec<FuncId>>,
+    ) -> Self {
+        Solution { rep, pts, call_targets }
+    }
+
+    /// The points-to set of `node`.
+    pub fn pts(&self, node: NodeId) -> &HybridSet {
+        let rep = self.rep[node.index()];
+        &self.pts[NodeId::from_u32(rep)]
+    }
+
+    /// Returns `true` if `node` may point to `target`.
+    pub fn points_to(&self, node: NodeId, target: NodeId) -> bool {
+        self.pts(node).contains(target.as_u32())
+    }
+
+    /// The points-to set of `node` as sorted node ids.
+    pub fn pts_nodes(&self, node: NodeId) -> Vec<NodeId> {
+        self.pts(node).iter().map(NodeId::from_u32).collect()
+    }
+
+    /// Returns `true` if `a` and `b` may alias (their points-to sets
+    /// intersect).
+    pub fn may_alias(&self, a: NodeId, b: NodeId) -> bool {
+        self.pts(a).intersects(self.pts(b))
+    }
+
+    /// The resolved callee set of `cs` (sorted).
+    pub fn call_targets(&self, cs: CallSiteId) -> &[FuncId] {
+        &self.call_targets[cs]
+    }
+
+    /// Total size of all points-to sets (counting each node once through
+    /// its representative) — a precision metric.
+    pub fn total_pts_size(&self, cp: &ConstraintProgram) -> usize {
+        cp.node_ids().map(|n| self.pts(n).len()).sum()
+    }
+
+    /// Checks that this solution equals `other` on every node and call
+    /// site of `cp`, returning the first differing node on failure.
+    pub fn same_as(&self, other: &Solution, cp: &ConstraintProgram) -> Result<(), NodeId> {
+        for node in cp.node_ids() {
+            let a: Vec<u32> = self.pts(node).iter().collect();
+            let b: Vec<u32> = other.pts(node).iter().collect();
+            if a != b {
+                return Err(node);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rep_indirection_answers_queries() {
+        // Two nodes merged: node 1 delegates to node 0.
+        let mut pts: IndexVec<NodeId, HybridSet> = IndexVec::new();
+        let mut set = HybridSet::new();
+        set.insert(2);
+        pts.push(set);
+        pts.push(HybridSet::new());
+        pts.push(HybridSet::new());
+        let sol = Solution::new(vec![0, 0, 2], pts, IndexVec::new());
+        assert!(sol.points_to(NodeId::from_u32(0), NodeId::from_u32(2)));
+        assert!(sol.points_to(NodeId::from_u32(1), NodeId::from_u32(2)));
+        assert!(!sol.points_to(NodeId::from_u32(2), NodeId::from_u32(2)));
+        assert!(sol.may_alias(NodeId::from_u32(0), NodeId::from_u32(1)));
+        assert!(!sol.may_alias(NodeId::from_u32(0), NodeId::from_u32(2)));
+        assert_eq!(sol.pts_nodes(NodeId::from_u32(1)), vec![NodeId::from_u32(2)]);
+    }
+}

@@ -1,0 +1,478 @@
+//! The production exhaustive solver: difference propagation over a growing
+//! copy-edge graph, with an on-the-fly call graph and optional periodic
+//! cycle collapsing.
+//!
+//! The algorithm is the standard inclusion-based worklist scheme:
+//!
+//! 1. Seed `pts` from `x = &o` constraints.
+//! 2. Pop a node `n` with a non-empty delta Δ.
+//! 3. For every `dst = *n`, add a copy edge `o → dst` for each `o ∈ Δ`;
+//!    for every `*n = src`, add `src → o`; if `o` is a function object and
+//!    `n` feeds indirect call sites, wire the call's argument/return edges.
+//! 4. Propagate Δ along `n`'s copy edges.
+//!
+//! With [`SolverConfig::cycle_elimination`] enabled, a Tarjan pass runs
+//! every ~`num_nodes` propagations and collapses copy-edge cycles with
+//! union-find — the pointer-equivalence optimization the literature shows
+//! is essential on large constraint graphs.
+
+use std::collections::{HashSet, VecDeque};
+
+use ddpa_support::scc::tarjan;
+use ddpa_support::{HybridSet, IndexVec, UnionFind};
+
+use ddpa_constraints::{CallSiteId, CalleeRef, ConstraintProgram, FuncId, NodeId};
+
+use crate::solution::Solution;
+
+/// Configuration for [`solve`].
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Collapse copy-edge cycles periodically (on by default).
+    pub cycle_elimination: bool,
+    /// Run a collapse pass every this-many propagations (0 = auto:
+    /// the number of nodes in the program).
+    pub collapse_interval: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { cycle_elimination: true, collapse_interval: 0 }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with cycle collapsing disabled (the ablation
+    /// baseline).
+    pub fn without_cycle_elimination() -> Self {
+        SolverConfig { cycle_elimination: false, collapse_interval: 0 }
+    }
+}
+
+/// Work counters reported by [`solve`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Worklist pops with a non-empty delta.
+    pub propagations: u64,
+    /// Points-to elements moved across copy edges.
+    pub elements_propagated: u64,
+    /// Copy edges added (static + derived).
+    pub edges_added: u64,
+    /// Cycle-collapse passes executed.
+    pub scc_passes: u64,
+    /// Nodes merged away by collapsing.
+    pub nodes_collapsed: u64,
+    /// Resolved (call site, callee) pairs.
+    pub calls_wired: u64,
+}
+
+/// Solves `cp` exhaustively; returns the solution and work counters.
+pub fn solve(cp: &ConstraintProgram, config: &SolverConfig) -> (Solution, SolveStats) {
+    Engine::new(cp, config).run()
+}
+
+struct Engine<'p> {
+    cp: &'p ConstraintProgram,
+    config: SolverConfig,
+    uf: UnionFind,
+    pts: IndexVec<NodeId, HybridSet>,
+    delta: IndexVec<NodeId, HybridSet>,
+    /// Copy successors (`src → dst`), sorted for dedup; valid at reps.
+    succs: IndexVec<NodeId, Vec<NodeId>>,
+    /// Destinations of loads through the node (`dst = *n`); valid at reps.
+    loads_from: IndexVec<NodeId, Vec<NodeId>>,
+    /// Sources of stores through the node (`*n = src`); valid at reps.
+    stores_from: IndexVec<NodeId, Vec<NodeId>>,
+    /// Field addresses taken through the node (`dst = &n->field`); at reps.
+    fields_from: IndexVec<NodeId, Vec<(u32, NodeId)>>,
+    /// Indirect call sites using the node as function pointer; at reps.
+    fp_sites: IndexVec<NodeId, Vec<CallSiteId>>,
+    wired: HashSet<(CallSiteId, FuncId)>,
+    call_targets: IndexVec<CallSiteId, Vec<FuncId>>,
+    worklist: VecDeque<NodeId>,
+    on_list: IndexVec<NodeId, bool>,
+    stats: SolveStats,
+    last_collapse_at: u64,
+    collapse_interval: u64,
+}
+
+impl<'p> Engine<'p> {
+    fn new(cp: &'p ConstraintProgram, config: &SolverConfig) -> Self {
+        let n = cp.num_nodes();
+        let interval = if config.collapse_interval == 0 {
+            (n as u64).max(1024)
+        } else {
+            config.collapse_interval as u64
+        };
+        let mut engine = Engine {
+            cp,
+            config: config.clone(),
+            uf: UnionFind::new(n),
+            pts: IndexVec::from_elem(HybridSet::new(), n),
+            delta: IndexVec::from_elem(HybridSet::new(), n),
+            succs: IndexVec::from_elem(Vec::new(), n),
+            loads_from: IndexVec::from_elem(Vec::new(), n),
+            stores_from: IndexVec::from_elem(Vec::new(), n),
+            fields_from: IndexVec::from_elem(Vec::new(), n),
+            fp_sites: IndexVec::from_elem(Vec::new(), n),
+            wired: HashSet::new(),
+            call_targets: IndexVec::from_elem(Vec::new(), cp.callsites().len()),
+            worklist: VecDeque::new(),
+            on_list: IndexVec::from_elem(false, n),
+            stats: SolveStats::default(),
+            last_collapse_at: 0,
+            collapse_interval: interval,
+        };
+        engine.init();
+        engine
+    }
+
+    fn find(&mut self, node: NodeId) -> NodeId {
+        NodeId::from_u32(self.uf.find(node.as_u32()))
+    }
+
+    fn init(&mut self) {
+        for l in self.cp.loads() {
+            self.loads_from[l.ptr].push(l.dst);
+        }
+        for s in self.cp.stores() {
+            self.stores_from[s.ptr].push(s.src);
+        }
+        for fa in self.cp.field_addrs() {
+            self.fields_from[fa.base].push((fa.field, fa.dst));
+        }
+        for (cs_id, cs) in self.cp.callsites().iter_enumerated() {
+            match cs.callee {
+                CalleeRef::Direct(f) => self.wire(cs_id, f),
+                CalleeRef::Indirect(fp) => self.fp_sites[fp].push(cs_id),
+            }
+        }
+        for c in self.cp.copies() {
+            self.add_edge(c.dst, c.src);
+        }
+        for a in self.cp.addr_ofs() {
+            self.add_obj(a.dst, a.obj);
+        }
+    }
+
+    fn enqueue(&mut self, rep: NodeId) {
+        if !self.on_list[rep] {
+            self.on_list[rep] = true;
+            self.worklist.push_back(rep);
+        }
+    }
+
+    /// Adds object `obj` to `pts(node)`.
+    fn add_obj(&mut self, node: NodeId, obj: NodeId) {
+        let rep = self.find(node);
+        if self.pts[rep].insert(obj.as_u32()) {
+            self.delta[rep].insert(obj.as_u32());
+            self.enqueue(rep);
+        }
+    }
+
+    /// Adds the copy edge `dst ⊇ src` and propagates `pts(src)` once.
+    fn add_edge(&mut self, dst: NodeId, src: NodeId) {
+        let (src, dst) = (self.find(src), self.find(dst));
+        if src == dst {
+            return;
+        }
+        match self.succs[src].binary_search(&dst) {
+            Ok(_) => return,
+            Err(pos) => self.succs[src].insert(pos, dst),
+        }
+        self.stats.edges_added += 1;
+        // Propagate everything src already knows.
+        let src_set = std::mem::take(&mut self.pts[src]);
+        self.flush_into(dst, &src_set);
+        self.pts[src] = src_set;
+    }
+
+    /// Unions `set` into `pts(dst)`, queueing the growth as delta.
+    fn flush_into(&mut self, dst: NodeId, set: &HybridSet) {
+        let rep = self.find(dst);
+        let mut added = Vec::new();
+        let mut dst_set = std::mem::take(&mut self.pts[rep]);
+        dst_set.union_with_delta(set, &mut added);
+        self.pts[rep] = dst_set;
+        if !added.is_empty() {
+            self.stats.elements_propagated += added.len() as u64;
+            for v in added {
+                self.delta[rep].insert(v);
+            }
+            self.enqueue(rep);
+        }
+    }
+
+    /// Records callee `f` for call site `cs` and wires its value flow.
+    fn wire(&mut self, cs_id: CallSiteId, f: FuncId) {
+        if !self.wired.insert((cs_id, f)) {
+            return;
+        }
+        self.stats.calls_wired += 1;
+        let targets = &mut self.call_targets[cs_id];
+        if let Err(pos) = targets.binary_search(&f) {
+            targets.insert(pos, f);
+        }
+        let cs = self.cp.callsite(cs_id);
+        let info = self.cp.func(f);
+        let pairs: Vec<(NodeId, NodeId)> = cs
+            .args
+            .iter()
+            .zip(&info.formals)
+            .filter_map(|(arg, formal)| arg.map(|a| (*formal, a)))
+            .collect();
+        for (formal, arg) in pairs {
+            self.add_edge(formal, arg);
+        }
+        if let Some(dst) = cs.ret_dst {
+            self.add_edge(dst, info.ret);
+        }
+    }
+
+    fn run(mut self) -> (Solution, SolveStats) {
+        while let Some(n) = self.worklist.pop_front() {
+            self.on_list[n] = false;
+            if self.find(n) != n {
+                // Stale entry: merged away; its state moved to the rep.
+                continue;
+            }
+            let d = std::mem::take(&mut self.delta[n]);
+            if d.is_empty() {
+                continue;
+            }
+            self.stats.propagations += 1;
+
+            // Derived constraints from the new objects.
+            for o in d.iter() {
+                let obj = NodeId::from_u32(o);
+                for i in 0..self.loads_from[n].len() {
+                    let dst = self.loads_from[n][i];
+                    self.add_edge(dst, obj);
+                }
+                for i in 0..self.stores_from[n].len() {
+                    let src = self.stores_from[n][i];
+                    self.add_edge(obj, src);
+                }
+                for i in 0..self.fields_from[n].len() {
+                    let (field, dst) = self.fields_from[n][i];
+                    if let Some(fld) = self.cp.field_of(obj, field) {
+                        self.add_obj(dst, fld);
+                    }
+                }
+                if let Some(f) = self.cp.node(obj).as_func() {
+                    for i in 0..self.fp_sites[n].len() {
+                        let cs = self.fp_sites[n][i];
+                        self.wire(cs, f);
+                    }
+                }
+            }
+
+            // Copy propagation of the delta.
+            let succ_count = self.succs[n].len();
+            for i in 0..succ_count {
+                let succ = self.succs[n][i];
+                self.flush_into(succ, &d);
+            }
+
+            if self.config.cycle_elimination
+                && self.stats.propagations - self.last_collapse_at >= self.collapse_interval
+            {
+                self.collapse_cycles();
+                self.last_collapse_at = self.stats.propagations;
+            }
+        }
+
+        let n = self.cp.num_nodes();
+        let rep: Vec<u32> = (0..n as u32).map(|v| self.uf.find(v)).collect();
+        (Solution::new(rep, self.pts, self.call_targets), self.stats)
+    }
+
+    /// Runs a Tarjan pass over the representative copy graph and collapses
+    /// every multi-node component.
+    fn collapse_cycles(&mut self) {
+        self.stats.scc_passes += 1;
+        let n = self.cp.num_nodes();
+        // Snapshot reps so the successors closure is read-only.
+        let rep_of: Vec<u32> = (0..n as u32).map(|v| self.uf.find(v)).collect();
+        let succs = &self.succs;
+        let scc = tarjan(n, |v, out| {
+            if rep_of[v as usize] == v {
+                for &d in &succs[NodeId::from_u32(v)] {
+                    out.push(rep_of[d.as_u32() as usize]);
+                }
+            }
+        });
+
+        // Group representative nodes by component.
+        let mut first_of_comp: Vec<Option<u32>> = vec![None; scc.count as usize];
+        let mut merges: Vec<(u32, u32)> = Vec::new();
+        for v in 0..n as u32 {
+            if rep_of[v as usize] != v {
+                continue;
+            }
+            let comp = scc.component[v as usize] as usize;
+            match first_of_comp[comp] {
+                None => first_of_comp[comp] = Some(v),
+                Some(first) => merges.push((first, v)),
+            }
+        }
+
+        for (a, b) in merges {
+            self.merge(NodeId::from_u32(a), NodeId::from_u32(b));
+        }
+    }
+
+    /// Unions `a` and `b`, merging all per-node state into the new rep.
+    fn merge(&mut self, a: NodeId, b: NodeId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let root = NodeId::from_u32(
+            self.uf.union(ra.as_u32(), rb.as_u32()).expect("distinct reps"),
+        );
+        let other = if root == ra { rb } else { ra };
+        self.stats.nodes_collapsed += 1;
+
+        let other_pts = std::mem::take(&mut self.pts[other]);
+        self.pts[root].union_with(&other_pts);
+        let other_delta = std::mem::take(&mut self.delta[other]);
+        self.delta[root].union_with(&other_delta);
+
+        let mut other_succs = std::mem::take(&mut self.succs[other]);
+        let mut merged = std::mem::take(&mut self.succs[root]);
+        merged.append(&mut other_succs);
+        merged.sort_unstable();
+        merged.dedup();
+        // Drop self-edges through the new union lazily (checked in add_edge).
+        self.succs[root] = merged;
+
+        let mut v = std::mem::take(&mut self.loads_from[other]);
+        self.loads_from[root].append(&mut v);
+        let mut v = std::mem::take(&mut self.stores_from[other]);
+        self.stores_from[root].append(&mut v);
+        let mut v = std::mem::take(&mut self.fields_from[other]);
+        self.fields_from[root].append(&mut v);
+        let mut v = std::mem::take(&mut self.fp_sites[other]);
+        self.fp_sites[root].append(&mut v);
+
+        // Everything already known must be (re)propagated from the merged
+        // rep once, since the members' histories differ.
+        let full = self.pts[root].clone();
+        self.delta[root] = full;
+        if !self.delta[root].is_empty() {
+            self.enqueue(root);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use ddpa_constraints::ConstraintBuilder;
+
+    fn check_against_naive(cp: &ConstraintProgram) {
+        let expected = naive::solve(cp);
+        for config in [SolverConfig::default(), SolverConfig::without_cycle_elimination()] {
+            let (got, _) = solve(cp, &config);
+            if let Err(node) = got.same_as(&expected, cp) {
+                panic!(
+                    "mismatch at {} (cycle_elim={}): naive={:?} worklist={:?}",
+                    cp.display_node(node),
+                    config.cycle_elimination,
+                    expected.pts_nodes(node),
+                    got.pts_nodes(node),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_basic_flow() {
+        let mut b = ConstraintBuilder::new();
+        let (p, o, x, y, t) = (b.var("p"), b.var("o"), b.var("x"), b.var("y"), b.var("t"));
+        b.addr_of(p, o);
+        b.addr_of(x, t);
+        b.store(p, x);
+        b.load(y, p);
+        check_against_naive(&b.build());
+    }
+
+    #[test]
+    fn matches_naive_with_copy_cycles() {
+        let mut b = ConstraintBuilder::new();
+        let (x, y, z, o1, o2) =
+            (b.var("x"), b.var("y"), b.var("z"), b.var("o1"), b.var("o2"));
+        b.copy(x, y);
+        b.copy(y, z);
+        b.copy(z, x);
+        b.addr_of(x, o1);
+        b.addr_of(z, o2);
+        check_against_naive(&b.build());
+    }
+
+    #[test]
+    fn collapse_produces_same_solution() {
+        // Force a tiny collapse interval to exercise the SCC path.
+        let mut b = ConstraintBuilder::new();
+        let o = b.var("obj");
+        let names: Vec<String> = (0..20).map(|i| format!("v{i}")).collect();
+        let nodes: Vec<_> = names.iter().map(|s| b.var(s)).collect();
+        for w in nodes.windows(2) {
+            b.copy(w[1], w[0]);
+        }
+        // Close the cycle.
+        b.copy(nodes[0], nodes[19]);
+        b.addr_of(nodes[5], o);
+        let cp = b.build();
+        let expected = naive::solve(&cp);
+        let config = SolverConfig { cycle_elimination: true, collapse_interval: 2 };
+        let (got, stats) = solve(&cp, &config);
+        assert!(got.same_as(&expected, &cp).is_ok());
+        assert!(stats.nodes_collapsed > 0, "cycle should collapse: {stats:?}");
+    }
+
+    #[test]
+    fn matches_naive_with_indirect_calls() {
+        let mut b = ConstraintBuilder::new();
+        let f = b.func("f", 1);
+        let g = b.func("g", 1);
+        let fi = b.func_info(f).clone();
+        let gi = b.func_info(g).clone();
+        b.copy(fi.ret, fi.formals[0]);
+        // g returns a global object's address instead.
+        let (go, fp, x, r, o) =
+            (b.var("go"), b.var("fp"), b.var("x"), b.var("r"), b.var("o"));
+        b.addr_of(gi.ret, go);
+        b.addr_of(x, o);
+        b.addr_of(fp, fi.object);
+        b.addr_of(fp, gi.object);
+        b.call_indirect(fp, vec![Some(x)], Some(r));
+        let cp = b.build();
+        check_against_naive(&cp);
+        let sol = solve(&cp, &SolverConfig::default()).0;
+        let cs = cp.callsites().indices().next().expect("callsite");
+        assert_eq!(sol.call_targets(cs), &[f, g]);
+    }
+
+    #[test]
+    fn load_store_chains_match_naive() {
+        // A small "linked list" shape: nodes store successors through
+        // pointers, then a traversal loads them back.
+        let mut b = ConstraintBuilder::new();
+        let (n1, n2, n3) = (b.var("n1"), b.var("n2"), b.var("n3"));
+        let (p1, p2, p3) = (b.var("p1"), b.var("p2"), b.var("p3"));
+        let (cur, next) = (b.var("cur"), b.var("next"));
+        b.addr_of(p1, n1);
+        b.addr_of(p2, n2);
+        b.addr_of(p3, n3);
+        b.store(p1, p2); // n1 -> n2
+        b.store(p2, p3); // n2 -> n3
+        b.copy(cur, p1);
+        b.load(next, cur); // next = *cur
+        b.copy(cur, next); // loop
+        check_against_naive(&b.build());
+    }
+}

@@ -1,0 +1,37 @@
+//! T4 — cross-query memoization ablation: the same query batch with the
+//! memo table kept vs cleared between queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddpa_bench::deref_queries;
+use ddpa_demand::{DemandConfig, DemandEngine};
+
+fn bench_caching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T4_caching");
+    group.sample_size(10);
+    for bench in ddpa_gen::quick_suite() {
+        let cp = bench.build();
+        let queries: Vec<_> = deref_queries(&cp).into_iter().take(200).collect();
+        group.bench_with_input(BenchmarkId::new("cached", bench.name), &cp, |b, cp| {
+            b.iter(|| {
+                let mut engine = DemandEngine::new(cp, DemandConfig::default());
+                for &q in &queries {
+                    let _ = engine.points_to(q);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uncached", bench.name), &cp, |b, cp| {
+            b.iter(|| {
+                let mut engine =
+                    DemandEngine::new(cp, DemandConfig::default().without_caching());
+                for &q in &queries {
+                    let _ = engine.points_to(q);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_caching);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! F2 — cumulative demand time for k queries vs the exhaustive constant:
+//! where does on-demand stop paying off?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddpa_bench::deref_queries;
+use ddpa_demand::{DemandConfig, DemandEngine};
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F2_crossover");
+    group.sample_size(10);
+    let bench = ddpa_gen::quick_suite()
+        .into_iter()
+        .last()
+        .expect("quick suite nonempty");
+    let cp = bench.build();
+    let queries = deref_queries(&cp);
+
+    group.bench_function(BenchmarkId::new("exhaustive", bench.name), |b| {
+        b.iter(|| ddpa_anders::solve(&cp))
+    });
+    for k in [1usize, 10, 100, 1000] {
+        let k = k.min(queries.len());
+        group.bench_function(BenchmarkId::new(format!("demand_k{k}"), bench.name), |b| {
+            b.iter(|| {
+                let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+                for &q in &queries[..k] {
+                    let _ = engine.points_to(q);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! T3 — demand-driven call-graph construction (the paper's client):
+//! resolve every indirect call site on demand, against the exhaustive
+//! route.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddpa_callgraph::CallGraph;
+use ddpa_demand::{DemandConfig, DemandEngine};
+
+fn bench_demand_callgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T3_callgraph");
+    group.sample_size(10);
+    for bench in ddpa_gen::quick_suite() {
+        let cp = bench.build();
+        group.bench_with_input(BenchmarkId::new("demand", bench.name), &cp, |b, cp| {
+            b.iter(|| {
+                let mut engine = DemandEngine::new(cp, DemandConfig::default());
+                CallGraph::from_demand(&mut engine)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", bench.name), &cp, |b, cp| {
+            b.iter(|| {
+                let solution = ddpa_anders::solve(cp);
+                CallGraph::from_exhaustive(cp, &solution)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_demand_callgraph);
+criterion_main!(benches);

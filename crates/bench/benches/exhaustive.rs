@@ -1,0 +1,29 @@
+//! T2/A1 — exhaustive Andersen solve times, with and without cycle
+//! collapsing, across the quick suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ddpa_anders::{worklist, SolverConfig};
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T2_exhaustive");
+    group.sample_size(10);
+    for bench in ddpa_gen::quick_suite() {
+        let cp = bench.build();
+        group.bench_with_input(BenchmarkId::new("cycles_on", bench.name), &cp, |b, cp| {
+            b.iter(|| worklist::solve(cp, &SolverConfig::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cycles_off_A1", bench.name),
+            &cp,
+            |b, cp| b.iter(|| worklist::solve(cp, &SolverConfig::without_cycle_elimination())),
+        );
+        group.bench_with_input(BenchmarkId::new("wave", bench.name), &cp, |b, cp| {
+            b.iter(|| ddpa_anders::wave::solve(cp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive);
+criterion_main!(benches);

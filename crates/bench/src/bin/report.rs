@@ -1,0 +1,301 @@
+//! Regenerates every table and figure of the evaluation as Markdown.
+//!
+//! ```text
+//! report [--quick|--full] [t1 t2 t3 t4 f1 f2 f3 a2 ...]
+//! ```
+//!
+//! With no experiment ids, all experiments run. `--quick` (default) uses
+//! the small-suite prefix; `--full` runs the complete suite (minutes).
+
+use std::time::Duration;
+
+use ddpa_bench::render::{count, dur, pct, ratio, table};
+use ddpa_bench::*;
+use ddpa_gen::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |id: &str| wanted.is_empty() || wanted.contains(&id);
+
+    let benches: Vec<Benchmark> = if full { ddpa_gen::suite() } else { ddpa_gen::quick_suite() };
+    // Dense-query experiments (every dereference site is a query) always
+    // run on the quick suite: on the saturated large programs, inverse
+    // (ptb) reasoning makes dense query sets far more expensive than the
+    // sparse call-graph client measured by T3.
+    let quick: Vec<Benchmark> = ddpa_gen::quick_suite();
+    println!(
+        "# ddpa evaluation report ({} suite: {})\n",
+        if full { "full" } else { "quick" },
+        benches.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+    );
+
+    if want("t1") {
+        t1(&benches);
+    }
+    if want("t2") {
+        t2(&benches);
+    }
+    if want("t3") {
+        t3(&benches);
+    }
+    if want("t4") {
+        t4(&quick);
+    }
+    if want("f1") {
+        f1(&quick);
+    }
+    if want("f2") {
+        f2(&quick);
+    }
+    if want("f3") {
+        f3(&quick);
+    }
+    if want("a2") {
+        a2(&quick);
+    }
+    if want("a3") {
+        a3(&quick);
+    }
+}
+
+fn t1(benches: &[Benchmark]) {
+    println!("## T1 — Benchmark characteristics\n");
+    let rows: Vec<Vec<String>> = run_t1(benches)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                count(r.stats.nodes),
+                count(r.stats.assignments()),
+                count(r.stats.addr_ofs),
+                count(r.stats.copies),
+                count(r.stats.loads),
+                count(r.stats.stores),
+                count(r.stats.field_addrs),
+                count(r.stats.funcs),
+                count(r.stats.direct_calls),
+                count(r.stats.indirect_calls),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program", "locations", "assignments", "addr-of", "copy", "load", "store",
+                "field", "funcs", "direct calls", "indirect calls"
+            ],
+            &rows
+        )
+    );
+}
+
+fn t2(benches: &[Benchmark]) {
+    println!("## T2 — Exhaustive (whole-program) analysis times; A1 — cycle-collapsing ablation\n");
+    let rows: Vec<Vec<String>> = run_t2(benches)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                dur(r.time),
+                dur(r.time_no_cycles),
+                count(r.stats.propagations as usize),
+                count(r.stats.edges_added as usize),
+                count(r.stats.nodes_collapsed as usize),
+                count(r.total_pts),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program", "solve (cycles on)", "solve (cycles off)", "propagations",
+                "edges", "collapsed", "Σ|pts|"
+            ],
+            &rows
+        )
+    );
+}
+
+fn t3(benches: &[Benchmark]) {
+    println!("## T3 — Demand-driven indirect-call resolution vs exhaustive (budget ∞)\n");
+    let rows: Vec<Vec<String>> = run_t3(benches, None)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                count(r.queries),
+                format!("{}/{}", r.resolved, r.queries),
+                dur(r.demand_time),
+                dur(r.avg_query_time),
+                dur(r.exhaustive_time),
+                ratio(r.speedup),
+                format!("{:.2}", r.avg_targets),
+                if r.precision_identical { "identical ✓".into() } else { "DIFFERS ✗".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program", "queries", "resolved", "demand total", "per query",
+                "exhaustive", "speedup", "avg targets", "precision"
+            ],
+            &rows
+        )
+    );
+}
+
+fn t4(benches: &[Benchmark]) {
+    println!("## T4 — Caching (memoization) ablation, ≤500 dereference queries\n");
+    let rows: Vec<Vec<String>> = run_t4(benches, 500)
+        .into_iter()
+        .map(|r| {
+            let speedup = r.time_uncached.as_secs_f64() / r.time_cached.as_secs_f64().max(1e-9);
+            vec![
+                r.name.to_owned(),
+                count(r.queries),
+                dur(r.time_cached),
+                dur(r.time_uncached),
+                ratio(speedup),
+                count(r.work_cached as usize),
+                count(r.work_uncached as usize),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program", "queries", "cached", "uncached", "speedup",
+                "work cached", "work uncached"
+            ],
+            &rows
+        )
+    );
+}
+
+fn f1(benches: &[Benchmark]) {
+    println!("## F1 — Per-query cost distribution (rule firings, ≤1000 queries, no cache)\n");
+    let rows: Vec<Vec<String>> = run_f1(benches, 1000)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                count(r.work.count),
+                count(r.work.min as usize),
+                count(r.work.p50 as usize),
+                count(r.work.p90 as usize),
+                count(r.work.p99 as usize),
+                count(r.work.max as usize),
+                format!("{:.0}", r.work.mean()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["program", "queries", "min", "p50", "p90", "p99", "max", "mean"], &rows)
+    );
+}
+
+fn f2(benches: &[Benchmark]) {
+    println!("## F2 — Cumulative demand time vs #queries (crossover against exhaustive)\n");
+    let ks = [1usize, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+    for row in run_f2(benches, &ks) {
+        println!(
+            "### {} (exhaustive = {})\n",
+            row.name,
+            dur(row.exhaustive_time)
+        );
+        let rows: Vec<Vec<String>> = row
+            .points
+            .iter()
+            .map(|p| {
+                let frac = p.demand_time.as_secs_f64()
+                    / row.exhaustive_time.as_secs_f64().max(1e-9);
+                vec![count(p.k), dur(p.demand_time), ratio(frac)]
+            })
+            .collect();
+        println!("{}", table(&["k queries", "demand cumulative", "vs exhaustive"], &rows));
+        match row.crossover_k {
+            Some(k) => println!("crossover at k ≈ {k}\n"),
+            None => println!("no crossover within the sampled range\n"),
+        }
+    }
+}
+
+fn f3(benches: &[Benchmark]) {
+    println!("## F3 — Queries resolved within budget (≤500 queries per program)\n");
+    let budgets = [10u64, 100, 1_000, 10_000, 100_000, 1_000_000];
+    for row in run_f3(benches, &budgets, 500) {
+        println!("### {}\n", row.name);
+        let rows: Vec<Vec<String>> = row
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    count(p.budget as usize),
+                    pct(p.resolved),
+                    format!("{:.0}", p.avg_work),
+                ]
+            })
+            .collect();
+        println!("{}", table(&["budget", "resolved", "avg work/query"], &rows));
+    }
+}
+
+fn a3(benches: &[Benchmark]) {
+    println!("## A3 — Context-sensitivity (k-call-string cloning) ablation\n");
+    for row in run_a3(benches, &[0, 1, 2]) {
+        println!("### {} (context-insensitive Σ|pts| = {})\n", row.name, count(row.ci_total_pts));
+        let rows: Vec<Vec<String>> = row
+            .points
+            .iter()
+            .map(|p| {
+                let gain = if row.ci_total_pts == 0 {
+                    0.0
+                } else {
+                    1.0 - p.total_pts as f64 / row.ci_total_pts as f64
+                };
+                vec![
+                    p.k.to_string(),
+                    count(p.clones),
+                    format!("{:.2}x", p.expansion),
+                    dur(p.time),
+                    count(p.total_pts),
+                    pct(gain),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(&["k", "clones", "expansion", "expand+solve", "Σ|pts|", "spurious facts removed"], &rows)
+        );
+    }
+}
+
+fn a2(benches: &[Benchmark]) {
+    println!("## A2 — Parallel query driver scaling (≤2000 queries per program)\n");
+    let threads = [1usize, 2, 4, 8];
+    for row in run_a2(benches, &threads, 2000) {
+        println!("### {}\n", row.name);
+        let rows: Vec<Vec<String>> = row
+            .points
+            .iter()
+            .map(|(t, time, speedup)| vec![t.to_string(), dur(*time), ratio(*speedup)])
+            .collect();
+        println!("{}", table(&["threads", "time", "speedup"], &rows));
+    }
+}
+
+// Silence the unused-import lint when only some sections are requested.
+#[allow(dead_code)]
+fn _unused(_: Duration) {}

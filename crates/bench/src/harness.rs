@@ -1,0 +1,536 @@
+//! Runners for every experiment (tables T1–T4, figures F1–F3, ablation A2).
+
+use std::time::{Duration, Instant};
+
+use ddpa_anders::{worklist, SolverConfig};
+use ddpa_callgraph::CallGraph;
+use ddpa_constraints::{ConstraintProgram, NodeId, ProgramStats};
+use ddpa_demand::{points_to_parallel, DemandConfig, DemandEngine};
+use ddpa_gen::Benchmark;
+use ddpa_support::Summary;
+
+/// All dereferenced pointers of `cp` (the dense query set).
+pub fn deref_queries(cp: &ConstraintProgram) -> Vec<NodeId> {
+    let mut q: Vec<NodeId> = cp
+        .loads()
+        .iter()
+        .map(|l| l.ptr)
+        .chain(cp.stores().iter().map(|s| s.ptr))
+        .collect();
+    q.sort_unstable();
+    q.dedup();
+    q
+}
+
+/// Function-pointer nodes of all indirect call sites (the paper's query set).
+pub fn fp_queries(cp: &ConstraintProgram) -> Vec<NodeId> {
+    let mut q: Vec<NodeId> = cp
+        .indirect_callsites()
+        .iter()
+        .map(|&cs| match cp.callsite(cs).callee {
+            ddpa_constraints::CalleeRef::Indirect(fp) => fp,
+            ddpa_constraints::CalleeRef::Direct(_) => unreachable!("indirect sites only"),
+        })
+        .collect();
+    q.sort_unstable();
+    q.dedup();
+    q
+}
+
+// ---------------------------------------------------------------------
+// T1: benchmark characteristics
+// ---------------------------------------------------------------------
+
+/// One row of the program-characteristics table.
+#[derive(Clone, Debug)]
+pub struct T1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Program statistics.
+    pub stats: ProgramStats,
+}
+
+/// Regenerates table T1.
+pub fn run_t1(benches: &[Benchmark]) -> Vec<T1Row> {
+    benches
+        .iter()
+        .map(|b| T1Row { name: b.name, stats: ProgramStats::of(&b.build()) })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// T2 (+A1): exhaustive analysis times
+// ---------------------------------------------------------------------
+
+/// One row of the exhaustive-analysis table.
+#[derive(Clone, Debug)]
+pub struct T2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Worklist solver with cycle collapsing.
+    pub time: Duration,
+    /// Ablation (A1): cycle collapsing disabled.
+    pub time_no_cycles: Duration,
+    /// Work counters of the default configuration.
+    pub stats: worklist::SolveStats,
+    /// Total points-to set size (precision/size metric).
+    pub total_pts: usize,
+}
+
+/// Regenerates table T2 and ablation A1.
+pub fn run_t2(benches: &[Benchmark]) -> Vec<T2Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let start = Instant::now();
+            let (solution, stats) = worklist::solve(&cp, &SolverConfig::default());
+            let time = start.elapsed();
+            let start = Instant::now();
+            let _ = worklist::solve(&cp, &SolverConfig::without_cycle_elimination());
+            let time_no_cycles = start.elapsed();
+            T2Row {
+                name: b.name,
+                time,
+                time_no_cycles,
+                stats,
+                total_pts: solution.total_pts_size(&cp),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// T3: demand-driven call-graph client vs exhaustive
+// ---------------------------------------------------------------------
+
+/// One row of the demand-vs-exhaustive client table.
+#[derive(Clone, Debug)]
+pub struct T3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Indirect call-site queries issued.
+    pub queries: usize,
+    /// Queries fully resolved within budget.
+    pub resolved: usize,
+    /// Wall time for the whole demand-driven call-graph build.
+    pub demand_time: Duration,
+    /// Wall time for exhaustive solve + call-graph extraction.
+    pub exhaustive_time: Duration,
+    /// Average per-query wall time.
+    pub avg_query_time: Duration,
+    /// `exhaustive_time / demand_time`.
+    pub speedup: f64,
+    /// Demand targets identical to exhaustive targets on every site.
+    pub precision_identical: bool,
+    /// Mean callee-set size at indirect sites (precision of the client).
+    pub avg_targets: f64,
+}
+
+/// Regenerates table T3 with the given per-query budget.
+pub fn run_t3(benches: &[Benchmark], budget: Option<u64>) -> Vec<T3Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+
+            let start = Instant::now();
+            let solution = ddpa_anders::solve(&cp);
+            let exhaustive_cg = CallGraph::from_exhaustive(&cp, &solution);
+            let exhaustive_time = start.elapsed();
+
+            let config = DemandConfig { budget, ..DemandConfig::default() };
+            let mut engine = DemandEngine::new(&cp, config);
+            let start = Instant::now();
+            let (demand_cg, stats) = CallGraph::from_demand(&mut engine);
+            let demand_time = start.elapsed();
+
+            let queries = stats.indirect_resolved + stats.indirect_fallback;
+            let avg = if queries == 0 {
+                Duration::ZERO
+            } else {
+                demand_time / queries as u32
+            };
+            T3Row {
+                name: b.name,
+                queries,
+                resolved: stats.indirect_resolved,
+                demand_time,
+                exhaustive_time,
+                avg_query_time: avg,
+                speedup: exhaustive_time.as_secs_f64() / demand_time.as_secs_f64().max(1e-9),
+                precision_identical: demand_cg.same_as(&exhaustive_cg),
+                avg_targets: demand_cg.avg_indirect_targets(&cp),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// T4: caching ablation
+// ---------------------------------------------------------------------
+
+/// One row of the caching-ablation table.
+#[derive(Clone, Debug)]
+pub struct T4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Number of queries in the sample.
+    pub queries: usize,
+    /// Wall time with memoization across queries.
+    pub time_cached: Duration,
+    /// Wall time with the table cleared between queries.
+    pub time_uncached: Duration,
+    /// Total rule firings with caching.
+    pub work_cached: u64,
+    /// Total rule firings without caching.
+    pub work_uncached: u64,
+}
+
+/// Regenerates table T4 over (up to) `max_queries` dereference queries.
+pub fn run_t4(benches: &[Benchmark], max_queries: usize) -> Vec<T4Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let queries: Vec<NodeId> =
+                deref_queries(&cp).into_iter().take(max_queries).collect();
+
+            let mut cached = DemandEngine::new(&cp, DemandConfig::default());
+            let start = Instant::now();
+            let mut work_cached = 0;
+            for &q in &queries {
+                work_cached += cached.points_to(q).work;
+            }
+            let time_cached = start.elapsed();
+
+            let mut uncached =
+                DemandEngine::new(&cp, DemandConfig::default().without_caching());
+            let start = Instant::now();
+            let mut work_uncached = 0;
+            for &q in &queries {
+                work_uncached += uncached.points_to(q).work;
+            }
+            let time_uncached = start.elapsed();
+
+            T4Row {
+                name: b.name,
+                queries: queries.len(),
+                time_cached,
+                time_uncached,
+                work_cached,
+                work_uncached,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// F1: per-query cost distribution
+// ---------------------------------------------------------------------
+
+/// One row of the per-query cost-distribution figure.
+#[derive(Clone, Debug)]
+pub struct F1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Distribution of per-query work (rule firings), caching off so each
+    /// query is measured in isolation.
+    pub work: Summary,
+}
+
+/// Regenerates figure F1 over (up to) `max_queries` dereference queries.
+pub fn run_f1(benches: &[Benchmark], max_queries: usize) -> Vec<F1Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let mut engine =
+                DemandEngine::new(&cp, DemandConfig::default().without_caching());
+            let mut samples: Vec<u64> = deref_queries(&cp)
+                .into_iter()
+                .take(max_queries)
+                .map(|q| engine.points_to(q).work)
+                .collect();
+            F1Row { name: b.name, work: Summary::of(&mut samples) }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// F2: cumulative demand time vs. number of queries (crossover)
+// ---------------------------------------------------------------------
+
+/// One sampled point of the crossover figure.
+#[derive(Clone, Debug)]
+pub struct F2Point {
+    /// Number of queries answered (with caching).
+    pub k: usize,
+    /// Cumulative demand time for those `k` queries.
+    pub demand_time: Duration,
+}
+
+/// One benchmark's crossover curve.
+#[derive(Clone, Debug)]
+pub struct F2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The exhaustive baseline (constant in `k`).
+    pub exhaustive_time: Duration,
+    /// Demand curve, by increasing `k`.
+    pub points: Vec<F2Point>,
+    /// Smallest sampled `k` whose cumulative demand time exceeds the
+    /// exhaustive time, if any.
+    pub crossover_k: Option<usize>,
+}
+
+/// Regenerates figure F2. `ks` must be increasing.
+pub fn run_f2(benches: &[Benchmark], ks: &[usize]) -> Vec<F2Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let start = Instant::now();
+            let _ = ddpa_anders::solve(&cp);
+            let exhaustive_time = start.elapsed();
+
+            let queries = deref_queries(&cp);
+            let mut points = Vec::new();
+            let mut clamped: Vec<usize> =
+                ks.iter().map(|&k| k.min(queries.len())).collect();
+            clamped.dedup();
+            for k in clamped {
+                let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+                let start = Instant::now();
+                for &q in &queries[..k] {
+                    let _ = engine.points_to(q);
+                }
+                points.push(F2Point { k, demand_time: start.elapsed() });
+            }
+            let crossover_k = points
+                .iter()
+                .find(|p| p.demand_time > exhaustive_time)
+                .map(|p| p.k);
+            F2Row { name: b.name, exhaustive_time, points, crossover_k }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// F3: resolution rate vs. budget
+// ---------------------------------------------------------------------
+
+/// One sampled point of the budget-sweep figure.
+#[derive(Clone, Debug)]
+pub struct F3Point {
+    /// Per-query budget (rule firings).
+    pub budget: u64,
+    /// Fraction of queries fully resolved under that budget.
+    pub resolved: f64,
+    /// Mean per-query work actually consumed.
+    pub avg_work: f64,
+}
+
+/// One benchmark's budget sweep.
+#[derive(Clone, Debug)]
+pub struct F3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Points by increasing budget.
+    pub points: Vec<F3Point>,
+}
+
+/// Regenerates figure F3 over (up to) `max_queries` dereference queries.
+///
+/// A fresh engine is used per budget so partial state from one sweep point
+/// cannot help the next; caching stays on *within* a sweep point, matching
+/// how a client would actually run under a budget.
+pub fn run_f3(benches: &[Benchmark], budgets: &[u64], max_queries: usize) -> Vec<F3Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let queries: Vec<NodeId> =
+                deref_queries(&cp).into_iter().take(max_queries).collect();
+            let mut points = Vec::new();
+            for &budget in budgets {
+                let mut engine = DemandEngine::new(
+                    &cp,
+                    DemandConfig::default().with_budget(budget),
+                );
+                let mut resolved = 0usize;
+                let mut work = 0u64;
+                for &q in &queries {
+                    let r = engine.points_to(q);
+                    resolved += r.complete as usize;
+                    work += r.work;
+                }
+                let n = queries.len().max(1);
+                points.push(F3Point {
+                    budget,
+                    resolved: resolved as f64 / n as f64,
+                    avg_work: work as f64 / n as f64,
+                });
+            }
+            F3Row { name: b.name, points }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// A3: context-sensitivity (cloning) ablation
+// ---------------------------------------------------------------------
+
+/// One sampled point of the context-sensitivity ablation.
+#[derive(Clone, Debug)]
+pub struct A3Point {
+    /// Call-string depth.
+    pub k: usize,
+    /// `(function, context)` clones created.
+    pub clones: usize,
+    /// Node-count expansion factor vs the original program.
+    pub expansion: f64,
+    /// Wall time to expand + solve the expansion.
+    pub time: Duration,
+    /// Σ projected points-to set sizes (lower = more precise).
+    pub total_pts: usize,
+}
+
+/// One benchmark's context-sensitivity sweep.
+#[derive(Clone, Debug)]
+pub struct A3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The context-insensitive baseline total.
+    pub ci_total_pts: usize,
+    /// Points by increasing k.
+    pub points: Vec<A3Point>,
+}
+
+/// Regenerates ablation A3: precision/cost of k-call-string cloning.
+pub fn run_a3(benches: &[Benchmark], ks: &[usize]) -> Vec<A3Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let ci = ddpa_anders::solve(&cp);
+            let ci_total_pts = cp.node_ids().map(|n| ci.pts(n).len()).sum();
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+            let (cg, _) = CallGraph::from_demand(&mut engine);
+            let points = ks
+                .iter()
+                .map(|&k| {
+                    let start = Instant::now();
+                    let cs = ddpa_cxt::CsAnalysis::run_with_callgraph(
+                        &cp,
+                        &cg,
+                        &ddpa_cxt::CloneConfig::with_k(k),
+                    );
+                    let time = start.elapsed();
+                    A3Point {
+                        k,
+                        clones: cs.cloned.clone_count,
+                        expansion: cs.cloned.expansion_factor(&cp),
+                        time,
+                        total_pts: cs.total_pts(&cp),
+                    }
+                })
+                .collect();
+            A3Row { name: b.name, ci_total_pts, points }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// A2: parallel query driver scaling
+// ---------------------------------------------------------------------
+
+/// One point of the parallel-scaling figure.
+#[derive(Clone, Debug)]
+pub struct A2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// (threads, wall time, speedup vs 1 thread), by increasing threads.
+    pub points: Vec<(usize, Duration, f64)>,
+}
+
+/// Regenerates figure A2 over (up to) `max_queries` dereference queries.
+///
+/// Queries run **uncached** so they are genuinely independent: workers do
+/// not share memo tables, so with caching on, each worker would redo the
+/// subgoals the single-threaded run computes once and scaling would look
+/// inverted. The caching/parallelism trade-off is discussed in
+/// `EXPERIMENTS.md`.
+pub fn run_a2(benches: &[Benchmark], threads: &[usize], max_queries: usize) -> Vec<A2Row> {
+    let config = DemandConfig::default().without_caching();
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let queries: Vec<NodeId> =
+                deref_queries(&cp).into_iter().take(max_queries).collect();
+            let mut base = Duration::ZERO;
+            let mut points = Vec::new();
+            for &t in threads {
+                let start = Instant::now();
+                let _ = points_to_parallel(&cp, &queries, t, &config);
+                let time = start.elapsed();
+                if t == threads[0] {
+                    base = time;
+                }
+                let speedup = base.as_secs_f64() / time.as_secs_f64().max(1e-9);
+                points.push((t, time, speedup));
+            }
+            A2Row { name: b.name, points }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Vec<Benchmark> {
+        vec![ddpa_gen::suite().into_iter().nth(1).expect("syn-1k exists")]
+    }
+
+    #[test]
+    fn t1_reports_characteristics() {
+        let rows = run_t1(&tiny());
+        assert_eq!(rows[0].name, "syn-1k");
+        assert!(rows[0].stats.assignments() >= 900);
+    }
+
+    #[test]
+    fn t3_demand_matches_exhaustive_precision() {
+        let rows = run_t3(&tiny(), None);
+        assert!(rows[0].precision_identical);
+        assert_eq!(rows[0].resolved, rows[0].queries);
+    }
+
+    #[test]
+    fn f3_resolution_rate_is_monotone() {
+        let rows = run_f3(&tiny(), &[1, 100, u64::MAX], 50);
+        let pts = &rows[0].points;
+        assert!(pts[0].resolved <= pts[1].resolved + 1e-9);
+        assert!(pts[1].resolved <= pts[2].resolved + 1e-9);
+        assert!(
+            (pts[2].resolved - 1.0).abs() < 1e-9,
+            "an effectively unlimited budget resolves all: {:?}",
+            pts[2]
+        );
+    }
+
+    #[test]
+    fn t4_caching_reduces_work() {
+        let rows = run_t4(&tiny(), 100);
+        assert!(rows[0].work_cached <= rows[0].work_uncached);
+    }
+
+    #[test]
+    fn query_sets_are_nonempty() {
+        let cp = tiny()[0].build();
+        assert!(!deref_queries(&cp).is_empty());
+        assert!(!fp_queries(&cp).is_empty());
+    }
+}

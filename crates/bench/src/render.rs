@@ -1,0 +1,66 @@
+//! Markdown rendering for the report binary.
+
+use std::time::Duration;
+
+use ddpa_support::stats::{fmt_count, fmt_duration};
+
+/// Renders a Markdown table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration for table cells.
+pub fn dur(d: Duration) -> String {
+    fmt_duration(d)
+}
+
+/// Formats a count for table cells.
+pub fn count(n: usize) -> String {
+    fmt_count(n as u64)
+}
+
+/// Formats a ratio like `12.3x`.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a percentage like `97.4%`.
+pub fn pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table() {
+        let t = table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t, "| a | b |\n|---|---|\n| 1 | 2 |\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(count(1500), "1,500");
+        assert_eq!(ratio(2.0), "2.00x");
+        assert_eq!(pct(0.974), "97.4%");
+        assert_eq!(dur(Duration::from_millis(5)), "5.00ms");
+    }
+}

@@ -1,0 +1,139 @@
+//! Dereference-site auditing.
+//!
+//! For every load `x = *p` and store `*p = x`, the pointer `p` should point
+//! somewhere. An empty points-to set means the dereference can only go
+//! through an uninitialized or null pointer (a *wild* dereference) — a
+//! useful lint, and a client whose query load is "one query per
+//! dereference site", much denser than the call-graph client.
+
+use ddpa_constraints::{ConstraintProgram, NodeId};
+use ddpa_demand::DemandEngine;
+
+/// What kind of memory access a site is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DerefKind {
+    /// `dst = *ptr`
+    Load,
+    /// `*ptr = src`
+    Store,
+}
+
+/// One audited dereference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerefSite {
+    /// Load or store.
+    pub kind: DerefKind,
+    /// The dereferenced pointer.
+    pub ptr: NodeId,
+    /// Size of `pts(ptr)`; 0 flags a wild dereference.
+    pub targets: usize,
+    /// `false` if the query ran out of budget (the site is then *not*
+    /// flagged — partial sets cannot prove emptiness).
+    pub resolved: bool,
+    /// Work consumed by the query.
+    pub work: u64,
+}
+
+/// The audit report over all dereference sites of a program.
+#[derive(Clone, Debug, Default)]
+pub struct DerefAudit {
+    /// One entry per load/store, in program order (loads first).
+    pub sites: Vec<DerefSite>,
+}
+
+impl DerefAudit {
+    /// Audits every dereference site of `engine`'s program on demand.
+    pub fn run(engine: &mut DemandEngine<'_>) -> Self {
+        let cp = engine.program();
+        let mut sites = Vec::new();
+        let audit = |kind: DerefKind, ptr: NodeId, engine: &mut DemandEngine<'_>| {
+            let r = engine.points_to(ptr);
+            DerefSite { kind, ptr, targets: r.pts.len(), resolved: r.complete, work: r.work }
+        };
+        let loads: Vec<NodeId> = cp.loads().iter().map(|l| l.ptr).collect();
+        let stores: Vec<NodeId> = cp.stores().iter().map(|s| s.ptr).collect();
+        for ptr in loads {
+            sites.push(audit(DerefKind::Load, ptr, engine));
+        }
+        for ptr in stores {
+            sites.push(audit(DerefKind::Store, ptr, engine));
+        }
+        DerefAudit { sites }
+    }
+
+    /// Sites proven to dereference a pointer that points nowhere.
+    pub fn wild(&self) -> Vec<&DerefSite> {
+        self.sites.iter().filter(|s| s.resolved && s.targets == 0).collect()
+    }
+
+    /// Sites with exactly one target (strong-update candidates for more
+    /// precise analyses).
+    pub fn singletons(&self) -> Vec<&DerefSite> {
+        self.sites.iter().filter(|s| s.resolved && s.targets == 1).collect()
+    }
+
+    /// Total work consumed by the audit.
+    pub fn total_work(&self) -> u64 {
+        self.sites.iter().map(|s| s.work).sum()
+    }
+
+    /// A one-line rendering of a site for reports.
+    pub fn describe(&self, cp: &ConstraintProgram, site: &DerefSite) -> String {
+        let op = match site.kind {
+            DerefKind::Load => "load",
+            DerefKind::Store => "store",
+        };
+        format!(
+            "{op} through `{}`: {} target(s){}",
+            cp.display_node(site.ptr),
+            site.targets,
+            if site.resolved { "" } else { " (unresolved)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpa_demand::DemandConfig;
+
+    #[test]
+    fn flags_wild_dereference() {
+        // `q` is never initialized: loading through it is wild.
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &o\nx = *p\ny = *q\n*p = x\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let audit = DerefAudit::run(&mut engine);
+        assert_eq!(audit.sites.len(), 3);
+        let wild = audit.wild();
+        assert_eq!(wild.len(), 1);
+        assert_eq!(cp.display_node(wild[0].ptr), "q");
+        assert_eq!(wild[0].kind, DerefKind::Load);
+        let described = audit.describe(&cp, wild[0]);
+        assert!(described.contains("load through `q`"));
+    }
+
+    #[test]
+    fn counts_singletons() {
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &a\nq = &a\nq = &b\nx = *p\ny = *q\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let audit = DerefAudit::run(&mut engine);
+        assert_eq!(audit.singletons().len(), 1);
+        assert!(audit.wild().is_empty());
+    }
+
+    #[test]
+    fn unresolved_sites_are_not_flagged() {
+        let cp = ddpa_constraints::parse_constraints("y = *q\n").expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_budget(0));
+        let audit = DerefAudit::run(&mut engine);
+        assert_eq!(audit.sites.len(), 1);
+        assert!(!audit.sites[0].resolved);
+        assert!(audit.wild().is_empty());
+    }
+}

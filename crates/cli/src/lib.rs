@@ -1,0 +1,505 @@
+//! Command-line driver for the `ddpa` pointer analyses.
+//!
+//! ```text
+//! ddpa stats     <file>                      program characteristics
+//! ddpa dump      <file>                      lowered constraints (text format)
+//! ddpa dot       <file>                      constraint graph in Graphviz format
+//! ddpa solve     <file> [names…]             exhaustive points-to sets
+//! ddpa query     <file> <names…> [--budget N] [--no-cache] [--ptb]
+//! ddpa explain   <file> <node> <target>      derivation of a points-to fact
+//! ddpa cs        <file> <names…> [--k N]     context-sensitive points-to
+//! ddpa callgraph <file> [--budget N]         resolve all call sites on demand
+//! ddpa audit     <file> [--budget N]         dereference audit (wild pointers)
+//! ddpa stackret  <file> [--budget N]         stack-return (dangling pointer) lint
+//! ddpa gen       [--size N] [--seed S] [--minic]   emit a generated workload
+//! ```
+//!
+//! Inputs ending in `.c` or `.mc` are parsed as MiniC; anything else as the
+//! textual constraint format (`--minic` / `--constraints` override).
+
+use std::fmt;
+use std::io::Write;
+
+use ddpa::constraints::{ConstraintProgram, NodeId};
+use ddpa::demand::{DemandConfig, DemandEngine};
+
+/// A CLI failure (bad usage, I/O, or input error).
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+const USAGE: &str = "\
+usage: ddpa <command> [args]
+
+commands:
+  stats     <file>                      program characteristics
+  dump      <file>                      lowered constraints (text format)
+  dot       <file>                      constraint graph (Graphviz)
+  solve     <file> [names...]           exhaustive points-to sets
+  query     <file> <names...>           demand points-to queries
+            [--budget N] [--no-cache] [--ptb]
+  explain   <file> <node> <target>      derivation of target ∈ pts(node)
+  cs        <file> <names...> [--k N]   context-sensitive points-to (default k=1)
+  callgraph <file> [--budget N]         resolve all call sites on demand
+  audit     <file> [--budget N]         dereference audit (wild pointers)
+  stackret  <file> [--budget N]         stack-return (dangling pointer) lint
+  gen       [--size N] [--seed S] [--minic]  emit a generated workload
+
+inputs ending in .c/.mc parse as MiniC; otherwise as constraint text
+(--minic / --constraints override).";
+
+/// Parsed common options.
+#[derive(Debug, Default)]
+struct Options {
+    budget: Option<u64>,
+    no_cache: bool,
+    ptb: bool,
+    minic: Option<bool>,
+    k: usize,
+    size: usize,
+    seed: u64,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options { size: 1000, k: 1, ..Options::default() };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = iter.next().ok_or_else(|| err("--budget needs a value"))?;
+                opts.budget =
+                    Some(v.parse().map_err(|_| err(format!("bad budget `{v}`")))?);
+            }
+            "--size" => {
+                let v = iter.next().ok_or_else(|| err("--size needs a value"))?;
+                opts.size = v.parse().map_err(|_| err(format!("bad size `{v}`")))?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or_else(|| err("--seed needs a value"))?;
+                opts.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--k" => {
+                let v = iter.next().ok_or_else(|| err("--k needs a value"))?;
+                opts.k = v.parse().map_err(|_| err(format!("bad k `{v}`")))?;
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--ptb" => opts.ptb = true,
+            "--minic" => opts.minic = Some(true),
+            "--constraints" => opts.minic = Some(false),
+            other if other.starts_with("--") => {
+                return Err(err(format!("unknown option `{other}`")));
+            }
+            other => opts.positional.push(other.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_program(path: &str, minic: Option<bool>) -> Result<ConstraintProgram, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let is_minic =
+        minic.unwrap_or_else(|| path.ends_with(".c") || path.ends_with(".mc"));
+    if is_minic {
+        ddpa::compile(&text).map_err(|e| err(format!("{path}: {e}")))
+    } else {
+        ddpa::constraints::parse_constraints(&text)
+            .map_err(|e| err(format!("{path}: {e}")))
+    }
+}
+
+fn find_node(cp: &ConstraintProgram, name: &str) -> Result<NodeId, CliError> {
+    cp.node_ids()
+        .find(|&n| cp.display_node(n) == name)
+        .ok_or_else(|| err(format!("no location named `{name}` (try `ddpa dump`)")))
+}
+
+/// Runs the CLI with `args`, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad usage or failing inputs; the caller maps it
+/// to a nonzero exit status.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let opts = parse_options(&args[1..])?;
+
+    match command.as_str() {
+        "stats" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            writeln!(out, "{}", ddpa::constraints::ProgramStats::of(&cp))?;
+        }
+        "dump" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            write!(out, "{}", ddpa::constraints::print_constraints(&cp))?;
+        }
+        "dot" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            write!(out, "{}", ddpa::constraints::to_dot(&cp))?;
+        }
+        "solve" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            let solution = ddpa::anders::solve(&cp);
+            let names = &opts.positional[1..];
+            let nodes: Vec<NodeId> = if names.is_empty() {
+                cp.node_ids().collect()
+            } else {
+                names
+                    .iter()
+                    .map(|n| find_node(&cp, n))
+                    .collect::<Result<_, _>>()?
+            };
+            for node in nodes {
+                let targets: Vec<String> = solution
+                    .pts_nodes(node)
+                    .iter()
+                    .map(|&t| cp.display_node(t))
+                    .collect();
+                if !targets.is_empty() || !names.is_empty() {
+                    writeln!(out, "pts({}) = {{{}}}", cp.display_node(node), targets.join(", "))?;
+                }
+            }
+        }
+        "query" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            if opts.positional.len() < 2 {
+                return Err(err("query needs at least one location name"));
+            }
+            let mut config = DemandConfig { budget: opts.budget, caching: !opts.no_cache, ..DemandConfig::default() };
+            if opts.no_cache {
+                config.caching = false;
+            }
+            let mut engine = DemandEngine::new(&cp, config);
+            for name in &opts.positional[1..] {
+                let node = find_node(&cp, name)?;
+                let r = if opts.ptb {
+                    engine.pointed_to_by(node)
+                } else {
+                    engine.points_to(node)
+                };
+                let targets: Vec<String> =
+                    r.pts.iter().map(|&t| cp.display_node(t)).collect();
+                writeln!(
+                    out,
+                    "{}({name}) = {{{}}}  [work {}{}]",
+                    if opts.ptb { "ptb" } else { "pts" },
+                    targets.join(", "),
+                    r.work,
+                    if r.complete { "" } else { ", UNRESOLVED" },
+                )?;
+            }
+        }
+        "cs" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            if opts.positional.len() < 2 {
+                return Err(err("cs needs at least one location name"));
+            }
+            let analysis = ddpa::cxt::CsAnalysis::run(
+                &cp,
+                &ddpa::cxt::CloneConfig::with_k(opts.k),
+            );
+            writeln!(
+                out,
+                "k={} call-string cloning: {} clones, {:.2}x nodes{}",
+                opts.k,
+                analysis.cloned.clone_count,
+                analysis.cloned.expansion_factor(&cp),
+                if analysis.cloned.capped { " (clone budget hit)" } else { "" },
+            )?;
+            for name in &opts.positional[1..] {
+                let node = find_node(&cp, name)?;
+                let targets: Vec<String> = analysis
+                    .pts_of(node)
+                    .iter()
+                    .map(|&t| cp.display_node(t))
+                    .collect();
+                writeln!(out, "pts({name}) = {{{}}}", targets.join(", "))?;
+            }
+        }
+        "explain" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            let [_, node_name, target_name] = opts.positional.as_slice() else {
+                return Err(err("explain needs <file> <node> <target>"));
+            };
+            let node = find_node(&cp, node_name)?;
+            let target = find_node(&cp, target_name)?;
+            let mut engine = DemandEngine::new(&cp, DemandConfig::new().with_trace());
+            let r = engine.points_to(node);
+            match engine.explain_points_to(node, target) {
+                Some(explanation) => {
+                    write!(out, "{}", explanation.render(&cp))?;
+                }
+                None => {
+                    writeln!(
+                        out,
+                        "{target_name} ∉ pts({node_name}){}",
+                        if r.complete { "" } else { " (query unresolved)" }
+                    )?;
+                }
+            }
+        }
+        "callgraph" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            let config = DemandConfig { budget: opts.budget, ..DemandConfig::default() };
+            let mut engine = DemandEngine::new(&cp, config);
+            let (cg, stats) = ddpa::clients::CallGraph::from_demand(&mut engine);
+            for cs in cp.callsites().indices() {
+                let site = cp.callsite(cs);
+                let kind = if site.is_indirect() { "icall" } else { "call" };
+                let names: Vec<&str> = cg
+                    .targets(cs)
+                    .iter()
+                    .map(|&f| cp.interner().resolve(cp.func(f).name))
+                    .collect();
+                writeln!(out, "{kind} #{} -> {{{}}}", cs.as_u32(), names.join(", "))?;
+            }
+            writeln!(
+                out,
+                "{} indirect queries: {} resolved, {} fallback",
+                stats.indirect_resolved + stats.indirect_fallback,
+                stats.indirect_resolved,
+                stats.indirect_fallback
+            )?;
+        }
+        "audit" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            let config = DemandConfig { budget: opts.budget, ..DemandConfig::default() };
+            let mut engine = DemandEngine::new(&cp, config);
+            let audit = ddpa::clients::DerefAudit::run(&mut engine);
+            for site in audit.wild() {
+                writeln!(out, "WILD: {}", audit.describe(&cp, site))?;
+            }
+            writeln!(
+                out,
+                "{} dereference sites, {} wild, {} singleton",
+                audit.sites.len(),
+                audit.wild().len(),
+                audit.singletons().len()
+            )?;
+        }
+        "stackret" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = load_program(path, opts.minic)?;
+            let config = DemandConfig { budget: opts.budget, ..DemandConfig::default() };
+            let mut engine = DemandEngine::new(&cp, config);
+            let report = ddpa::clients::StackReturnAudit::run(&mut engine);
+            for finding in &report.findings {
+                writeln!(out, "{}", report.describe(&cp, finding))?;
+            }
+            writeln!(
+                out,
+                "{} function(s) flagged, {} unresolved",
+                report.findings.len(),
+                report.unresolved.len()
+            )?;
+        }
+        "gen" => {
+            if opts.minic == Some(true) {
+                let program = ddpa::gen::generate_minic(
+                    &ddpa::gen::MiniCConfig::sized(opts.seed, opts.size.max(4) / 12),
+                );
+                write!(out, "{}", ddpa::ir::pretty(&program))?;
+            } else {
+                let cp = ddpa::gen::generate_random(
+                    &ddpa::gen::RandomConfig::sized(opts.seed, opts.size),
+                );
+                write!(out, "{}", ddpa::constraints::print_constraints(&cp))?;
+            }
+        }
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+        }
+        other => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ddpa-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(name);
+        std::fs::write(&path, contents).expect("write");
+        path
+    }
+
+    #[test]
+    fn usage_on_no_args() {
+        let e = run_to_string(&[]).expect_err("usage error");
+        assert!(e.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&["help"]).expect("ok");
+        assert!(out.contains("callgraph"));
+    }
+
+    #[test]
+    fn stats_and_dump_on_minic() {
+        let path = write_temp("t1.mc", "int g; void main() { int *p = &g; }");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["stats", p]).expect("stats");
+        assert!(out.contains("assignments=1"));
+        let out = run_to_string(&["dump", p]).expect("dump");
+        assert!(out.contains("main::p = &g"));
+    }
+
+    #[test]
+    fn query_on_constraints() {
+        let path = write_temp("t2.cons", "p = &o\nq = p\n");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["query", p, "q"]).expect("query");
+        assert!(out.contains("pts(q) = {o}"), "got: {out}");
+        let out = run_to_string(&["query", p, "o", "--ptb"]).expect("ptb query");
+        assert!(out.contains("ptb(o) = {p, q}"), "got: {out}");
+    }
+
+    #[test]
+    fn query_budget_reports_unresolved() {
+        let path = write_temp("t3.cons", "p = &o\nq = p\nr = q\n");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["query", p, "r", "--budget", "0"]).expect("query");
+        assert!(out.contains("UNRESOLVED"), "got: {out}");
+    }
+
+    #[test]
+    fn callgraph_command() {
+        let path = write_temp(
+            "t4.cons",
+            "fun f/0\nfp = &f\nicall fp()\ncall f()\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["callgraph", p]).expect("callgraph");
+        assert!(out.contains("icall #0 -> {f}"), "got: {out}");
+        assert!(out.contains("call #1 -> {f}"), "got: {out}");
+        assert!(out.contains("1 resolved"), "got: {out}");
+    }
+
+    #[test]
+    fn audit_command() {
+        let path = write_temp("t5.cons", "x = *q\n");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["audit", p]).expect("audit");
+        assert!(out.contains("WILD"), "got: {out}");
+    }
+
+    #[test]
+    fn gen_produces_parseable_output() {
+        let out = run_to_string(&["gen", "--size", "200", "--seed", "3"]).expect("gen");
+        let cp = ddpa::constraints::parse_constraints(&out).expect("reparses");
+        assert!(cp.num_constraints() > 100);
+        let out = run_to_string(&["gen", "--minic", "--size", "200"]).expect("gen minic");
+        let program = ddpa::ir::parse(&out).expect("parses");
+        ddpa::ir::check(&program).expect("checks");
+    }
+
+    #[test]
+    fn rejects_unknown_things() {
+        assert!(run_to_string(&["frobnicate"]).is_err());
+        assert!(run_to_string(&["stats", "/nonexistent/file"]).is_err());
+        let path = write_temp("t6.cons", "p = &o\n");
+        let p = path.to_str().expect("utf8 path");
+        assert!(run_to_string(&["query", p, "missing_name"]).is_err());
+        assert!(run_to_string(&["query", p, "o", "--budget", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn cs_command() {
+        let path = write_temp(
+            "t11.mc",
+            "int a; int b; int *id(int *p) { return p; } \
+             void main() { int *r1 = id(&a); int *r2 = id(&b); }",
+        );
+        let p = path.to_str().expect("utf8 path");
+        // Context-insensitive demand query conflates.
+        let out = run_to_string(&["query", p, "main::r1"]).expect("query");
+        assert!(out.contains("{a, b}"), "got: {out}");
+        // k=1 disambiguates.
+        let out = run_to_string(&["cs", p, "main::r1", "main::r2"]).expect("cs");
+        assert!(out.contains("pts(main::r1) = {a}"), "got: {out}");
+        assert!(out.contains("pts(main::r2) = {b}"), "got: {out}");
+        // k=0 equals context-insensitive.
+        let out = run_to_string(&["cs", p, "main::r1", "--k", "0"]).expect("cs k0");
+        assert!(out.contains("pts(main::r1) = {a, b}"), "got: {out}");
+    }
+
+    #[test]
+    fn dot_command() {
+        let path = write_temp("t10.cons", "p = &o\nq = p\n");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["dot", p]).expect("dot");
+        assert!(out.starts_with("digraph constraints {"), "got: {out}");
+    }
+
+    #[test]
+    fn stackret_command() {
+        let path = write_temp(
+            "t9.mc",
+            "int *bad() { int local; return &local; } void main() { int *p = bad(); }",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["stackret", p]).expect("stackret");
+        assert!(out.contains("`bad` may return a pointer"), "got: {out}");
+        assert!(out.contains("1 function(s) flagged"), "got: {out}");
+    }
+
+    #[test]
+    fn explain_command() {
+        let path = write_temp("t8.cons", "p = &o\nq = p\nr = q\n");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["explain", p, "r", "o"]).expect("explain");
+        assert!(out.contains("o ∈ pts(r)"), "got: {out}");
+        assert!(out.contains("[ADDR]"), "got: {out}");
+        let out = run_to_string(&["explain", p, "p", "q"]).expect("explain");
+        assert!(out.contains("∉"), "got: {out}");
+        assert!(run_to_string(&["explain", p, "r"]).is_err());
+    }
+
+    #[test]
+    fn solve_named_nodes() {
+        let path = write_temp("t7.cons", "p = &o\nq = p\n");
+        let p = path.to_str().expect("utf8 path");
+        let out = run_to_string(&["solve", p, "q"]).expect("solve");
+        assert_eq!(out.trim(), "pts(q) = {o}");
+    }
+}

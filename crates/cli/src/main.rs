@@ -1,0 +1,15 @@
+//! The `ddpa` command-line tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match ddpa_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ddpa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Graphviz export of the constraint graph.
+//!
+//! `dot -Tsvg` the output to *see* the program the analyses work on: one
+//! node per abstract location (shaped by kind), one edge per constraint.
+//!
+//! | constraint      | edge style                 |
+//! |-----------------|----------------------------|
+//! | `x = &o`        | dotted, label `&`          |
+//! | `x = y`         | solid                      |
+//! | `x = *y`        | dashed, label `*load`      |
+//! | `*x = y`        | dashed, label `store*`     |
+//! | `x = &b->f`     | dotted, label `&->f`       |
+//! | call edges      | bold, label `call`/`icall` |
+
+use std::fmt::Write as _;
+
+use crate::model::{CalleeRef, NodeId, NodeKind};
+use crate::program::ConstraintProgram;
+
+/// Escapes a label for the dot format.
+fn esc(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn node_attrs(cp: &ConstraintProgram, node: NodeId) -> &'static str {
+    match cp.node(node).kind {
+        NodeKind::Var { .. } => "shape=ellipse",
+        NodeKind::Temp { .. } => "shape=ellipse, style=dashed, color=gray50",
+        NodeKind::Heap { .. } => "shape=box3d, style=filled, fillcolor=lightyellow",
+        NodeKind::Func { .. } => "shape=septagon, style=filled, fillcolor=lightblue",
+        NodeKind::Formal { .. } => "shape=ellipse, style=filled, fillcolor=honeydew",
+        NodeKind::Ret { .. } => "shape=ellipse, style=filled, fillcolor=mistyrose",
+        NodeKind::Field { .. } => "shape=component, style=filled, fillcolor=lavender",
+    }
+}
+
+/// Renders `cp` as a Graphviz digraph.
+///
+/// Only nodes that participate in at least one constraint are emitted,
+/// keeping dumps of generated programs readable.
+///
+/// # Examples
+///
+/// ```
+/// let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\n")?;
+/// let dot = ddpa_constraints::to_dot(&cp);
+/// assert!(dot.starts_with("digraph constraints {"));
+/// assert!(dot.contains("label=\"&\""));
+/// # Ok::<(), ddpa_constraints::TextError>(())
+/// ```
+pub fn to_dot(cp: &ConstraintProgram) -> String {
+    let mut used = vec![false; cp.num_nodes()];
+    let mark = |n: NodeId, used: &mut Vec<bool>| used[n.as_u32() as usize] = true;
+    for a in cp.addr_ofs() {
+        mark(a.dst, &mut used);
+        mark(a.obj, &mut used);
+    }
+    for c in cp.copies() {
+        mark(c.dst, &mut used);
+        mark(c.src, &mut used);
+    }
+    for l in cp.loads() {
+        mark(l.dst, &mut used);
+        mark(l.ptr, &mut used);
+    }
+    for s in cp.stores() {
+        mark(s.ptr, &mut used);
+        mark(s.src, &mut used);
+    }
+    for fa in cp.field_addrs() {
+        mark(fa.dst, &mut used);
+        mark(fa.base, &mut used);
+    }
+    for cs in cp.callsites().iter() {
+        if let CalleeRef::Indirect(fp) = cs.callee {
+            mark(fp, &mut used);
+        }
+        for arg in cs.args.iter().flatten() {
+            mark(*arg, &mut used);
+        }
+        if let Some(d) = cs.ret_dst {
+            mark(d, &mut used);
+        }
+    }
+
+    let mut out = String::from("digraph constraints {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for node in cp.node_ids() {
+        if used[node.as_u32() as usize] {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", {}];",
+                node.as_u32(),
+                esc(&cp.display_node(node)),
+                node_attrs(cp, node)
+            );
+        }
+    }
+    for a in cp.addr_ofs() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dotted, label=\"&\"];",
+            a.obj.as_u32(),
+            a.dst.as_u32()
+        );
+    }
+    for c in cp.copies() {
+        let _ = writeln!(out, "  n{} -> n{};", c.src.as_u32(), c.dst.as_u32());
+    }
+    for l in cp.loads() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dashed, label=\"*load\"];",
+            l.ptr.as_u32(),
+            l.dst.as_u32()
+        );
+    }
+    for s in cp.stores() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dashed, label=\"store*\"];",
+            s.src.as_u32(),
+            s.ptr.as_u32()
+        );
+    }
+    for fa in cp.field_addrs() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style=dotted, label=\"&->f{}\"];",
+            fa.base.as_u32(),
+            fa.dst.as_u32(),
+            fa.field
+        );
+    }
+    for cs in cp.callsites().iter() {
+        let (style, target): (&str, String) = match cs.callee {
+            CalleeRef::Direct(f) => {
+                let obj = cp.func(f).object;
+                ("call", format!("n{}", obj.as_u32()))
+            }
+            CalleeRef::Indirect(fp) => ("icall", format!("n{}", fp.as_u32())),
+        };
+        if let Some(d) = cs.ret_dst {
+            let _ = writeln!(out, "  {} -> n{} [style=bold, label=\"{}→ret\"];", target, d.as_u32(), style);
+        }
+        for arg in cs.args.iter().flatten() {
+            let _ = writeln!(
+                out,
+                "  n{} -> {} [style=bold, label=\"{}\"];",
+                arg.as_u32(),
+                target,
+                style
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_nodes_and_edges() {
+        let cp = crate::parse_constraints(
+            "fun f/1\np = &o\nq = p\nr = *q\n*p = r\nfp = &f\nicall fp(q) -> r\n",
+        )
+        .expect("parses");
+        let dot = to_dot(&cp);
+        assert!(dot.starts_with("digraph constraints {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("label=\"p\""));
+        assert!(dot.contains("label=\"@fn_f\""));
+        assert!(dot.contains("style=dotted, label=\"&\""));
+        assert!(dot.contains("label=\"*load\""));
+        assert!(dot.contains("label=\"store*\""));
+        assert!(dot.contains("label=\"icall\""));
+    }
+
+    #[test]
+    fn unused_nodes_are_omitted() {
+        let mut b = crate::ConstraintBuilder::new();
+        let (x, y) = (b.var("x"), b.var("y"));
+        let _orphan = b.var("orphan");
+        b.copy(x, y);
+        let dot = to_dot(&b.build());
+        assert!(dot.contains("label=\"x\""));
+        assert!(!dot.contains("orphan"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut b = crate::ConstraintBuilder::new();
+        let x = b.var("weird\"name");
+        let y = b.var("y");
+        b.copy(x, y);
+        let dot = to_dot(&b.build());
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

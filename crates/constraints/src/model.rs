@@ -1,0 +1,167 @@
+//! Ids and metadata for abstract locations, functions, and call sites.
+
+use ddpa_support::{define_index, Symbol};
+
+define_index! {
+    /// An abstract memory location (node in the constraint graph).
+    ///
+    /// One uniform id space covers named variables, temporaries, heap
+    /// allocation sites, functions, formal parameters and return slots:
+    /// in C, any location may both *hold* a pointer and *be* pointed to.
+    pub struct NodeId;
+}
+
+define_index! {
+    /// A function in the constraint program.
+    pub struct FuncId;
+}
+
+define_index! {
+    /// A call site in the constraint program.
+    pub struct CallSiteId;
+}
+
+/// What kind of abstract location a node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A named source variable (global or local; the symbol is already
+    /// scope-qualified by lowering, e.g. `main::p`).
+    Var {
+        /// The (qualified) source name.
+        name: Symbol,
+    },
+    /// A compiler temporary introduced while normalizing expressions.
+    Temp {
+        /// Sequence number, unique per program.
+        seq: u32,
+    },
+    /// A heap allocation site (`malloc()`), one abstract object per site.
+    Heap {
+        /// Sequence number, unique per program.
+        seq: u32,
+    },
+    /// The function object itself — what a function pointer points to.
+    Func {
+        /// The function.
+        func: FuncId,
+    },
+    /// A formal parameter of a function.
+    Formal {
+        /// The enclosing function.
+        func: FuncId,
+        /// Zero-based parameter position.
+        index: u32,
+    },
+    /// The return slot of a function; `return e` copies into it.
+    Ret {
+        /// The enclosing function.
+        func: FuncId,
+    },
+    /// A field of another object (field-sensitive extension): the
+    /// distinct sub-location `parent.f<field>`.
+    Field {
+        /// The containing object.
+        parent: NodeId,
+        /// Field index within the parent.
+        field: u32,
+    },
+}
+
+/// Full metadata for one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The node's kind.
+    pub kind: NodeKind,
+}
+
+impl NodeInfo {
+    /// Returns `true` if this node is a function object.
+    pub fn is_func(&self) -> bool {
+        matches!(self.kind, NodeKind::Func { .. })
+    }
+
+    /// Returns the function id if this node is a function object.
+    pub fn as_func(&self) -> Option<FuncId> {
+        match self.kind {
+            NodeKind::Func { func } => Some(func),
+            _ => None,
+        }
+    }
+}
+
+/// Metadata for one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// The function's source name.
+    pub name: Symbol,
+    /// The node standing for the function object (`&f`).
+    pub object: NodeId,
+    /// Formal parameter nodes in position order.
+    pub formals: Vec<NodeId>,
+    /// The return slot node.
+    pub ret: NodeId,
+}
+
+/// How a call site names its callee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CalleeRef {
+    /// A direct call to a known function.
+    Direct(FuncId),
+    /// An indirect call through the function pointer held in this node.
+    Indirect(NodeId),
+}
+
+/// One call site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// The callee reference.
+    pub callee: CalleeRef,
+    /// Actual argument nodes, in position order. `None` marks an argument
+    /// irrelevant to pointer analysis (e.g. `null` or an integer).
+    pub args: Vec<Option<NodeId>>,
+    /// Where the returned value flows, if the result is used.
+    pub ret_dst: Option<NodeId>,
+    /// The function containing this call site (`None` for calls in global
+    /// initializers or constraint files without caller information).
+    pub caller: Option<FuncId>,
+}
+
+impl CallSite {
+    /// Returns `true` if this is an indirect (function-pointer) call.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self.callee, CalleeRef::Indirect(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_info_helpers() {
+        let f = NodeInfo { kind: NodeKind::Func { func: FuncId::from_u32(2) } };
+        assert!(f.is_func());
+        assert_eq!(f.as_func(), Some(FuncId::from_u32(2)));
+        let t = NodeInfo { kind: NodeKind::Temp { seq: 0 } };
+        assert!(!t.is_func());
+        assert_eq!(t.as_func(), None);
+    }
+
+    #[test]
+    fn callsite_indirectness() {
+        let direct = CallSite {
+            callee: CalleeRef::Direct(FuncId::from_u32(0)),
+            args: vec![],
+            ret_dst: None,
+            caller: None,
+        };
+        let indirect = CallSite {
+            callee: CalleeRef::Indirect(NodeId::from_u32(5)),
+            args: vec![None],
+            ret_dst: Some(NodeId::from_u32(1)),
+            caller: Some(FuncId::from_u32(1)),
+        };
+        assert!(!direct.is_indirect());
+        assert!(indirect.is_indirect());
+    }
+}

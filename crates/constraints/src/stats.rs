@@ -1,0 +1,139 @@
+//! Program characteristic statistics — the data behind the paper's
+//! "benchmark characteristics" table.
+
+use std::fmt;
+
+use crate::model::NodeKind;
+use crate::program::ConstraintProgram;
+
+/// Counts describing a constraint program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Total abstract locations.
+    pub nodes: usize,
+    /// Named variables.
+    pub vars: usize,
+    /// Compiler temporaries.
+    pub temps: usize,
+    /// Heap allocation sites.
+    pub heaps: usize,
+    /// Functions.
+    pub funcs: usize,
+    /// `x = &y` constraints.
+    pub addr_ofs: usize,
+    /// `x = y` constraints.
+    pub copies: usize,
+    /// `x = *y` constraints.
+    pub loads: usize,
+    /// `*x = y` constraints.
+    pub stores: usize,
+    /// `x = &y->f` constraints (field-sensitive extension).
+    pub field_addrs: usize,
+    /// Field nodes.
+    pub fields: usize,
+    /// Direct call sites.
+    pub direct_calls: usize,
+    /// Indirect (function-pointer) call sites.
+    pub indirect_calls: usize,
+    /// Locations whose address is taken.
+    pub address_taken: usize,
+}
+
+impl ProgramStats {
+    /// Computes the statistics of `cp`.
+    pub fn of(cp: &ConstraintProgram) -> Self {
+        let mut stats = ProgramStats {
+            nodes: cp.num_nodes(),
+            funcs: cp.funcs().len(),
+            addr_ofs: cp.addr_ofs().len(),
+            copies: cp.copies().len(),
+            loads: cp.loads().len(),
+            stores: cp.stores().len(),
+            field_addrs: cp.field_addrs().len(),
+            ..ProgramStats::default()
+        };
+        for node in cp.node_ids() {
+            match cp.node(node).kind {
+                NodeKind::Var { .. } => stats.vars += 1,
+                NodeKind::Temp { .. } => stats.temps += 1,
+                NodeKind::Heap { .. } => stats.heaps += 1,
+                NodeKind::Field { .. } => stats.fields += 1,
+                NodeKind::Func { .. } | NodeKind::Formal { .. } | NodeKind::Ret { .. } => {}
+            }
+            if cp.is_address_taken(node) {
+                stats.address_taken += 1;
+            }
+        }
+        for cs in cp.callsites().iter() {
+            if cs.is_indirect() {
+                stats.indirect_calls += 1;
+            } else {
+                stats.direct_calls += 1;
+            }
+        }
+        stats
+    }
+
+    /// Total primitive assignments (the paper's "#assignments").
+    pub fn assignments(&self) -> usize {
+        self.addr_ofs + self.copies + self.loads + self.stores + self.field_addrs
+    }
+
+    /// Total call sites.
+    pub fn calls(&self) -> usize {
+        self.direct_calls + self.indirect_calls
+    }
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} (vars={}, temps={}, heap={}, funcs={}) \
+             assignments={} (addr={}, copy={}, load={}, store={}, field={}) \
+             calls={} (direct={}, indirect={}) addr-taken={}",
+            self.nodes,
+            self.vars,
+            self.temps,
+            self.heaps,
+            self.funcs,
+            self.assignments(),
+            self.addr_ofs,
+            self.copies,
+            self.loads,
+            self.stores,
+            self.field_addrs,
+            self.calls(),
+            self.direct_calls,
+            self.indirect_calls,
+            self.address_taken,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+
+    #[test]
+    fn counts_match_program() {
+        let program = ddpa_ir::parse(
+            "int g; \
+             int *f(int *p) { return p; } \
+             void main() { int *x = &g; int *y = f(x); int *z = malloc(); void *fp = f; \
+                           int *w = (*fp)(z); }",
+        )
+        .expect("parses");
+        let cp = lower(&program).expect("lowers");
+        let stats = ProgramStats::of(&cp);
+        assert_eq!(stats.funcs, 2);
+        assert_eq!(stats.heaps, 1);
+        assert_eq!(stats.direct_calls, 1);
+        assert_eq!(stats.indirect_calls, 1);
+        assert_eq!(stats.assignments(), cp.num_constraints());
+        assert!(stats.address_taken >= 3); // g, heap, both function objects
+        let text = stats.to_string();
+        assert!(text.contains("indirect=1"));
+    }
+}

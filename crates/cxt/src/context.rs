@@ -1,0 +1,134 @@
+//! Interned k-limited call strings.
+
+use std::collections::HashMap;
+
+use ddpa_constraints::CallSiteId;
+use ddpa_support::define_index;
+
+define_index! {
+    /// An interned context (call string).
+    pub struct CtxId;
+}
+
+/// A call string: the last ≤ k call sites on the (abstract) stack,
+/// innermost last. The empty string is the context-free context.
+pub type Context = Vec<CallSiteId>;
+
+/// Interns contexts and implements the k-limited push.
+#[derive(Debug)]
+pub struct ContextTable {
+    k: usize,
+    contexts: Vec<Context>,
+    index: HashMap<Context, CtxId>,
+}
+
+impl ContextTable {
+    /// A table for call strings of length ≤ `k`. The empty context is
+    /// pre-interned as [`ContextTable::EMPTY`].
+    pub fn new(k: usize) -> Self {
+        let mut table = ContextTable { k, contexts: Vec::new(), index: HashMap::new() };
+        let empty = table.intern(Vec::new());
+        debug_assert_eq!(empty, Self::EMPTY);
+        table
+    }
+
+    /// The context-free (empty call string) context.
+    pub const EMPTY: CtxId = CtxId::from_u32(0);
+
+    /// The configured depth limit.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct contexts interned so far.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Returns `true` if only the empty context exists.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.len() <= 1
+    }
+
+    /// Interns a context.
+    pub fn intern(&mut self, ctx: Context) -> CtxId {
+        debug_assert!(ctx.len() <= self.k.max(0), "context exceeds k");
+        if let Some(&id) = self.index.get(&ctx) {
+            return id;
+        }
+        let id = CtxId::from_u32(self.contexts.len() as u32);
+        self.contexts.push(ctx.clone());
+        self.index.insert(ctx, id);
+        id
+    }
+
+    /// The call string of `id`.
+    pub fn resolve(&self, id: CtxId) -> &Context {
+        &self.contexts[id.as_u32() as usize]
+    }
+
+    /// Pushes `cs` onto `ctx`, keeping only the innermost `k` sites.
+    pub fn push(&mut self, ctx: CtxId, cs: CallSiteId) -> CtxId {
+        if self.k == 0 {
+            return Self::EMPTY;
+        }
+        let mut string = self.resolve(ctx).clone();
+        string.push(cs);
+        if string.len() > self.k {
+            string.remove(0);
+        }
+        self.intern(string)
+    }
+
+    /// A short display form (`[]`, `[3]`, `[3,7]`).
+    pub fn display(&self, id: CtxId) -> String {
+        let string = self.resolve(id);
+        let parts: Vec<String> = string.iter().map(|cs| cs.as_u32().to_string()).collect();
+        format!("[{}]", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(n: u32) -> CallSiteId {
+        CallSiteId::from_u32(n)
+    }
+
+    #[test]
+    fn empty_context_is_id_zero() {
+        let t = ContextTable::new(2);
+        assert_eq!(t.resolve(ContextTable::EMPTY), &Vec::<CallSiteId>::new());
+        assert_eq!(t.display(ContextTable::EMPTY), "[]");
+    }
+
+    #[test]
+    fn push_truncates_to_k() {
+        let mut t = ContextTable::new(2);
+        let c1 = t.push(ContextTable::EMPTY, cs(1));
+        let c12 = t.push(c1, cs(2));
+        let c23 = t.push(c12, cs(3));
+        assert_eq!(t.resolve(c1), &vec![cs(1)]);
+        assert_eq!(t.resolve(c12), &vec![cs(1), cs(2)]);
+        assert_eq!(t.resolve(c23), &vec![cs(2), cs(3)]);
+        assert_eq!(t.display(c23), "[2,3]");
+    }
+
+    #[test]
+    fn k_zero_always_empty() {
+        let mut t = ContextTable::new(0);
+        let c = t.push(ContextTable::EMPTY, cs(9));
+        assert_eq!(c, ContextTable::EMPTY);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = ContextTable::new(3);
+        let a = t.push(ContextTable::EMPTY, cs(4));
+        let b = t.push(ContextTable::EMPTY, cs(4));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the cloning transformation on arbitrary programs:
+//!
+//! * k = 0 reproduces the context-insensitive solution exactly;
+//! * any k only *removes* facts (projected CS ⊆ CI on every node);
+//! * precision is monotone in k;
+//! * the clone cap keeps the construction sound.
+
+use proptest::prelude::*;
+
+use ddpa_anders::naive;
+use ddpa_callgraph::CallGraph;
+use ddpa_constraints::{ConstraintBuilder, ConstraintProgram, NodeId};
+use ddpa_cxt::{clone_expand, CloneConfig, CsAnalysis};
+use ddpa_demand::{DemandConfig, DemandEngine};
+
+/// A generatable program with real function structure: every constraint
+/// and call site is owned by some function, as lowered code would be.
+#[derive(Clone, Debug)]
+struct Spec {
+    funcs: Vec<FuncSpec>,
+    num_globals: usize,
+}
+
+#[derive(Clone, Debug)]
+struct FuncSpec {
+    arity: usize,
+    /// (kind, a, b) over the function's slots: kind 0 → a=&b, 1 → a=b,
+    /// 2 → a=*b, 3 → *a=b, 4 → ret=slot(a).
+    body: Vec<(u8, usize, usize)>,
+    /// (callee_index, arg_slot, ret_slot).
+    calls: Vec<(usize, usize, usize)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let func = (0usize..3, prop::collection::vec((0u8..5, 0usize..8, 0usize..8), 0..8),
+                prop::collection::vec((0usize..4, 0usize..8, 0usize..8), 0..3))
+        .prop_map(|(arity, body, calls)| FuncSpec { arity, body, calls });
+    (prop::collection::vec(func, 1..5), 2usize..6)
+        .prop_map(|(funcs, num_globals)| Spec { funcs, num_globals })
+}
+
+fn build(spec: &Spec) -> ConstraintProgram {
+    let mut b = ConstraintBuilder::new();
+    let globals: Vec<NodeId> =
+        (0..spec.num_globals).map(|i| b.var(&format!("g{i}"))).collect();
+    let funcs: Vec<_> = spec
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| b.func(&format!("f{i}"), f.arity))
+        .collect();
+
+    // Per function: a few locals (owned) plus its formals form the slots.
+    for (fi, fspec) in spec.funcs.iter().enumerate() {
+        let f = funcs[fi];
+        let info = b.func_info(f).clone();
+        let mut slots: Vec<NodeId> = Vec::new();
+        for li in 0..4 {
+            let local = b.var(&format!("f{fi}::l{li}"));
+            b.set_owner(local, f);
+            slots.push(local);
+        }
+        slots.extend(info.formals.iter().copied());
+        slots.extend(globals.iter().copied());
+        let slot = |i: usize| slots[i % slots.len()];
+        for &(kind, x, y) in &fspec.body {
+            match kind {
+                0 => b.addr_of(slot(x), slot(y)),
+                1 => b.copy(slot(x), slot(y)),
+                2 => b.load(slot(x), slot(y)),
+                3 => b.store(slot(x), slot(y)),
+                _ => b.copy(info.ret, slot(x)),
+            };
+        }
+        for &(callee, arg, ret) in &fspec.calls {
+            let callee = funcs[callee % funcs.len()];
+            let arity = b.func_info(callee).formals.len();
+            let args = (0..arity).map(|_| Some(slot(arg))).collect();
+            let cs = b.call_direct(callee, args, Some(slot(ret)));
+            b.set_caller(cs, f);
+        }
+    }
+    b.build()
+}
+
+fn projected(cs: &CsAnalysis, cp: &ConstraintProgram) -> Vec<(NodeId, Vec<NodeId>)> {
+    cp.node_ids().map(|n| (n, cs.pts_of(n))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn k0_equals_context_insensitive(spec in spec_strategy()) {
+        let cp = build(&spec);
+        let ci = naive::solve(&cp);
+        let cs = CsAnalysis::run(&cp, &CloneConfig::with_k(0));
+        for (n, pts) in projected(&cs, &cp) {
+            prop_assert_eq!(
+                pts,
+                ci.pts_nodes(n),
+                "k=0 differs at {}",
+                cp.display_node(n)
+            );
+        }
+    }
+
+    #[test]
+    fn cs_is_subset_of_ci_and_monotone_in_k(spec in spec_strategy()) {
+        let cp = build(&spec);
+        let ci = naive::solve(&cp);
+        let ci_total: usize = cp.node_ids().map(|n| ci.pts(n).len()).sum();
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let (cg, _) = CallGraph::from_demand(&mut engine);
+        let mut last_total = usize::MAX;
+        for k in [0usize, 1, 2] {
+            let cs = CsAnalysis::run_with_callgraph(&cp, &cg, &CloneConfig::with_k(k));
+            let mut total = 0usize;
+            for (n, pts) in projected(&cs, &cp) {
+                total += pts.len();
+                for t in pts {
+                    prop_assert!(
+                        ci.points_to(n, t),
+                        "k={k}: spurious fact {} ∈ pts({})",
+                        cp.display_node(t),
+                        cp.display_node(n)
+                    );
+                }
+            }
+            prop_assert!(total <= ci_total, "k={k}: exceeded CI total");
+            prop_assert!(total <= last_total, "precision regressed from k-1 to k={k}");
+            last_total = total;
+        }
+    }
+
+    #[test]
+    fn clone_cap_is_sound(spec in spec_strategy()) {
+        let cp = build(&spec);
+        let ci = naive::solve(&cp);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let (cg, _) = CallGraph::from_demand(&mut engine);
+        // A cap that always bites (every function gets only its base clone
+        // plus at most a couple of contexts).
+        let config = CloneConfig { k: 2, max_clones: cp.funcs().len() + 2, clone_heap: true };
+        let cloned = clone_expand(&cp, &cg, &config);
+        prop_assert!(cloned.clone_count <= config.max_clones);
+        let solution = ddpa_anders::solve(&cloned.program);
+        let cs = CsAnalysis { cloned, solution };
+        for (n, pts) in projected(&cs, &cp) {
+            for t in pts {
+                prop_assert!(ci.points_to(n, t), "capped expansion produced a spurious fact");
+            }
+        }
+    }
+}

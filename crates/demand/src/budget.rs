@@ -1,0 +1,118 @@
+//! Per-query work budgets.
+//!
+//! The unit of work is one *rule firing* — delivering one points-to /
+//! pointed-by fact across one deduction-rule instance, the demand-driven
+//! analogue of traversing one value-flow edge. Budgets bound a query's
+//! latency in interactive settings; an exhausted query is reported
+//! unresolved and the client falls back to a sound over-approximation.
+
+/// A decrementing work budget.
+///
+/// # Examples
+///
+/// ```
+/// use ddpa_demand::Budget;
+///
+/// let mut b = Budget::limited(2);
+/// assert!(b.charge(1));
+/// assert!(b.charge(1));
+/// assert!(!b.charge(1));
+/// assert!(b.exhausted());
+/// assert_eq!(b.used(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Budget {
+    limit: Option<u64>,
+    used: u64,
+    exhausted: bool,
+}
+
+impl Budget {
+    /// An unlimited budget (still counts work).
+    pub fn unlimited() -> Self {
+        Budget { limit: None, used: 0, exhausted: false }
+    }
+
+    /// A budget of `limit` work units.
+    pub fn limited(limit: u64) -> Self {
+        Budget { limit: Some(limit), used: 0, exhausted: false }
+    }
+
+    /// Creates a budget from an optional limit.
+    pub fn new(limit: Option<u64>) -> Self {
+        Budget { limit, used: 0, exhausted: false }
+    }
+
+    /// Tries to consume `amount` units. Returns `false` (and marks the
+    /// budget exhausted) if the limit would be exceeded.
+    #[inline]
+    pub fn charge(&mut self, amount: u64) -> bool {
+        if let Some(limit) = self.limit {
+            if self.used + amount > limit {
+                self.exhausted = true;
+                return false;
+            }
+        }
+        self.used += amount;
+        true
+    }
+
+    /// Work consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Returns `true` once a charge has failed.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.charge(1));
+        }
+        assert!(!b.exhausted());
+        assert_eq!(b.used(), 10_000);
+    }
+
+    #[test]
+    fn limited_stops_at_limit() {
+        let mut b = Budget::limited(5);
+        assert!(b.charge(3));
+        assert!(b.charge(2));
+        assert!(!b.charge(1));
+        assert!(b.exhausted());
+        assert_eq!(b.used(), 5);
+    }
+
+    #[test]
+    fn over_charge_rejected_whole() {
+        let mut b = Budget::limited(5);
+        assert!(!b.charge(6));
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn new_from_option() {
+        assert!(Budget::new(None).limit().is_none());
+        assert_eq!(Budget::new(Some(7)).limit(), Some(7));
+    }
+}

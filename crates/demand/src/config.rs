@@ -1,0 +1,62 @@
+//! Demand-engine configuration.
+
+/// Configuration for a [`crate::DemandEngine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemandConfig {
+    /// Per-query work budget (rule firings); `None` = unlimited.
+    pub budget: Option<u64>,
+    /// Memoize subgoal results across queries (the paper's caching; on by
+    /// default). When off, every query starts from scratch — the ablation
+    /// baseline for the caching experiment.
+    pub caching: bool,
+    /// Record derivation provenance so
+    /// [`crate::DemandEngine::explain_points_to`] can reconstruct why a
+    /// fact holds (off by default; costs one map entry per derived fact).
+    pub trace: bool,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig { budget: None, caching: true, trace: false }
+    }
+}
+
+impl DemandConfig {
+    /// Unlimited budget, caching on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-query budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Disables cross-query memoization.
+    pub fn without_caching(mut self) -> Self {
+        self.caching = false;
+        self
+    }
+
+    /// Enables derivation tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods() {
+        let c = DemandConfig::new().with_budget(100).without_caching();
+        assert_eq!(c.budget, Some(100));
+        assert!(!c.caching);
+        let d = DemandConfig::default();
+        assert_eq!(d.budget, None);
+        assert!(d.caching);
+    }
+}

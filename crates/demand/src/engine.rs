@@ -1,0 +1,959 @@
+//! The demand-driven deduction engine.
+//!
+//! # The deduction system
+//!
+//! Two mutually recursive judgments are tabled as [`Goal`]s:
+//! `o ∈ pts(v)` (what may `v` point to) and `w ∈ ptb(o)` (what may point
+//! to `o`). Writing the four assignment forms as in the paper, the `pts`
+//! rules are:
+//!
+//! ```text
+//! [ADDR]   x = &o                       ⊢ o ∈ pts(x)
+//! [COPY]   x = s,  o ∈ pts(s)           ⊢ o ∈ pts(x)
+//! [LOAD]   x = *p, z ∈ pts(p), o ∈ pts(z)
+//!                                       ⊢ o ∈ pts(x)
+//! [STORE]  *w = s, w ∈ ptb(x), o ∈ pts(s)
+//!                                       ⊢ o ∈ pts(x)
+//! [PARAM]  f(..aᵢ..) at cs, cs may call f, o ∈ pts(aᵢ)
+//!                                       ⊢ o ∈ pts(formalᵢ(f))
+//! [RET]    r = call(cs), cs may call f, o ∈ pts(ret(f))
+//!                                       ⊢ o ∈ pts(r)
+//! ```
+//!
+//! and the inverse `ptb` rules ([`Watcher::FwdProp`] a–f):
+//!
+//! ```text
+//! [ADDR⁻¹]  x = &o                      ⊢ x ∈ ptb(o)
+//! (a)       d = w,  w ∈ ptb(o)          ⊢ d ∈ ptb(o)
+//! (b)       *p = w, w ∈ ptb(o), z ∈ pts(p)
+//!                                       ⊢ z ∈ ptb(o)
+//! (c)       d = *q, z ∈ ptb(o), q ∈ ptb(z)
+//!                                       ⊢ d ∈ ptb(o)
+//! (d)       w arg at cs, cs may call f, w ∈ ptb(o)
+//!                                       ⊢ formal(f) ∈ ptb(o)
+//! (e)       ret(f) ∈ ptb(o), cs may call f, r = call(cs)
+//!                                       ⊢ r ∈ ptb(o)
+//! ```
+//!
+//! "`cs` may call `f`" is itself resolved on demand: a direct call site
+//! names `f`; an indirect one requires `@fn_f ∈ pts(fp)`, computed
+//! recursively — the on-the-fly call graph.
+//!
+//! # Evaluation strategy
+//!
+//! Each rule premise becomes a [`Watcher`] subscribed to the goal it reads,
+//! with a cursor into that goal's element list. The engine repeatedly pops
+//! a goal and advances all its watcher cursors; firing a watcher may add
+//! facts or install further subscriptions, but never recurses — the loop is
+//! flat, so a budget can abort it *between any two firings* and a later
+//! query resumes exactly where it stopped. When the queue drains, every
+//! activated goal is at fixpoint and is memoized as complete.
+
+use std::collections::{HashMap, VecDeque};
+
+use ddpa_constraints::{
+    CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind,
+};
+
+use crate::budget::Budget;
+use crate::config::DemandConfig;
+use crate::goal::{Goal, GoalState, Watcher};
+use crate::query::{AliasResult, CallTargets, QueryResult};
+use crate::stats::EngineStats;
+use crate::trace::{Explanation, Origin, TraceStep};
+
+/// The demand-driven pointer analysis engine.
+///
+/// Holds the memo table; keep one engine alive across queries to benefit
+/// from caching (see [`DemandConfig::caching`]).
+///
+/// # Examples
+///
+/// ```
+/// use ddpa_demand::{DemandConfig, DemandEngine};
+///
+/// let cp = ddpa_constraints::parse_constraints("p = &g\nq = p\n")?;
+/// let q = cp.node_ids().find(|&n| cp.display_node(n) == "q").expect("q exists");
+/// let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+/// let result = engine.points_to(q);
+/// assert!(result.complete);
+/// assert_eq!(result.pts.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DemandEngine<'p> {
+    cp: &'p ConstraintProgram,
+    config: DemandConfig,
+    goals: Vec<GoalState>,
+    keys: Vec<Goal>,
+    index: HashMap<Goal, u32>,
+    queue: VecDeque<u32>,
+    stats: EngineStats,
+    provenance: HashMap<(Goal, u32), Origin>,
+}
+
+impl<'p> DemandEngine<'p> {
+    /// Creates an engine over `cp`.
+    pub fn new(cp: &'p ConstraintProgram, config: DemandConfig) -> Self {
+        DemandEngine {
+            cp,
+            config,
+            goals: Vec::new(),
+            keys: Vec::new(),
+            index: HashMap::new(),
+            queue: VecDeque::new(),
+            stats: EngineStats::default(),
+            provenance: HashMap::new(),
+        }
+    }
+
+    /// The program being analyzed.
+    pub fn program(&self) -> &'p ConstraintProgram {
+        self.cp
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &DemandConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (used by [`crate::BudgetLadder`]).
+    pub fn set_config(&mut self, config: DemandConfig) {
+        self.config = config;
+    }
+
+    /// Adjusts only the per-query budget.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.config.budget = budget;
+    }
+
+    /// Cumulative statistics across all queries so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of subgoals currently tabled.
+    pub fn tabled_goals(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// Drops all memoized state (used between queries when caching is off).
+    pub fn clear(&mut self) {
+        self.goals.clear();
+        self.keys.clear();
+        self.index.clear();
+        self.queue.clear();
+        self.provenance.clear();
+    }
+
+    /// Computes `pts(node)` on demand.
+    pub fn points_to(&mut self, node: NodeId) -> QueryResult {
+        self.run(Goal::Pts(node))
+    }
+
+    /// Computes `ptb(node)` — the pointers that may point to `node`.
+    pub fn pointed_to_by(&mut self, node: NodeId) -> QueryResult {
+        self.run(Goal::Ptb(node))
+    }
+
+    /// Resolves the callee set of call site `cs` on demand.
+    ///
+    /// Direct calls are free. For indirect calls the engine queries the
+    /// function pointer; if the budget runs out, the result falls back to
+    /// every address-taken function (sound) with `resolved = false`.
+    pub fn call_targets(&mut self, cs: ddpa_constraints::CallSiteId) -> CallTargets {
+        match self.cp.callsite(cs).callee {
+            CalleeRef::Direct(f) => CallTargets { targets: vec![f], resolved: true, work: 0 },
+            CalleeRef::Indirect(fp) => {
+                let r = self.points_to(fp);
+                if r.complete {
+                    let mut targets: Vec<FuncId> =
+                        r.pts.iter().filter_map(|&n| self.cp.node(n).as_func()).collect();
+                    targets.sort_unstable();
+                    CallTargets { targets, resolved: true, work: r.work }
+                } else {
+                    CallTargets {
+                        targets: self.cp.address_taken_funcs(),
+                        resolved: false,
+                        work: r.work,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers "may `a` and `b` alias?" on demand.
+    ///
+    /// Conservative: if either query is unresolved and no intersection was
+    /// found in the partial sets, the answer is `may_alias = true` with
+    /// `resolved = false`.
+    pub fn may_alias(&mut self, a: NodeId, b: NodeId) -> AliasResult {
+        let ra = self.points_to(a);
+        let rb = self.points_to(b);
+        let intersects = intersect_sorted(&ra.pts, &rb.pts);
+        let resolved = intersects || (ra.complete && rb.complete);
+        AliasResult {
+            may_alias: intersects || !(ra.complete && rb.complete),
+            resolved,
+            work: ra.work + rb.work,
+        }
+    }
+
+    /// Explains why `target ∈ pts(node)`, as a derivation chain ending in
+    /// a base `x = &o` fact.
+    ///
+    /// Returns `None` if tracing is disabled ([`DemandConfig::trace`]), the
+    /// fact has not been derived (query it first), or the fact is false.
+    pub fn explain_points_to(&self, node: NodeId, target: NodeId) -> Option<Explanation> {
+        if !self.config.trace {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut current = (Goal::Pts(node), target.as_u32());
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > self.provenance.len() + 1 {
+                debug_assert!(false, "provenance chain cycled");
+                return None;
+            }
+            let origin = *self.provenance.get(&current)?;
+            steps.push(TraceStep { goal: current.0, elem: current.1, origin });
+            match origin {
+                Origin::Base => return Some(Explanation { steps }),
+                Origin::Rule { src, elem, .. } => current = (src, elem),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tabling machinery
+    // ------------------------------------------------------------------
+
+    fn activate(&mut self, goal: Goal) -> u32 {
+        if let Some(&gi) = self.index.get(&goal) {
+            return gi;
+        }
+        let gi = self.goals.len() as u32;
+        self.goals.push(GoalState::new());
+        self.keys.push(goal);
+        self.index.insert(goal, gi);
+        self.stats.goals_activated += 1;
+        self.enqueue(gi);
+        gi
+    }
+
+    fn enqueue(&mut self, gi: u32) {
+        let state = &mut self.goals[gi as usize];
+        if !state.on_list {
+            state.on_list = true;
+            self.queue.push_back(gi);
+        }
+    }
+
+    fn requeue_front(&mut self, gi: u32) {
+        let state = &mut self.goals[gi as usize];
+        if !state.on_list {
+            state.on_list = true;
+            self.queue.push_front(gi);
+        }
+    }
+
+    /// Adds `value` to `goal`'s set, recording its derivation when
+    /// tracing is enabled.
+    fn add(&mut self, goal: Goal, value: u32, origin: Origin) {
+        let gi = self.activate(goal);
+        let state = &mut self.goals[gi as usize];
+        let inserted = state.add(value);
+        debug_assert!(
+            !(inserted && state.complete),
+            "fact added to a completed goal {goal:?}"
+        );
+        if inserted {
+            if self.config.trace {
+                self.provenance.insert((goal, value), origin);
+            }
+            self.enqueue(gi);
+        }
+    }
+
+    /// Installs `watcher` on `goal` (idempotent), starting from the first
+    /// element.
+    fn subscribe(&mut self, goal: Goal, watcher: Watcher) {
+        let gi = self.activate(goal);
+        let state = &mut self.goals[gi as usize];
+        if state.registered.insert(watcher) {
+            state.watchers.push(watcher);
+            state.cursors.push(0);
+            self.enqueue(gi);
+        }
+    }
+
+    /// Installs the static `pts` rules for `x`.
+    fn install_pts(&mut self, x: NodeId) {
+        let cp = self.cp;
+        // [ADDR]
+        for i in 0..cp.addr_objs_of(x).len() {
+            let o = cp.addr_objs_of(x)[i];
+            self.add(Goal::Pts(x), o.as_u32(), Origin::Base);
+        }
+        // [COPY]
+        for i in 0..cp.copy_srcs_of(x).len() {
+            let s = cp.copy_srcs_of(x)[i];
+            self.subscribe(Goal::Pts(s), Watcher::CopyTo { dst: x });
+        }
+        // [LOAD]
+        for i in 0..cp.load_ptrs_of(x).len() {
+            let p = cp.load_ptrs_of(x)[i];
+            self.subscribe(Goal::Pts(p), Watcher::LoadDst { dst: x });
+        }
+        // [STORE] — only pointable locations can be written through pointers.
+        if cp.is_address_taken(x) {
+            self.subscribe(Goal::Ptb(x), Watcher::StoreInto { obj: x });
+        }
+        // [FIELD] — x = &base->field
+        for i in 0..cp.field_addrs_of(x).len() {
+            let (base, field) = cp.field_addrs_of(x)[i];
+            self.subscribe(Goal::Pts(base), Watcher::FieldOf { dst: x, field });
+        }
+        // [PARAM]
+        if let NodeKind::Formal { func, index } = cp.node(x).kind {
+            let func_obj = cp.func(func).object;
+            for i in 0..cp.direct_callsites_of(func).len() {
+                let cs = cp.direct_callsites_of(func)[i];
+                if let Some(Some(a)) = cp.callsite(cs).args.get(index as usize) {
+                    let a = *a;
+                    self.subscribe(Goal::Pts(a), Watcher::CopyTo { dst: x });
+                }
+            }
+            for i in 0..cp.indirect_callsites().len() {
+                let cs = cp.indirect_callsites()[i];
+                let site = cp.callsite(cs);
+                if let CalleeRef::Indirect(fp) = site.callee {
+                    if let Some(Some(a)) = site.args.get(index as usize) {
+                        let a = *a;
+                        self.subscribe(
+                            Goal::Pts(fp),
+                            Watcher::CallFormal { func_obj, formal: x, arg: a },
+                        );
+                    }
+                }
+            }
+        }
+        // [RET]
+        for i in 0..cp.ret_dst_uses_of(x).len() {
+            let cs = cp.ret_dst_uses_of(x)[i];
+            match cp.callsite(cs).callee {
+                CalleeRef::Direct(f) => {
+                    let ret = cp.func(f).ret;
+                    self.subscribe(Goal::Pts(ret), Watcher::CopyTo { dst: x });
+                }
+                CalleeRef::Indirect(fp) => {
+                    self.subscribe(Goal::Pts(fp), Watcher::CallRet { dst: x });
+                }
+            }
+        }
+    }
+
+    /// Installs the static `ptb` rules for `o`.
+    fn install_ptb(&mut self, o: NodeId) {
+        // [ADDR⁻¹]
+        for i in 0..self.cp.addr_dsts_of(o).len() {
+            let d = self.cp.addr_dsts_of(o)[i];
+            self.add(Goal::Ptb(o), d.as_u32(), Origin::Base);
+        }
+        // [FIELD⁻¹] — a field node is pointed to by the destinations of
+        // field-address constraints whose base points at its parent.
+        if let NodeKind::Field { parent, field } = self.cp.node(o).kind {
+            self.subscribe(Goal::Ptb(parent), Watcher::FieldPtb { obj: o, field });
+        }
+        // Rules (a)–(e) fire per element via self-subscription.
+        self.subscribe(Goal::Ptb(o), Watcher::FwdProp { obj: o });
+    }
+
+    /// Fires one watcher on one element.
+    fn fire(&mut self, src: Goal, watcher: Watcher, elem: u32) {
+        let cp = self.cp;
+        let origin = Origin::Rule { watcher, src, elem };
+        match watcher {
+            Watcher::CopyTo { dst } => {
+                self.add(Goal::Pts(dst), elem, origin);
+            }
+            Watcher::LoadDst { dst } => {
+                let o = NodeId::from_u32(elem);
+                self.subscribe(Goal::Pts(o), Watcher::CopyTo { dst });
+            }
+            Watcher::StoreInto { obj } => {
+                let w = NodeId::from_u32(elem);
+                for i in 0..cp.store_srcs_of(w).len() {
+                    let s = cp.store_srcs_of(w)[i];
+                    self.subscribe(Goal::Pts(s), Watcher::CopyTo { dst: obj });
+                }
+            }
+            Watcher::CallFormal { func_obj, formal, arg } => {
+                if elem == func_obj.as_u32() {
+                    self.subscribe(Goal::Pts(arg), Watcher::CopyTo { dst: formal });
+                }
+            }
+            Watcher::CallRet { dst } => {
+                if let Some(f) = cp.node(NodeId::from_u32(elem)).as_func() {
+                    let ret = cp.func(f).ret;
+                    self.subscribe(Goal::Pts(ret), Watcher::CopyTo { dst });
+                }
+            }
+            Watcher::FwdProp { obj } => {
+                self.fwd_prop(obj, NodeId::from_u32(elem), origin);
+            }
+            Watcher::StoreSpread { obj } => {
+                self.add(Goal::Ptb(obj), elem, origin);
+            }
+            Watcher::LoadSpread { obj } => {
+                let q = NodeId::from_u32(elem);
+                for i in 0..cp.load_dsts_of(q).len() {
+                    let d = cp.load_dsts_of(q)[i];
+                    self.add(Goal::Ptb(obj), d.as_u32(), origin);
+                }
+            }
+            Watcher::ArgSpread { obj, cs, pos } => {
+                if let Some(f) = cp.node(NodeId::from_u32(elem)).as_func() {
+                    if let Some(&formal) = cp.func(f).formals.get(pos as usize) {
+                        let _ = cs;
+                        self.add(Goal::Ptb(obj), formal.as_u32(), origin);
+                    }
+                }
+            }
+            Watcher::RetSpread { obj, func_obj, ret_dst } => {
+                if elem == func_obj.as_u32() {
+                    self.add(Goal::Ptb(obj), ret_dst.as_u32(), origin);
+                }
+            }
+            Watcher::FieldOf { dst, field } => {
+                if let Some(fld) = cp.field_of(NodeId::from_u32(elem), field) {
+                    self.add(Goal::Pts(dst), fld.as_u32(), origin);
+                }
+            }
+            Watcher::FieldPtb { obj, field } => {
+                let base = NodeId::from_u32(elem);
+                for i in 0..cp.field_addrs_from(base).len() {
+                    let (f, dst) = cp.field_addrs_from(base)[i];
+                    if f == field {
+                        self.add(Goal::Ptb(obj), dst.as_u32(), origin);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rules (a)–(e): forward-propagates the new pointer `w ∈ ptb(obj)`.
+    fn fwd_prop(&mut self, obj: NodeId, w: NodeId, origin: Origin) {
+        let cp = self.cp;
+        // (a) copies d = w
+        for i in 0..cp.copy_dsts_of(w).len() {
+            let d = cp.copy_dsts_of(w)[i];
+            self.add(Goal::Ptb(obj), d.as_u32(), origin);
+        }
+        // (b) stores *p = w: everything p points to gains obj
+        for i in 0..cp.store_ptrs_of(w).len() {
+            let p = cp.store_ptrs_of(w)[i];
+            self.subscribe(Goal::Pts(p), Watcher::StoreSpread { obj });
+        }
+        // (c) w may itself be pointed to; loads through such pointers
+        //     propagate obj onward
+        if cp.is_address_taken(w) {
+            self.subscribe(Goal::Ptb(w), Watcher::LoadSpread { obj });
+        }
+        // (d) w passed as an argument
+        for i in 0..cp.arg_uses_of(w).len() {
+            let (cs, pos) = cp.arg_uses_of(w)[i];
+            match cp.callsite(cs).callee {
+                CalleeRef::Direct(f) => {
+                    if let Some(&formal) = cp.func(f).formals.get(pos as usize) {
+                        self.add(Goal::Ptb(obj), formal.as_u32(), origin);
+                    }
+                }
+                CalleeRef::Indirect(fp) => {
+                    self.subscribe(Goal::Pts(fp), Watcher::ArgSpread { obj, cs, pos });
+                }
+            }
+        }
+        // (e) w is a return slot: flows to every caller's result
+        if let NodeKind::Ret { func } = cp.node(w).kind {
+            for i in 0..cp.direct_callsites_of(func).len() {
+                let cs = cp.direct_callsites_of(func)[i];
+                if let Some(d) = cp.callsite(cs).ret_dst {
+                    self.add(Goal::Ptb(obj), d.as_u32(), origin);
+                }
+            }
+            let func_obj = cp.func(func).object;
+            for i in 0..cp.indirect_callsites().len() {
+                let cs = cp.indirect_callsites()[i];
+                let site = cp.callsite(cs);
+                if let (CalleeRef::Indirect(fp), Some(d)) = (site.callee, site.ret_dst) {
+                    self.subscribe(
+                        Goal::Pts(fp),
+                        Watcher::RetSpread { obj, func_obj, ret_dst: d },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Processes one goal to quiescence. Returns `false` on budget
+    /// exhaustion (the goal is re-queued at the front for resumption).
+    fn process(&mut self, gi: u32, budget: &mut Budget) -> bool {
+        if self.goals[gi as usize].needs_init {
+            if !budget.charge(1) {
+                self.requeue_front(gi);
+                return false;
+            }
+            self.stats.work += 1;
+            self.goals[gi as usize].needs_init = false;
+            match self.keys[gi as usize] {
+                Goal::Pts(x) => self.install_pts(x),
+                Goal::Ptb(o) => self.install_ptb(o),
+            }
+        }
+        loop {
+            let mut progressed = false;
+            let mut wi = 0;
+            while wi < self.goals[gi as usize].watchers.len() {
+                loop {
+                    let state = &self.goals[gi as usize];
+                    let cursor = state.cursors[wi] as usize;
+                    if cursor >= state.elems.len() {
+                        break;
+                    }
+                    if !budget.charge(1) {
+                        self.requeue_front(gi);
+                        return false;
+                    }
+                    let elem = state.elems[cursor];
+                    let watcher = state.watchers[wi];
+                    self.goals[gi as usize].cursors[wi] = (cursor + 1) as u32;
+                    self.stats.fires += 1;
+                    self.stats.work += 1;
+                    let src = self.keys[gi as usize];
+                    self.fire(src, watcher, elem);
+                    progressed = true;
+                }
+                wi += 1;
+            }
+            if !progressed {
+                return true;
+            }
+        }
+    }
+
+    /// Drains the queue. Returns `true` when everything reached fixpoint.
+    fn drain(&mut self, budget: &mut Budget) -> bool {
+        while let Some(gi) = self.queue.pop_front() {
+            self.goals[gi as usize].on_list = false;
+            if !self.process(gi, budget) {
+                return false;
+            }
+        }
+        // Global fixpoint: memoize everything as complete.
+        for state in &mut self.goals {
+            debug_assert!(state.quiescent(), "drained queue but goal not quiescent");
+            state.complete = true;
+        }
+        true
+    }
+
+    fn run(&mut self, goal: Goal) -> QueryResult {
+        if !self.config.caching {
+            self.clear();
+        }
+        self.stats.queries += 1;
+        let gi = self.activate(goal);
+        if self.goals[gi as usize].complete {
+            self.stats.cache_hits += 1;
+            self.stats.complete_queries += 1;
+            return QueryResult {
+                pts: self.snapshot(gi),
+                complete: true,
+                work: 0,
+            };
+        }
+        let mut budget = Budget::new(self.config.budget);
+        let drained = self.drain(&mut budget);
+        if drained {
+            self.stats.complete_queries += 1;
+        }
+        QueryResult {
+            pts: self.snapshot(gi),
+            complete: self.goals[gi as usize].complete,
+            work: budget.used(),
+        }
+    }
+
+    fn snapshot(&self, gi: u32) -> Vec<NodeId> {
+        self.goals[gi as usize].members.iter().map(NodeId::from_u32).collect()
+    }
+}
+
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpa_constraints::ConstraintBuilder;
+
+    fn names(cp: &ConstraintProgram, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| cp.display_node(n)).collect()
+    }
+
+    fn node(cp: &ConstraintProgram, name: &str) -> NodeId {
+        cp.node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn answers_copy_chain() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\nr = q\n").expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let r = engine.points_to(node(&cp, "r"));
+        assert!(r.complete);
+        assert_eq!(names(&cp, &r.pts), vec!["o"]);
+    }
+
+    #[test]
+    fn answers_load_store() {
+        // p = &o; x = &t; *p = x; y = *p  ⇒  pts(y) = {t}
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &o\nx = &t\n*p = x\ny = *p\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let y = engine.points_to(node(&cp, "y"));
+        assert!(y.complete);
+        assert_eq!(names(&cp, &y.pts), vec!["t"]);
+        // And the object's own points-to set.
+        let o = engine.points_to(node(&cp, "o"));
+        assert_eq!(names(&cp, &o.pts), vec!["t"]);
+    }
+
+    #[test]
+    fn pointed_to_by_inverse() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\nr = &o2\n").expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let ptb = engine.pointed_to_by(node(&cp, "o"));
+        assert!(ptb.complete);
+        assert_eq!(names(&cp, &ptb.pts), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn resolves_indirect_call_on_demand() {
+        let cp = ddpa_constraints::parse_constraints(
+            "fun f/1\n\
+             f::ret = f::arg0\n\
+             fp = &f\n\
+             x = &o\n\
+             icall fp(x) -> r\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let r = engine.points_to(node(&cp, "r"));
+        assert!(r.complete);
+        assert_eq!(names(&cp, &r.pts), vec!["o"]);
+        let cs = cp.callsites().indices().next().expect("callsite");
+        let targets = engine.call_targets(cs);
+        assert!(targets.resolved);
+        assert_eq!(targets.targets.len(), 1);
+    }
+
+    #[test]
+    fn value_flow_cycle_reaches_fixpoint() {
+        // x and y copy into each other; both see both objects.
+        let cp = ddpa_constraints::parse_constraints(
+            "x = y\ny = x\nx = &a\ny = &b\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let x = engine.points_to(node(&cp, "x"));
+        assert!(x.complete);
+        assert_eq!(names(&cp, &x.pts), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete_and_resumes() {
+        // A long copy chain so any small budget fails.
+        let mut b = ConstraintBuilder::new();
+        let o = b.var("obj");
+        let first = b.var("v0");
+        b.addr_of(first, o);
+        let mut prev = first;
+        for i in 1..200 {
+            let v = b.var(&format!("v{i}"));
+            b.copy(v, prev);
+            prev = v;
+        }
+        let cp = b.build();
+        let last = node(&cp, "v199");
+
+        let mut engine =
+            DemandEngine::new(&cp, DemandConfig::default().with_budget(10));
+        let r1 = engine.points_to(last);
+        assert!(!r1.complete);
+
+        // Retrying with the same small budget makes gradual progress and
+        // eventually completes thanks to resumption.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts < 1000, "resumption failed to converge");
+            let r = engine.points_to(last);
+            if r.complete {
+                assert_eq!(names(&cp, &r.pts), vec!["obj"]);
+                break;
+            }
+        }
+        assert!(engine.stats().queries > 2);
+    }
+
+    #[test]
+    fn partial_result_is_subset_of_full() {
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &a\np = &b\nq = p\n*q = p\nr = *q\n",
+        )
+        .expect("parses");
+        let full = {
+            let mut e = DemandEngine::new(&cp, DemandConfig::default());
+            e.points_to(node(&cp, "r"))
+        };
+        assert!(full.complete);
+        for budget in [1u64, 2, 4, 8, 16, 32] {
+            let mut e =
+                DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
+            let partial = e.points_to(node(&cp, "r"));
+            for n in &partial.pts {
+                assert!(full.pts.contains(n), "partial exceeded full at budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn caching_answers_second_query_for_free() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let first = engine.points_to(node(&cp, "q"));
+        assert!(first.work > 0);
+        let second = engine.points_to(node(&cp, "q"));
+        assert_eq!(second.work, 0);
+        assert_eq!(engine.stats().cache_hits, 1);
+        // A different-but-overlapping query reuses the tabled subgoal.
+        let p = engine.points_to(node(&cp, "p"));
+        assert!(p.complete);
+        assert_eq!(p.work, 0, "pts(p) was already tabled while answering pts(q)");
+    }
+
+    #[test]
+    fn no_caching_redoes_work() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
+        let mut engine =
+            DemandEngine::new(&cp, DemandConfig::default().without_caching());
+        let first = engine.points_to(node(&cp, "q"));
+        let second = engine.points_to(node(&cp, "q"));
+        assert!(first.work > 0);
+        assert_eq!(first.work, second.work);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn may_alias_detects_overlap() {
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &o\nq = p\nr = &other\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let pq = engine.may_alias(node(&cp, "p"), node(&cp, "q"));
+        assert!(pq.may_alias);
+        assert!(pq.resolved);
+        let pr = engine.may_alias(node(&cp, "p"), node(&cp, "r"));
+        assert!(!pr.may_alias);
+        assert!(pr.resolved);
+    }
+
+    #[test]
+    fn unresolved_call_falls_back_to_address_taken() {
+        // fp flows through a long chain; a tiny budget cannot resolve it.
+        let mut b = ConstraintBuilder::new();
+        let f = b.func("f", 0);
+        let g = b.func("g", 0);
+        let f_obj = b.func_info(f).object;
+        let _ = g;
+        let first = b.var("fp0");
+        b.addr_of(first, f_obj);
+        let mut prev = first;
+        for i in 1..100 {
+            let v = b.var(&format!("fp{i}"));
+            b.copy(v, prev);
+            prev = v;
+        }
+        let cs = b.call_indirect(prev, vec![], None);
+        let cp = b.build();
+        let mut engine =
+            DemandEngine::new(&cp, DemandConfig::default().with_budget(5));
+        let targets = engine.call_targets(cs);
+        assert!(!targets.resolved);
+        // Fallback: only f is address-taken.
+        assert_eq!(targets.targets, vec![f]);
+    }
+}
+
+#[cfg(test)]
+mod field_tests {
+    use super::*;
+
+    fn node(cp: &ConstraintProgram, name: &str) -> NodeId {
+        cp.node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn field_addresses_resolve_per_object() {
+        // Two structs; each pointer reaches only its own object's field.
+        let cp = ddpa_constraints::parse_constraints(
+            "field s1.0\n\
+             field s2.0\n\
+             p1 = &s1\n\
+             p2 = &s2\n\
+             f1 = &p1->0\n\
+             f2 = &p2->0\n\
+             x = &val\n\
+             *f1 = x\n\
+             r1 = *f1\n\
+             r2 = *f2\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let r1 = engine.points_to(node(&cp, "r1"));
+        assert!(r1.complete);
+        assert_eq!(r1.pts.len(), 1);
+        assert_eq!(cp.display_node(r1.pts[0]), "val");
+        // Field-sensitivity: s2.f0 was never written.
+        let r2 = engine.points_to(node(&cp, "r2"));
+        assert!(r2.complete);
+        assert!(r2.pts.is_empty(), "fields of distinct objects stay distinct");
+    }
+
+    #[test]
+    fn field_ptb_finds_field_pointers() {
+        let cp = ddpa_constraints::parse_constraints(
+            "field s.0\n\
+             p = &s\n\
+             q = p\n\
+             f1 = &p->0\n\
+             f2 = &q->0\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let s = node(&cp, "s");
+        let fld = cp.field_of(s, 0).expect("field node");
+        let ptb = engine.pointed_to_by(fld);
+        assert!(ptb.complete);
+        let names: Vec<String> = ptb.pts.iter().map(|&n| cp.display_node(n)).collect();
+        assert_eq!(names, vec!["f1", "f2"]);
+    }
+
+    #[test]
+    fn objects_without_the_field_are_skipped() {
+        let cp = ddpa_constraints::parse_constraints(
+            "field s.0\n\
+             p = &s\n\
+             p = &plain\n\
+             f = &p->0\n",
+        )
+        .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let f = engine.points_to(node(&cp, "f"));
+        assert!(f.complete);
+        assert_eq!(f.pts.len(), 1);
+        assert_eq!(cp.display_node(f.pts[0]), "s.f0");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::Origin;
+
+    fn node(cp: &ConstraintProgram, name: &str) -> NodeId {
+        cp.node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn explains_copy_chain_back_to_base() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\nr = q\n").expect("parses");
+        let mut engine =
+            DemandEngine::new(&cp, DemandConfig::default().with_trace());
+        let r = node(&cp, "r");
+        let o = node(&cp, "o");
+        assert!(engine.points_to(r).contains(o));
+        let explanation = engine.explain_points_to(r, o).expect("traced");
+        assert_eq!(explanation.steps.len(), 3);
+        assert_eq!(explanation.steps.last().expect("base step").origin, Origin::Base);
+        let text = explanation.render(&cp);
+        assert!(text.contains("o ∈ pts(r)"), "{text}");
+        assert!(text.contains("o ∈ pts(p)"), "{text}");
+        assert!(text.contains("[ADDR]"), "{text}");
+    }
+
+    #[test]
+    fn explains_through_loads_and_stores() {
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &o\nx = &t\n*p = x\ny = *p\n",
+        )
+        .expect("parses");
+        let mut engine =
+            DemandEngine::new(&cp, DemandConfig::default().with_trace());
+        let y = node(&cp, "y");
+        let t = node(&cp, "t");
+        assert!(engine.points_to(y).contains(t));
+        let explanation = engine.explain_points_to(y, t).expect("traced");
+        // The chain ends at x = &t.
+        assert_eq!(explanation.steps.last().expect("base").origin, Origin::Base);
+        assert!(explanation.steps.len() >= 2);
+    }
+
+    #[test]
+    fn no_trace_without_flag_or_fact() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = &o2\n").expect("parses");
+        let (p, o, o2) = (node(&cp, "p"), node(&cp, "o"), node(&cp, "o2"));
+        // Tracing disabled.
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let _ = engine.points_to(p);
+        assert!(engine.explain_points_to(p, o).is_none());
+        // Tracing enabled, but the fact is false.
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_trace());
+        let _ = engine.points_to(p);
+        assert!(engine.explain_points_to(p, o2).is_none());
+    }
+
+    #[test]
+    fn tracing_does_not_change_answers() {
+        let cp = ddpa_constraints::parse_constraints(
+            "p = &a\nq = p\n*q = p\nr = *q\nx = y\ny = x\nx = &b\n",
+        )
+        .expect("parses");
+        let mut plain = DemandEngine::new(&cp, DemandConfig::default());
+        let mut traced = DemandEngine::new(&cp, DemandConfig::default().with_trace());
+        for n in cp.node_ids() {
+            assert_eq!(plain.points_to(n).pts, traced.points_to(n).pts);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Subgoals and rule-instance watchers — the tabled deduction state.
+//!
+//! A query activates a [`Goal`]; its deduction rules are installed as
+//! [`Watcher`]s subscribed to other goals. Each watcher keeps a *cursor*
+//! into its source goal's element list, so delivery is incremental,
+//! budget-abortable, and resumable: a watcher installed later simply
+//! starts its cursor at zero and replays the memoized elements.
+
+use std::collections::HashSet;
+
+use ddpa_support::HybridSet;
+
+use ddpa_constraints::{CallSiteId, NodeId};
+
+/// A tabled subgoal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Goal {
+    /// `pts(v)` — the set of locations `v` may point to.
+    Pts(NodeId),
+    /// `ptb(o)` — the set of locations that may point to `o` (the inverse
+    /// relation; needed to find the stores that may write a location).
+    Ptb(NodeId),
+}
+
+impl Goal {
+    /// The node this goal is about.
+    pub fn node(self) -> NodeId {
+        match self {
+            Goal::Pts(n) | Goal::Ptb(n) => n,
+        }
+    }
+}
+
+/// A rule instance subscribed to a goal; fired once per (watcher, element).
+///
+/// Each variant documents the deduction rule it implements, writing `Δ` for
+/// the newly delivered element of the subscribed goal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Watcher {
+    /// On `pts(src)`: `dst = src  ∧  Δ ∈ pts(src)  ⇒  Δ ∈ pts(dst)`.
+    /// Also used as the materialized edge of resolved loads, stores and
+    /// calls.
+    CopyTo {
+        /// Destination `pts` goal.
+        dst: NodeId,
+    },
+    /// On `pts(p)` for a load `dst = *p`:
+    /// `Δ ∈ pts(p) ⇒ pts(dst) ⊇ pts(Δ)` — installs `CopyTo{dst}` on
+    /// `pts(Δ)`.
+    LoadDst {
+        /// The load's destination.
+        dst: NodeId,
+    },
+    /// On `ptb(obj)` (for the `pts(obj)` goal of an address-taken `obj`):
+    /// `Δ ∈ ptb(obj) ∧ *Δ = src ⇒ pts(obj) ⊇ pts(src)` — installs
+    /// `CopyTo{obj}` on `pts(src)` for every store through `Δ`.
+    StoreInto {
+        /// The queried object.
+        obj: NodeId,
+    },
+    /// On `pts(fp)` of an indirect call site, for a formal-parameter goal:
+    /// `Δ = @fn ⇒ pts(formal) ⊇ pts(arg)`.
+    CallFormal {
+        /// The function object that must appear for the edge to be real.
+        func_obj: NodeId,
+        /// The callee's formal being queried.
+        formal: NodeId,
+        /// The call site's actual argument at the matching position.
+        arg: NodeId,
+    },
+    /// On `pts(fp)` of an indirect call site, for a return-value goal:
+    /// `Δ = @fn f ⇒ pts(dst) ⊇ pts(f::ret)`.
+    CallRet {
+        /// The call's result destination.
+        dst: NodeId,
+    },
+    /// On `ptb(obj)` itself: forward-propagates each new pointer `Δ`
+    /// through copies, stores, loads and calls (rules a–f in
+    /// [`crate::engine`]).
+    FwdProp {
+        /// The object whose `ptb` goal this is.
+        obj: NodeId,
+    },
+    /// On `pts(p)` for a store `*p = w` with `w ∈ ptb(obj)`:
+    /// `Δ ∈ pts(p) ⇒ Δ ∈ ptb(obj)`.
+    StoreSpread {
+        /// The object being tracked.
+        obj: NodeId,
+    },
+    /// On `ptb(z)` for an object `z ∈ ptb(obj)`:
+    /// `Δ ∈ ptb(z) ∧ d = *Δ ⇒ d ∈ ptb(obj)`.
+    LoadSpread {
+        /// The object being tracked.
+        obj: NodeId,
+    },
+    /// On `pts(fp)` of an indirect call site whose argument at `pos` is in
+    /// `ptb(obj)`: `Δ = @fn f ⇒ f::arg_pos ∈ ptb(obj)`.
+    ArgSpread {
+        /// The object being tracked.
+        obj: NodeId,
+        /// The call site.
+        cs: CallSiteId,
+        /// Argument position.
+        pos: u32,
+    },
+    /// On `pts(fp)` of an indirect call site, when `f::ret ∈ ptb(obj)`:
+    /// `Δ = func_obj ⇒ ret_dst ∈ ptb(obj)`.
+    RetSpread {
+        /// The object being tracked.
+        obj: NodeId,
+        /// The function object whose return is in `ptb(obj)`.
+        func_obj: NodeId,
+        /// The call site's result destination.
+        ret_dst: NodeId,
+    },
+    /// On `pts(base)` for `dst = &base->field` (field-sensitive
+    /// extension): `Δ ∈ pts(base), Δ has field ⇒ Δ.field ∈ pts(dst)`.
+    FieldOf {
+        /// The pointer receiving the field address.
+        dst: NodeId,
+        /// The field index.
+        field: u32,
+    },
+    /// On `ptb(parent)` for a field-node goal `ptb(parent.field)`:
+    /// `Δ ∈ ptb(parent), dst = &Δ->field ⇒ dst ∈ ptb(parent.field)`.
+    FieldPtb {
+        /// The field node being tracked.
+        obj: NodeId,
+        /// The field index.
+        field: u32,
+    },
+}
+
+/// The table entry for one goal.
+#[derive(Debug)]
+pub struct GoalState {
+    /// Membership set (query answers read this).
+    pub members: HybridSet,
+    /// Elements in insertion order — watchers index into this.
+    pub elems: Vec<u32>,
+    /// Installed rule instances.
+    pub watchers: Vec<Watcher>,
+    /// `cursors[i]` = how many of `elems` watcher `i` has consumed.
+    pub cursors: Vec<u32>,
+    /// Deduplicates watcher installation.
+    pub registered: HashSet<Watcher>,
+    /// Static rules not yet installed.
+    pub needs_init: bool,
+    /// All rules installed and every fact fully propagated — the memoized
+    /// result is final and reusable.
+    pub complete: bool,
+    /// Currently queued for processing.
+    pub on_list: bool,
+}
+
+impl GoalState {
+    /// A freshly activated, uninitialized goal.
+    pub fn new() -> Self {
+        GoalState {
+            members: HybridSet::new(),
+            elems: Vec::new(),
+            watchers: Vec::new(),
+            cursors: Vec::new(),
+            registered: HashSet::new(),
+            needs_init: true,
+            complete: false,
+            on_list: false,
+        }
+    }
+
+    /// Adds `value`; returns `true` if new.
+    pub fn add(&mut self, value: u32) -> bool {
+        if self.members.insert(value) {
+            self.elems.push(value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if every watcher has consumed every element and the
+    /// static rules are installed.
+    pub fn quiescent(&self) -> bool {
+        !self.needs_init
+            && self.cursors.iter().all(|&c| c as usize == self.elems.len())
+    }
+}
+
+impl Default for GoalState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_deduplicates_and_orders() {
+        let mut g = GoalState::new();
+        assert!(g.add(5));
+        assert!(g.add(3));
+        assert!(!g.add(5));
+        assert_eq!(g.elems, vec![5, 3]);
+        assert_eq!(g.members.len(), 2);
+    }
+
+    #[test]
+    fn quiescence_tracks_cursors() {
+        let mut g = GoalState::new();
+        g.needs_init = false;
+        assert!(g.quiescent());
+        g.add(1);
+        g.watchers.push(Watcher::CopyTo { dst: NodeId::from_u32(0) });
+        g.cursors.push(0);
+        assert!(!g.quiescent());
+        g.cursors[0] = 1;
+        assert!(g.quiescent());
+    }
+
+    #[test]
+    fn goal_node_accessor() {
+        let n = NodeId::from_u32(9);
+        assert_eq!(Goal::Pts(n).node(), n);
+        assert_eq!(Goal::Ptb(n).node(), n);
+    }
+}

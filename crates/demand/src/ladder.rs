@@ -1,0 +1,161 @@
+//! Budget ladders: multi-stage query escalation.
+//!
+//! Interactive clients (the paper's IDE setting) want most queries
+//! answered instantly and are willing to spend more only on the few that
+//! need it. A [`BudgetLadder`] runs a query through increasing budgets,
+//! stopping at the first stage that resolves it; thanks to the engine's
+//! resumption semantics, earlier stages' work is never wasted — each stage
+//! *continues* the previous one.
+
+use ddpa_constraints::NodeId;
+
+use crate::engine::DemandEngine;
+use crate::query::QueryResult;
+
+/// A sequence of per-stage budgets to escalate through.
+///
+/// # Examples
+///
+/// ```
+/// use ddpa_demand::{BudgetLadder, DemandConfig, DemandEngine};
+///
+/// let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\nr = q\n")?;
+/// let r = cp.node_ids().find(|&n| cp.display_node(n) == "r").expect("r exists");
+/// let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+/// let ladder = BudgetLadder::new(vec![2, 20, 200]);
+/// let (result, stage) = ladder.points_to(&mut engine, r);
+/// assert!(result.complete);
+/// assert!(stage < 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetLadder {
+    stages: Vec<u64>,
+}
+
+impl BudgetLadder {
+    /// A ladder with the given per-stage budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<u64>) -> Self {
+        assert!(!stages.is_empty(), "a ladder needs at least one stage");
+        BudgetLadder { stages }
+    }
+
+    /// The default interactive ladder: 100 → 10k → 1M firings.
+    pub fn interactive() -> Self {
+        BudgetLadder::new(vec![100, 10_000, 1_000_000])
+    }
+
+    /// The per-stage budgets.
+    pub fn stages(&self) -> &[u64] {
+        &self.stages
+    }
+
+    /// Runs `pts(node)` through the ladder on `engine`.
+    ///
+    /// Returns the final result and the index of the stage that produced
+    /// it (== `stages().len() - 1` if even the last stage failed). The
+    /// result's `work` is the total across all stages run. The engine's
+    /// own per-query budget is restored afterwards.
+    pub fn points_to(
+        &self,
+        engine: &mut DemandEngine<'_>,
+        node: NodeId,
+    ) -> (QueryResult, usize) {
+        let saved = engine.config().clone();
+        let mut total_work = 0;
+        let mut last = None;
+        let mut stage_used = self.stages.len() - 1;
+        for (i, &budget) in self.stages.iter().enumerate() {
+            engine.set_budget(Some(budget));
+            let r = engine.points_to(node);
+            total_work += r.work;
+            let complete = r.complete;
+            last = Some(r);
+            if complete {
+                stage_used = i;
+                break;
+            }
+        }
+        engine.set_config(saved);
+        let mut result = last.expect("at least one stage ran");
+        result.work = total_work;
+        (result, stage_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DemandConfig;
+    use ddpa_constraints::ConstraintBuilder;
+
+    fn chain(n: usize) -> ddpa_constraints::ConstraintProgram {
+        let mut b = ConstraintBuilder::new();
+        let o = b.var("obj");
+        let first = b.var("v0");
+        b.addr_of(first, o);
+        let mut prev = first;
+        for i in 1..n {
+            let v = b.var(&format!("v{i}"));
+            b.copy(v, prev);
+            prev = v;
+        }
+        b.build()
+    }
+
+    fn last_node(cp: &ddpa_constraints::ConstraintProgram, n: usize) -> NodeId {
+        let name = format!("v{}", n - 1);
+        cp.node_ids()
+            .find(|&x| cp.display_node(x) == name)
+            .expect("last chain node")
+    }
+
+    #[test]
+    fn cheap_query_resolves_at_first_stage() {
+        let cp = chain(3);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let (r, stage) = BudgetLadder::interactive().points_to(&mut engine, last_node(&cp, 3));
+        assert!(r.complete);
+        assert_eq!(stage, 0);
+    }
+
+    #[test]
+    fn expensive_query_escalates() {
+        let cp = chain(500);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let ladder = BudgetLadder::new(vec![10, 100, 100_000]);
+        let (r, stage) = ladder.points_to(&mut engine, last_node(&cp, 500));
+        assert!(r.complete);
+        assert!(stage > 0, "10 firings cannot resolve a 500-copy chain");
+        assert!(r.work >= 500);
+    }
+
+    #[test]
+    fn failed_ladder_reports_last_stage() {
+        let cp = chain(500);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let ladder = BudgetLadder::new(vec![1, 2, 3]);
+        let (r, stage) = ladder.points_to(&mut engine, last_node(&cp, 500));
+        assert!(!r.complete);
+        assert_eq!(stage, 2);
+    }
+
+    #[test]
+    fn restores_engine_config() {
+        let cp = chain(3);
+        let config = DemandConfig::default().with_budget(12345);
+        let mut engine = DemandEngine::new(&cp, config.clone());
+        let _ = BudgetLadder::interactive().points_to(&mut engine, last_node(&cp, 3));
+        assert_eq!(engine.config(), &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_ladder_panics() {
+        let _ = BudgetLadder::new(vec![]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Parallel query driver.
+//!
+//! Demand-driven queries are independent, which makes the analysis
+//! embarrassingly parallel across queries: each worker owns a private
+//! engine (and therefore a private memo table) and pulls the next query
+//! from a shared atomic counter, so heavy-tailed per-query costs balance
+//! dynamically. Results are deterministic and identical to the sequential
+//! engine's; only the *work* differs, because workers do not share caches
+//! (see `EXPERIMENTS.md` for the caching/parallelism trade-off).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ddpa_constraints::{ConstraintProgram, NodeId};
+
+use crate::config::DemandConfig;
+use crate::engine::DemandEngine;
+use crate::query::QueryResult;
+
+/// Answers `queries` in parallel on `threads` workers.
+///
+/// Returns one [`QueryResult`] per query, in input order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use ddpa_demand::{points_to_parallel, DemandConfig};
+///
+/// let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\n")?;
+/// let queries: Vec<_> = cp.node_ids().collect();
+/// let results = points_to_parallel(&cp, &queries, 2, &DemandConfig::default());
+/// assert_eq!(results.len(), queries.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn points_to_parallel(
+    cp: &ConstraintProgram,
+    queries: &[NodeId],
+    threads: usize,
+    config: &DemandConfig,
+) -> Vec<QueryResult> {
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || queries.len() <= 1 {
+        let mut engine = DemandEngine::new(cp, config.clone());
+        return queries.iter().map(|&q| engine.points_to(q)).collect();
+    }
+
+    let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
+    let next = AtomicUsize::new(0);
+
+    // Hand each worker a distinct &mut view of the result slots through a
+    // mutex-free claim protocol: a worker that claims index i via `next`
+    // is the only one to touch `slot_ptrs[i]`.
+    #[derive(Clone, Copy)]
+    struct SlotPtr(*mut Option<QueryResult>);
+    unsafe impl Send for SlotPtr {}
+    unsafe impl Sync for SlotPtr {}
+    let slots: Vec<SlotPtr> =
+        results.iter_mut().map(|r| SlotPtr(r as *mut _)).collect();
+    let slots = &slots;
+    let next = &next;
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let config = config.clone();
+            scope.spawn(move |_| {
+                let mut engine = DemandEngine::new(cp, config);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let answer = engine.points_to(queries[i]);
+                    // SAFETY: index i was claimed exclusively by this
+                    // worker via the atomic counter; each slot outlives
+                    // the scope and is written at most once.
+                    let slot: SlotPtr = slots[i];
+                    unsafe {
+                        *slot.0 = Some(answer);
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_program(n: usize) -> ConstraintProgram {
+        let mut b = ddpa_constraints::ConstraintBuilder::new();
+        let o = b.var("obj");
+        let first = b.var("v0");
+        b.addr_of(first, o);
+        let mut prev = first;
+        for i in 1..n {
+            let v = b.var(&format!("v{i}"));
+            b.copy(v, prev);
+            prev = v;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cp = chain_program(64);
+        let queries: Vec<_> = cp.node_ids().collect();
+        let config = DemandConfig::default();
+        let sequential = points_to_parallel(&cp, &queries, 1, &config);
+        for threads in [2, 4] {
+            let parallel = points_to_parallel(&cp, &queries, threads, &config);
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.pts, p.pts);
+                assert_eq!(s.complete, p.complete);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_more_threads_than_queries() {
+        let cp = chain_program(3);
+        let queries: Vec<_> = cp.node_ids().take(2).collect();
+        let results = points_to_parallel(&cp, &queries, 8, &DemandConfig::default());
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.complete));
+    }
+
+    #[test]
+    fn empty_query_list() {
+        let cp = chain_program(2);
+        let results = points_to_parallel(&cp, &[], 4, &DemandConfig::default());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn uncached_parallel_matches_too() {
+        let cp = chain_program(32);
+        let queries: Vec<_> = cp.node_ids().collect();
+        let config = DemandConfig::default().without_caching();
+        let sequential = points_to_parallel(&cp, &queries, 1, &config);
+        let parallel = points_to_parallel(&cp, &queries, 3, &config);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.pts, p.pts);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Query results.
+
+use ddpa_constraints::{FuncId, NodeId};
+
+/// The answer to a points-to or pointed-to-by query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The computed set, sorted by node id.
+    ///
+    /// When [`complete`](Self::complete) is `false` this is a sound
+    /// *under*-approximation of the facts derived so far — clients must
+    /// fall back to a conservative answer instead of using it as-is.
+    pub pts: Vec<NodeId>,
+    /// `true` if the query was fully resolved within budget; the set then
+    /// equals the exhaustive (whole-program) answer.
+    pub complete: bool,
+    /// Work units (rule firings) consumed by this query.
+    pub work: u64,
+}
+
+impl QueryResult {
+    /// Returns `true` if `target` is in the computed set.
+    pub fn contains(&self, target: NodeId) -> bool {
+        self.pts.binary_search(&target).is_ok()
+    }
+}
+
+/// The answer to a call-target query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallTargets {
+    /// Possible callees, sorted.
+    pub targets: Vec<FuncId>,
+    /// `true` if computed precisely on demand; `false` if the budget ran
+    /// out and `targets` is the conservative fallback (every
+    /// address-taken function).
+    pub resolved: bool,
+    /// Work units consumed.
+    pub work: u64,
+}
+
+/// The answer to a may-alias query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AliasResult {
+    /// `true` if the two pointers may alias. Conservative: an unresolved
+    /// query reports `true`.
+    pub may_alias: bool,
+    /// `true` if the answer is exact (both points-to queries resolved, or
+    /// an intersection was already found in the partial sets).
+    pub resolved: bool,
+    /// Work units consumed.
+    pub work: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_uses_sorted_set() {
+        let r = QueryResult {
+            pts: vec![NodeId::from_u32(1), NodeId::from_u32(4)],
+            complete: true,
+            work: 3,
+        };
+        assert!(r.contains(NodeId::from_u32(4)));
+        assert!(!r.contains(NodeId::from_u32(2)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Cumulative engine statistics.
+
+/// Counters accumulated by a [`crate::DemandEngine`] across queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries issued.
+    pub queries: u64,
+    /// Queries fully resolved within budget.
+    pub complete_queries: u64,
+    /// Queries answered entirely from the memo table (zero work).
+    pub cache_hits: u64,
+    /// Total rule firings.
+    pub fires: u64,
+    /// Subgoals activated.
+    pub goals_activated: u64,
+    /// Total work units charged (fires + goal initializations).
+    pub work: u64,
+}
+
+impl EngineStats {
+    /// Fraction of queries fully resolved (1.0 when no queries were run).
+    pub fn resolution_rate(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.complete_queries as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_rate_handles_zero() {
+        assert_eq!(EngineStats::default().resolution_rate(), 1.0);
+        let s = EngineStats { queries: 4, complete_queries: 3, ..Default::default() };
+        assert!((s.resolution_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Differential testing: the demand engine must agree exactly with the
+//! exhaustive analysis on every query it resolves, for arbitrary constraint
+//! programs (the paper's precision claim).
+
+use proptest::prelude::*;
+
+use ddpa_anders::naive;
+use ddpa_constraints::{ConstraintBuilder, ConstraintProgram, NodeId};
+use ddpa_demand::{DemandConfig, DemandEngine};
+
+/// A generatable constraint-program description.
+#[derive(Clone, Debug)]
+struct Spec {
+    num_vars: usize,
+    /// (kind, a, b): kind 0 → a=&b, 1 → a=b, 2 → a=*b, 3 → *a=b.
+    constraints: Vec<(u8, usize, usize)>,
+    /// Function arities (each function gets `ret = arg0` wiring when unary).
+    funcs: Vec<usize>,
+    /// (func_index, take_address): seed `fpK = &func` facts.
+    fp_seeds: Vec<usize>,
+    /// (callee_fp_var, arg_var, want_ret): indirect call sites.
+    icalls: Vec<(usize, usize, bool)>,
+    /// (func_index, arg_var, want_ret): direct call sites.
+    dcalls: Vec<(usize, usize, bool)>,
+    /// (parent_var, field): field-node declarations.
+    field_decls: Vec<(usize, u32)>,
+    /// (dst_var, base_var, field): `dst = &base->field` constraints.
+    field_addrs: Vec<(usize, usize, u32)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (2usize..14, 0usize..3).prop_flat_map(|(num_vars, num_funcs)| {
+        let constraint = (0u8..4, 0..num_vars, 0..num_vars);
+        let funcs = prop::collection::vec(0usize..3, num_funcs);
+        let fp_seeds = prop::collection::vec(0usize..num_funcs.max(1), 0..3);
+        let icalls =
+            prop::collection::vec((0..num_vars, 0..num_vars, any::<bool>()), 0..3);
+        let dcalls = prop::collection::vec(
+            (0usize..num_funcs.max(1), 0..num_vars, any::<bool>()),
+            0..3,
+        );
+        let field_decls = prop::collection::vec((0..num_vars, 0u32..3), 0..4);
+        let field_addrs =
+            prop::collection::vec((0..num_vars, 0..num_vars, 0u32..3), 0..4);
+        (
+            prop::collection::vec(constraint, 0..24),
+            funcs,
+            fp_seeds,
+            icalls,
+            dcalls,
+            field_decls,
+            field_addrs,
+        )
+            .prop_map(
+                move |(constraints, funcs, fp_seeds, icalls, dcalls, field_decls, field_addrs)| {
+                    Spec {
+                        num_vars,
+                        constraints,
+                        funcs,
+                        fp_seeds,
+                        icalls,
+                        dcalls,
+                        field_decls,
+                        field_addrs,
+                    }
+                },
+            )
+    })
+}
+
+fn build(spec: &Spec) -> ConstraintProgram {
+    let mut b = ConstraintBuilder::new();
+    let vars: Vec<NodeId> =
+        (0..spec.num_vars).map(|i| b.var(&format!("v{i}"))).collect();
+    let funcs: Vec<_> = spec
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, &arity)| b.func(&format!("f{i}"), arity))
+        .collect();
+    // Give each function some internal flow: ret ⊇ each formal.
+    for &f in &funcs {
+        let info = b.func_info(f).clone();
+        for formal in info.formals {
+            b.copy(info.ret, formal);
+        }
+    }
+    for (kind, x, y) in &spec.constraints {
+        let (x, y) = (vars[*x], vars[*y]);
+        match kind {
+            0 => b.addr_of(x, y),
+            1 => b.copy(x, y),
+            2 => b.load(x, y),
+            _ => b.store(x, y),
+        };
+    }
+    if !funcs.is_empty() {
+        for (i, &fi) in spec.fp_seeds.iter().enumerate() {
+            let obj = b.func_info(funcs[fi % funcs.len()]).object;
+            let fp = vars[i % vars.len()];
+            b.addr_of(fp, obj);
+        }
+        for &(fi, arg, want_ret) in &spec.dcalls {
+            let f = funcs[fi % funcs.len()];
+            let arity = b.func_info(f).formals.len();
+            let args = (0..arity).map(|_| Some(vars[arg])).collect();
+            let ret = want_ret.then(|| vars[(arg + 1) % vars.len()]);
+            b.call_direct(f, args, ret);
+        }
+    }
+    for &(fp, arg, want_ret) in &spec.icalls {
+        let args = vec![Some(vars[arg])];
+        let ret = want_ret.then(|| vars[(arg + 1) % vars.len()]);
+        b.call_indirect(vars[fp], args, ret);
+    }
+    for &(parent, field) in &spec.field_decls {
+        b.field_node(vars[parent], field);
+    }
+    for &(dst, base, field) in &spec.field_addrs {
+        b.field_addr(vars[dst], vars[base], field);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// pts(v) computed on demand equals the exhaustive answer, ∀v — and
+    /// all three exhaustive solvers agree with each other.
+    #[test]
+    fn demand_pts_equals_exhaustive(spec in spec_strategy()) {
+        let cp = build(&spec);
+        let oracle = naive::solve(&cp);
+        let (wave, _) = ddpa_anders::wave::solve(&cp);
+        let (worklist, _) = ddpa_anders::worklist::solve(
+            &cp,
+            &ddpa_anders::SolverConfig::default(),
+        );
+        for node in cp.node_ids() {
+            prop_assert_eq!(wave.pts_nodes(node), oracle.pts_nodes(node));
+            prop_assert_eq!(worklist.pts_nodes(node), oracle.pts_nodes(node));
+        }
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        for node in cp.node_ids() {
+            let got = engine.points_to(node);
+            prop_assert!(got.complete);
+            let want = oracle.pts_nodes(node);
+            prop_assert_eq!(
+                &got.pts, &want,
+                "pts({}) mismatch", cp.display_node(node)
+            );
+        }
+    }
+
+    /// ptb(o) computed on demand equals the exhaustive inverse relation.
+    #[test]
+    fn demand_ptb_matches_inverse(spec in spec_strategy()) {
+        let cp = build(&spec);
+        let oracle = naive::solve(&cp);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        for obj in cp.node_ids() {
+            let got = engine.pointed_to_by(obj);
+            prop_assert!(got.complete);
+            let want: Vec<NodeId> = cp
+                .node_ids()
+                .filter(|&w| oracle.points_to(w, obj))
+                .collect();
+            prop_assert_eq!(
+                &got.pts, &want,
+                "ptb({}) mismatch", cp.display_node(obj)
+            );
+        }
+    }
+
+    /// Partial (budgeted) answers never exceed the full answer, and caching
+    /// off gives the same answers as caching on.
+    #[test]
+    fn budget_partial_is_subset_and_caching_is_transparent(
+        spec in spec_strategy(),
+        budget in 1u64..60,
+    ) {
+        let cp = build(&spec);
+        let oracle = naive::solve(&cp);
+        let mut cached = DemandEngine::new(&cp, DemandConfig::default());
+        let mut uncached =
+            DemandEngine::new(&cp, DemandConfig::default().without_caching());
+        for node in cp.node_ids() {
+            let full: Vec<NodeId> = oracle.pts_nodes(node);
+            let mut partial_engine =
+                DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
+            let partial = partial_engine.points_to(node);
+            for n in &partial.pts {
+                prop_assert!(full.contains(n), "partial exceeds full");
+            }
+            if partial.complete {
+                prop_assert_eq!(&partial.pts, &full);
+            }
+            prop_assert_eq!(cached.points_to(node).pts, full.clone());
+            prop_assert_eq!(uncached.points_to(node).pts, full);
+        }
+    }
+
+    /// Call targets resolved on demand match the exhaustive call graph.
+    #[test]
+    fn call_targets_match_exhaustive(spec in spec_strategy()) {
+        let cp = build(&spec);
+        let oracle = naive::solve(&cp);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        for cs in cp.callsites().indices() {
+            let got = engine.call_targets(cs);
+            prop_assert!(got.resolved);
+            prop_assert_eq!(
+                got.targets.as_slice(),
+                oracle.call_targets(cs),
+                "targets of callsite {:?} mismatch", cs
+            );
+        }
+    }
+}

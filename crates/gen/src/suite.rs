@@ -1,0 +1,124 @@
+//! The named synthetic benchmark suite.
+//!
+//! Eight programs spanning three orders of magnitude of constraint count,
+//! standing in for the original paper's C corpus (see `DESIGN.md` for the
+//! substitution rationale). Every experiment in `EXPERIMENTS.md` runs over
+//! this suite; [`quick_suite`] is the small prefix used in tests and smoke
+//! runs.
+
+use ddpa_constraints::ConstraintProgram;
+
+use crate::minic::{generate_minic, MiniCConfig};
+use crate::random::{generate_random, RandomConfig};
+
+/// How a benchmark's program is produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Random constraint program with the paper-like mix.
+    Random(RandomConfig),
+    /// Structured MiniC source through the full frontend.
+    MiniC(MiniCConfig),
+}
+
+/// One named benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Benchmark {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// What the benchmark stresses.
+    pub description: &'static str,
+    /// Generator parameters.
+    pub kind: WorkloadKind,
+}
+
+impl Benchmark {
+    /// Generates the benchmark's constraint program.
+    pub fn build(&self) -> ConstraintProgram {
+        match &self.kind {
+            WorkloadKind::Random(config) => generate_random(config),
+            WorkloadKind::MiniC(config) => {
+                let program = generate_minic(config);
+                ddpa_constraints::lower(&program)
+                    .expect("generated MiniC always lowers")
+            }
+        }
+    }
+}
+
+fn random_bench(
+    name: &'static str,
+    description: &'static str,
+    seed: u64,
+    assignments: usize,
+) -> Benchmark {
+    Benchmark {
+        name,
+        description,
+        kind: WorkloadKind::Random(RandomConfig::sized(seed, assignments)),
+    }
+}
+
+/// The full benchmark suite, smallest first.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "minic-app",
+            description: "structured MiniC app through the full frontend",
+            kind: WorkloadKind::MiniC(MiniCConfig::sized(2001, 48)),
+        },
+        random_bench("syn-1k", "1k assignments, paper-like mix", 11, 1_000),
+        random_bench("syn-4k", "4k assignments, paper-like mix", 12, 4_000),
+        random_bench("syn-16k", "16k assignments, paper-like mix", 13, 16_000),
+        random_bench("syn-40k", "40k assignments, paper-like mix", 14, 40_000),
+        random_bench("syn-64k", "64k assignments, paper-like mix", 18, 64_000),
+        random_bench("syn-100k", "100k assignments, paper-like mix", 15, 100_000),
+        random_bench("syn-200k", "200k assignments, paper-like mix", 16, 200_000),
+    ]
+}
+
+/// The quick subset (all programs under ~20k assignments).
+pub fn quick_suite() -> Vec<Benchmark> {
+    suite()
+        .into_iter()
+        .filter(|b| match &b.kind {
+            WorkloadKind::Random(c) => c.assignments() <= 16_000,
+            WorkloadKind::MiniC(_) => true,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_ordered_and_nonempty() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[1].name, "syn-1k");
+        let q = quick_suite();
+        assert!(q.len() >= 3);
+        assert!(q.len() < s.len());
+    }
+
+    #[test]
+    fn quick_suite_builds_and_solves() {
+        for bench in quick_suite() {
+            let cp = bench.build();
+            assert!(cp.num_constraints() > 0, "{} is empty", bench.name);
+            let stats = ddpa_constraints::ProgramStats::of(&cp);
+            assert!(stats.indirect_calls > 0, "{} has no indirect calls", bench.name);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let s1 = suite()[1].build();
+        let s2 = suite()[1].build();
+        assert_eq!(s1.num_constraints(), s2.num_constraints());
+        assert_eq!(
+            ddpa_constraints::print_constraints(&s1),
+            ddpa_constraints::print_constraints(&s2)
+        );
+    }
+}

@@ -1,0 +1,420 @@
+//! The MiniC abstract syntax tree.
+//!
+//! Names are interned [`Symbol`]s; the owning [`Program`] carries the
+//! interner so the tree is self-contained.
+
+use ddpa_support::{Interner, Symbol};
+
+use crate::token::Span;
+
+/// A complete MiniC translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Interner resolving every [`Symbol`] in the tree.
+    pub interner: Interner,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves a symbol to its source text.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Iterates over the functions in source order.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Function(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the globals in source order.
+    pub fn globals(&self) -> impl Iterator<Item = &Global> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the struct declarations in source order.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDecl> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Struct(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Finds a function by source name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        let sym = self.interner.lookup(name)?;
+        self.functions().find(|f| f.name == sym)
+    }
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// A struct declaration.
+    Struct(StructDecl),
+    /// A global variable.
+    Global(Global),
+    /// A function definition.
+    Function(Function),
+}
+
+/// A global variable declaration, possibly initialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// The variable name.
+    pub name: Symbol,
+    /// Its declared (element) type.
+    pub ty: Ty,
+    /// `Some(n)` declares an array of `n` elements, treated monolithically
+    /// by the analysis (the name decays to the storage object's address).
+    pub array: Option<u32>,
+    /// Optional initializer expression.
+    pub init: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// The function name.
+    pub name: Symbol,
+    /// Return type.
+    pub ret: Ty,
+    /// Formal parameters in order.
+    pub params: Vec<Param>,
+    /// The body.
+    pub body: Block,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// The parameter name.
+    pub name: Symbol,
+    /// Its declared type.
+    pub ty: Ty,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A brace-delimited statement sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// A local declaration, possibly initialized.
+    Decl(Decl),
+    /// `place = expr;`
+    Assign {
+        /// Left-hand side.
+        lhs: Place,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression statement (a call whose result is discarded).
+    Expr(Expr),
+    /// `return expr?;`
+    Return {
+        /// The returned value, if any.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `if (cond) stmt (else stmt)?`
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken when the condition holds.
+        then_branch: Box<Stmt>,
+        /// Taken otherwise, if present.
+        else_branch: Option<Box<Stmt>>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) stmt`
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// A nested block.
+    Block(Block),
+}
+
+/// A local variable declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decl {
+    /// The variable name.
+    pub name: Symbol,
+    /// Its declared (element) type.
+    pub ty: Ty,
+    /// `Some(n)` declares an array of `n` elements, treated monolithically
+    /// by the analysis (the name decays to the storage object's address).
+    pub array: Option<u32>,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A field selection suffix: `.f` on a struct value, `->f` through a
+/// struct pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldSel {
+    /// `true` for `->`, `false` for `.`.
+    pub arrow: bool,
+    /// The field name.
+    pub name: Symbol,
+}
+
+/// An assignable place: zero or more dereferences of a variable
+/// (`x`, `*x`, `**x`), or a field selection (`x.f`, `p->f`).
+///
+/// Dereferences and field selections do not mix (`*p->f` is rejected by
+/// the parser); chains (`p->f->g`) are not supported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Place {
+    /// Number of leading `*`s (0 when `field` is present).
+    pub derefs: u8,
+    /// The base variable.
+    pub name: Symbol,
+    /// Optional field selection.
+    pub field: Option<FieldSel>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// `&x`, `&x.f`, `&p->f`
+    AddrOf {
+        /// The variable whose address is taken.
+        name: Symbol,
+        /// Optional field whose address is taken instead.
+        field: Option<FieldSel>,
+        /// Source location.
+        span: Span,
+    },
+    /// `x`, `*x`, `**x` — a variable read through `derefs` loads — or a
+    /// field read `x.f` / `p->f` (`derefs` is 0 when `field` is present).
+    Path {
+        /// Number of leading `*`s.
+        derefs: u8,
+        /// The base variable.
+        name: Symbol,
+        /// Optional field selection.
+        field: Option<FieldSel>,
+        /// Source location.
+        span: Span,
+    },
+    /// A call used as a value.
+    Call(Call),
+    /// `malloc()` — a fresh heap allocation site.
+    Malloc {
+        /// Source location (identifies the allocation site).
+        span: Span,
+    },
+    /// `null`
+    Null {
+        /// Source location.
+        span: Span,
+    },
+    /// An integer literal (irrelevant to pointer analysis, kept for realism).
+    Int {
+        /// The literal value.
+        value: i64,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source location of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::AddrOf { span, .. }
+            | Expr::Path { span, .. }
+            | Expr::Malloc { span }
+            | Expr::Null { span }
+            | Expr::Int { span, .. } => *span,
+            Expr::Call(call) => call.span,
+        }
+    }
+}
+
+/// A function call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Call {
+    /// What is being called.
+    pub callee: Callee,
+    /// Actual arguments in order.
+    pub args: Vec<Expr>,
+    /// Source location (identifies the call site).
+    pub span: Span,
+}
+
+/// The callee of a [`Call`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Callee {
+    /// `f(...)` — may still be indirect if `f` is a function-pointer
+    /// variable; resolution happens during lowering.
+    Named(Symbol),
+    /// `(*fp)(...)`, `(**fpp)(...)` — explicit dereference of a function
+    /// pointer.
+    Deref {
+        /// Number of `*`s inside the parentheses.
+        derefs: u8,
+        /// The function-pointer variable.
+        name: Symbol,
+    },
+}
+
+/// A branch/loop condition. Conditions do not affect the flow-insensitive
+/// analysis but are parsed, checked, and pretty-printed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cond {
+    /// Left operand (or the whole condition when `rest` is `None`).
+    pub lhs: Expr,
+    /// Optional comparison against a right operand.
+    pub rest: Option<(CmpOp, Expr)>,
+}
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A MiniC type: a base type behind `depth` levels of pointers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ty {
+    /// The pointee base.
+    pub base: BaseTy,
+    /// Number of `*`s.
+    pub depth: u8,
+}
+
+impl Ty {
+    /// `int`
+    pub const INT: Ty = Ty { base: BaseTy::Int, depth: 0 };
+    /// `void`
+    pub const VOID: Ty = Ty { base: BaseTy::Void, depth: 0 };
+
+    /// A pointer type `base` + `depth` stars.
+    pub fn ptr(base: BaseTy, depth: u8) -> Ty {
+        Ty { base, depth }
+    }
+
+    /// Returns `true` if values of this type can hold pointers.
+    pub fn is_pointer(self) -> bool {
+        self.depth > 0
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.base {
+            BaseTy::Int => write!(f, "int")?,
+            BaseTy::Void => write!(f, "void")?,
+            // Symbols need an interner to resolve; diagnostics that have
+            // one use `check`'s formatting instead.
+            BaseTy::Struct(sym) => write!(f, "struct#{}", sym.as_u32())?,
+        }
+        for _ in 0..self.depth {
+            write!(f, "*")?;
+        }
+        Ok(())
+    }
+}
+
+/// A base type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaseTy {
+    /// `int`
+    Int,
+    /// `void` (only meaningful as a return type or behind pointers)
+    Void,
+    /// `struct <name>`
+    Struct(Symbol),
+}
+
+/// A struct declaration: `struct S { int *f; ... };`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDecl {
+    /// The struct's name.
+    pub name: Symbol,
+    /// Fields in declaration order.
+    pub fields: Vec<(Symbol, Ty)>,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_display() {
+        assert_eq!(Ty::INT.to_string(), "int");
+        assert_eq!(Ty::ptr(BaseTy::Int, 2).to_string(), "int**");
+        assert_eq!(Ty::VOID.to_string(), "void");
+    }
+
+    #[test]
+    fn ty_pointerness() {
+        assert!(!Ty::INT.is_pointer());
+        assert!(Ty::ptr(BaseTy::Int, 1).is_pointer());
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let mut p = Program::new();
+        let f = p.interner.intern("f");
+        p.items.push(Item::Function(Function {
+            name: f,
+            ret: Ty::VOID,
+            params: vec![],
+            body: Block::default(),
+            span: Span::DUMMY,
+        }));
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+        assert_eq!(p.functions().count(), 1);
+        assert_eq!(p.globals().count(), 0);
+    }
+
+    #[test]
+    fn expr_span_accessor() {
+        let span = Span::new(1, 2, 3, 4);
+        let e = Expr::Malloc { span };
+        assert_eq!(e.span(), span);
+    }
+}

@@ -1,0 +1,288 @@
+//! Programmatic construction of MiniC programs.
+//!
+//! The workload generator and many tests build ASTs directly instead of
+//! going through source text; [`ProgramBuilder`] keeps that terse while
+//! handling symbol interning.
+
+use ddpa_support::Symbol;
+
+use crate::ast::*;
+use crate::token::Span;
+
+/// A builder for [`Program`]s.
+///
+/// # Examples
+///
+/// ```
+/// use ddpa_ir::ast::Ty;
+/// use ddpa_ir::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.global("g", Ty::INT);
+/// let mut main = b.function("main", Ty::VOID, &[]);
+/// let addr = main.addr_of("g");
+/// main.decl("p", Ty::ptr(ddpa_ir::ast::BaseTy::Int, 1), Some(addr));
+/// main.finish();
+/// let program = b.finish();
+/// ddpa_ir::check(&program)?;
+/// # Ok::<(), ddpa_ir::check::CheckErrors>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`.
+    pub fn sym(&mut self, name: &str) -> Symbol {
+        self.program.interner.intern(name)
+    }
+
+    /// Adds an uninitialized global.
+    pub fn global(&mut self, name: &str, ty: Ty) -> &mut Self {
+        self.global_init(name, ty, None)
+    }
+
+    /// Adds a global with an optional initializer.
+    pub fn global_init(&mut self, name: &str, ty: Ty, init: Option<Expr>) -> &mut Self {
+        let name = self.sym(name);
+        self.program.items.push(Item::Global(Global { name, ty, array: None, init, span: Span::DUMMY }));
+        self
+    }
+
+    /// Starts a function; call [`FunctionBuilder::finish`] to add it.
+    pub fn function<'a>(
+        &'a mut self,
+        name: &str,
+        ret: Ty,
+        params: &[(&str, Ty)],
+    ) -> FunctionBuilder<'a> {
+        let name = self.sym(name);
+        let params = params
+            .iter()
+            .map(|(pname, pty)| Param {
+                name: self.program.interner.intern(pname),
+                ty: *pty,
+                span: Span::DUMMY,
+            })
+            .collect();
+        FunctionBuilder {
+            builder: self,
+            func: Function { name, ret, params, body: Block::default(), span: Span::DUMMY },
+        }
+    }
+
+    /// Adds a struct declaration.
+    pub fn struct_decl(&mut self, name: &str, fields: &[(&str, Ty)]) -> &mut Self {
+        let name = self.sym(name);
+        let fields = fields
+            .iter()
+            .map(|(fname, fty)| (self.program.interner.intern(fname), *fty))
+            .collect();
+        self.program.items.push(Item::Struct(StructDecl {
+            name,
+            fields,
+            span: Span::DUMMY,
+        }));
+        self
+    }
+
+    /// Consumes the builder, returning the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+/// Builds one function body; created by [`ProgramBuilder::function`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    func: Function,
+}
+
+impl FunctionBuilder<'_> {
+    /// Interns `name`.
+    pub fn sym(&mut self, name: &str) -> Symbol {
+        self.builder.sym(name)
+    }
+
+    /// `&name`
+    pub fn addr_of(&mut self, name: &str) -> Expr {
+        let name = self.sym(name);
+        Expr::AddrOf { name, field: None, span: Span::DUMMY }
+    }
+
+    /// `name`
+    pub fn var(&mut self, name: &str) -> Expr {
+        self.load(0, name)
+    }
+
+    /// `*…*name` with `derefs` stars.
+    pub fn load(&mut self, derefs: u8, name: &str) -> Expr {
+        let name = self.sym(name);
+        Expr::Path { derefs, name, field: None, span: Span::DUMMY }
+    }
+
+    /// `malloc()`
+    pub fn malloc(&mut self) -> Expr {
+        Expr::Malloc { span: Span::DUMMY }
+    }
+
+    /// `null`
+    pub fn null(&mut self) -> Expr {
+        Expr::Null { span: Span::DUMMY }
+    }
+
+    /// `&base.f` (`arrow = false`) or `&base->f` (`arrow = true`).
+    pub fn addr_of_field(&mut self, base: &str, arrow: bool, field: &str) -> Expr {
+        let name = self.sym(base);
+        let field = self.sym(field);
+        Expr::AddrOf { name, field: Some(FieldSel { arrow, name: field }), span: Span::DUMMY }
+    }
+
+    /// `base.f` (`arrow = false`) or `base->f` (`arrow = true`).
+    pub fn field(&mut self, base: &str, arrow: bool, field: &str) -> Expr {
+        let name = self.sym(base);
+        let field = self.sym(field);
+        Expr::Path {
+            derefs: 0,
+            name,
+            field: Some(FieldSel { arrow, name: field }),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// `base.f = rhs;` or `base->f = rhs;`.
+    pub fn assign_field(&mut self, base: &str, arrow: bool, field: &str, rhs: Expr) -> &mut Self {
+        let name = self.sym(base);
+        let field = self.sym(field);
+        self.func.body.stmts.push(Stmt::Assign {
+            lhs: Place {
+                derefs: 0,
+                name,
+                field: Some(FieldSel { arrow, name: field }),
+                span: Span::DUMMY,
+            },
+            rhs,
+            span: Span::DUMMY,
+        });
+        self
+    }
+
+    /// `callee(args…)` as an expression.
+    pub fn call(&mut self, callee: &str, args: Vec<Expr>) -> Expr {
+        let callee = Callee::Named(self.sym(callee));
+        Expr::Call(Call { callee, args, span: Span::DUMMY })
+    }
+
+    /// `(*…*fp)(args…)` as an expression.
+    pub fn call_indirect(&mut self, derefs: u8, fp: &str, args: Vec<Expr>) -> Expr {
+        let callee = Callee::Deref { derefs, name: self.sym(fp) };
+        Expr::Call(Call { callee, args, span: Span::DUMMY })
+    }
+
+    /// `ty name (= init)?;`
+    pub fn decl(&mut self, name: &str, ty: Ty, init: Option<Expr>) -> &mut Self {
+        let name = self.sym(name);
+        self.func.body.stmts.push(Stmt::Decl(Decl { name, ty, array: None, init, span: Span::DUMMY }));
+        self
+    }
+
+    /// `ty name[len];` — a monolithic array declaration.
+    pub fn decl_array(&mut self, name: &str, ty: Ty, len: u32) -> &mut Self {
+        let name = self.sym(name);
+        self.func.body.stmts.push(Stmt::Decl(Decl {
+            name,
+            ty,
+            array: Some(len),
+            init: None,
+            span: Span::DUMMY,
+        }));
+        self
+    }
+
+    /// `*…*name = rhs;` with `derefs` stars.
+    pub fn assign(&mut self, derefs: u8, name: &str, rhs: Expr) -> &mut Self {
+        let name = self.sym(name);
+        self.func.body.stmts.push(Stmt::Assign {
+            lhs: Place { derefs, name, field: None, span: Span::DUMMY },
+            rhs,
+            span: Span::DUMMY,
+        });
+        self
+    }
+
+    /// An expression statement (a call).
+    pub fn expr_stmt(&mut self, expr: Expr) -> &mut Self {
+        self.func.body.stmts.push(Stmt::Expr(expr));
+        self
+    }
+
+    /// `return value?;`
+    pub fn ret(&mut self, value: Option<Expr>) -> &mut Self {
+        self.func.body.stmts.push(Stmt::Return { value, span: Span::DUMMY });
+        self
+    }
+
+    /// Appends an arbitrary statement.
+    pub fn stmt(&mut self, stmt: Stmt) -> &mut Self {
+        self.func.body.stmts.push(stmt);
+        self
+    }
+
+    /// Finishes the function, adding it to the program.
+    pub fn finish(self) {
+        self.builder.program.items.push(Item::Function(self.func));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BaseTy;
+    use crate::{check, pretty};
+
+    #[test]
+    fn builds_checkable_program() {
+        let mut b = ProgramBuilder::new();
+        b.global("g", Ty::INT);
+        let mut f = b.function("take", Ty::ptr(BaseTy::Int, 1), &[("p", Ty::ptr(BaseTy::Int, 1))]);
+        let p = f.var("p");
+        f.ret(Some(p));
+        f.finish();
+        let mut main = b.function("main", Ty::VOID, &[]);
+        let addr = main.addr_of("g");
+        main.decl("x", Ty::ptr(BaseTy::Int, 1), Some(addr));
+        let x = main.var("x");
+        let call = main.call("take", vec![x]);
+        main.decl("y", Ty::ptr(BaseTy::Int, 1), Some(call));
+        main.finish();
+        let program = b.finish();
+        check(&program).expect("checks");
+        let text = pretty(&program);
+        assert!(text.contains("int *take(int *p)"), "got:\n{text}");
+        let reparsed = crate::parse(&text).expect("reparses");
+        check(&reparsed).expect("reparsed checks");
+    }
+
+    #[test]
+    fn builds_indirect_calls() {
+        let mut b = ProgramBuilder::new();
+        let mut f = b.function("f", Ty::VOID, &[]);
+        f.ret(None);
+        f.finish();
+        let mut main = b.function("main", Ty::VOID, &[]);
+        let fref = main.var("f");
+        main.decl("fp", Ty::ptr(BaseTy::Void, 1), Some(fref));
+        let call = main.call_indirect(1, "fp", vec![]);
+        main.expr_stmt(call);
+        main.finish();
+        let program = b.finish();
+        check(&program).expect("checks");
+    }
+}

@@ -1,0 +1,342 @@
+//! Hand-written lexer for MiniC.
+//!
+//! Supports `//` line comments and `/* ... */` block comments. Produces a
+//! terminating [`TokenKind::Eof`] token so the parser never runs off the
+//! end.
+
+use crate::token::{Span, Token, TokenKind};
+
+/// An error produced while lexing, with its location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending character.
+    pub span: Span,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes `source` into a token stream ending in `Eof`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on an unexpected character, an unterminated block
+/// comment, or an integer literal that overflows `i64`.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> (u32, u32, u32) {
+        (self.pos as u32, self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (u32, u32, u32)) {
+        let (start_pos, line, col) = start;
+        self.tokens.push(Token { kind, span: Span::new(start_pos, self.pos as u32, line, col) });
+    }
+
+    fn error(&self, message: impl Into<String>, start: (u32, u32, u32)) -> LexError {
+        let (start_pos, line, col) = start;
+        LexError { message: message.into(), span: Span::new(start_pos, self.pos as u32, line, col) }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'/') if self.peek2() == Some(b'/') => {
+                        while let Some(c) = self.peek() {
+                            if c == b'\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    Some(b'/') if self.peek2() == Some(b'*') => {
+                        let start = self.here();
+                        self.bump();
+                        self.bump();
+                        let mut closed = false;
+                        while let Some(c) = self.bump() {
+                            if c == b'*' && self.peek() == Some(b'/') {
+                                self.bump();
+                                closed = true;
+                                break;
+                            }
+                        }
+                        if !closed {
+                            return Err(self.error("unterminated block comment", start));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let word_start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = std::str::from_utf8(&self.src[word_start..self.pos])
+                        .expect("ascii identifier");
+                    let kind = match word {
+                        "int" => TokenKind::KwInt,
+                        "struct" => TokenKind::KwStruct,
+                        "void" => TokenKind::KwVoid,
+                        "return" => TokenKind::KwReturn,
+                        "if" => TokenKind::KwIf,
+                        "else" => TokenKind::KwElse,
+                        "while" => TokenKind::KwWhile,
+                        "malloc" => TokenKind::KwMalloc,
+                        "null" | "NULL" => TokenKind::KwNull,
+                        _ => TokenKind::Ident(word.to_owned()),
+                    };
+                    self.push(kind, start);
+                }
+                b'0'..=b'9' => {
+                    let num_start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_digit() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&self.src[num_start..self.pos])
+                        .expect("ascii digits");
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("integer literal `{text}` overflows"), start))?;
+                    self.push(TokenKind::Int(value), start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.push(TokenKind::Star, start);
+                }
+                b'&' => {
+                    self.bump();
+                    self.push(TokenKind::Amp, start);
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::EqEq, start);
+                    } else {
+                        self.push(TokenKind::Eq, start);
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        return Err(self.error("expected `=` after `!`", start));
+                    }
+                }
+                b';' => {
+                    self.bump();
+                    self.push(TokenKind::Semi, start);
+                }
+                b'.' => {
+                    self.bump();
+                    self.push(TokenKind::Dot, start);
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        self.push(TokenKind::Arrow, start);
+                    } else {
+                        return Err(self.error("expected `>` after `-`", start));
+                    }
+                }
+                b',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, start);
+                }
+                b'[' => {
+                    self.bump();
+                    self.push(TokenKind::LBracket, start);
+                }
+                b']' => {
+                    self.bump();
+                    self.push(TokenKind::RBracket, start);
+                }
+                b'(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, start);
+                }
+                b'{' => {
+                    self.bump();
+                    self.push(TokenKind::LBrace, start);
+                }
+                b'}' => {
+                    self.bump();
+                    self.push(TokenKind::RBrace, start);
+                }
+                other => {
+                    self.bump();
+                    return Err(self.error(
+                        format!("unexpected character `{}`", other as char),
+                        start,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        assert_eq!(
+            kinds("int *x = &y;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Star,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Amp,
+                TokenKind::Ident("y".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("intx int returnval malloc"),
+            vec![
+                TokenKind::Ident("intx".into()),
+                TokenKind::KwInt,
+                TokenKind::Ident("returnval".into()),
+                TokenKind::KwMalloc,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x // line\n /* block\n comment */ y"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a == b != c = d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("a\n  b").expect("lexes");
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").expect_err("rejects");
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_bang() {
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Pretty-printer for MiniC.
+//!
+//! [`pretty`] produces source text that re-parses to an equivalent program;
+//! `parse ∘ pretty` is the identity on ASTs up to spans (checked by a
+//! property test in the integration suite).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders `program` as MiniC source.
+///
+/// # Examples
+///
+/// ```
+/// let program = ddpa_ir::parse("int g; void main() { g = 1; }")?;
+/// let text = ddpa_ir::pretty(&program);
+/// assert!(text.contains("int g;"));
+/// let again = ddpa_ir::parse(&text)?;
+/// assert_eq!(again.items.len(), program.items.len());
+/// # Ok::<(), ddpa_ir::ParseError>(())
+/// ```
+pub fn pretty(program: &Program) -> String {
+    let mut printer = Printer { program, out: String::new(), indent: 0 };
+    for item in &program.items {
+        printer.item(item);
+    }
+    printer.out
+}
+
+struct Printer<'a> {
+    program: &'a Program,
+    out: String,
+    indent: usize,
+}
+
+impl Printer<'_> {
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    /// Prints `int **name` style (stars attached to the name, C-style).
+    fn typed_name(&mut self, ty: Ty, sym: ddpa_support::Symbol) {
+        match ty.base {
+            BaseTy::Int => self.out.push_str("int"),
+            BaseTy::Void => self.out.push_str("void"),
+            BaseTy::Struct(s) => {
+                self.out.push_str("struct ");
+                self.out.push_str(self.program.name(s));
+            }
+        }
+        self.out.push(' ');
+        for _ in 0..ty.depth {
+            self.out.push('*');
+        }
+        self.out.push_str(self.program.name(sym));
+    }
+
+    fn field_sel(&mut self, field: &Option<FieldSel>) {
+        if let Some(sel) = field {
+            self.out.push_str(if sel.arrow { "->" } else { "." });
+            self.out.push_str(self.program.name(sel.name));
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Struct(decl) => {
+                self.out.push_str("struct ");
+                self.out.push_str(self.program.name(decl.name));
+                self.out.push_str(" {\n");
+                self.indent += 1;
+                for (fname, fty) in &decl.fields {
+                    self.line_start();
+                    self.typed_name(*fty, *fname);
+                    self.out.push_str(";\n");
+                }
+                self.indent -= 1;
+                self.out.push_str("};\n");
+            }
+            Item::Global(g) => {
+                self.typed_name(g.ty, g.name);
+                if let Some(len) = g.array {
+                    let _ = write!(self.out, "[{len}]");
+                }
+                if let Some(init) = &g.init {
+                    self.out.push_str(" = ");
+                    self.expr(init);
+                }
+                self.out.push_str(";\n");
+            }
+            Item::Function(f) => {
+                self.typed_name(f.ret, f.name);
+                self.out.push('(');
+                for (i, p) in f.params.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.typed_name(p.ty, p.name);
+                }
+                self.out.push_str(") ");
+                self.block(&f.body);
+                self.out.push('\n');
+            }
+        }
+    }
+
+    fn block(&mut self, block: &Block) {
+        self.out.push_str("{\n");
+        self.indent += 1;
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        self.line_start();
+        match stmt {
+            Stmt::Decl(d) => {
+                self.typed_name(d.ty, d.name);
+                if let Some(len) = d.array {
+                    let _ = write!(self.out, "[{len}]");
+                }
+                if let Some(init) = &d.init {
+                    self.out.push_str(" = ");
+                    self.expr(init);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for _ in 0..lhs.derefs {
+                    self.out.push('*');
+                }
+                self.out.push_str(self.program.name(lhs.name));
+                let field = lhs.field;
+                self.field_sel(&field);
+                self.out.push_str(" = ");
+                self.expr(rhs);
+                self.out.push_str(";\n");
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.out.push_str(";\n");
+            }
+            Stmt::Return { value, .. } => {
+                self.out.push_str("return");
+                if let Some(v) = value {
+                    self.out.push(' ');
+                    self.expr(v);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.out.push_str("if (");
+                self.cond(cond);
+                self.out.push_str(") ");
+                self.nested(then_branch);
+                if let Some(e) = else_branch {
+                    self.line_start();
+                    self.out.push_str("else ");
+                    self.nested(e);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.out.push_str("while (");
+                self.cond(cond);
+                self.out.push_str(") ");
+                self.nested(body);
+            }
+            Stmt::Block(b) => {
+                self.block(b);
+                self.out.push('\n');
+            }
+        }
+    }
+
+    /// Prints a statement in a branch/body position: blocks stay inline,
+    /// other statements go on their own indented line.
+    fn nested(&mut self, stmt: &Stmt) {
+        if let Stmt::Block(b) = stmt {
+            self.block(b);
+            self.out.push('\n');
+        } else {
+            self.out.push_str("{\n");
+            self.indent += 1;
+            self.stmt(stmt);
+            self.indent -= 1;
+            self.line_start();
+            self.out.push_str("}\n");
+        }
+    }
+
+    fn cond(&mut self, cond: &Cond) {
+        self.expr(&cond.lhs);
+        if let Some((op, rhs)) = &cond.rest {
+            self.out.push_str(match op {
+                CmpOp::Eq => " == ",
+                CmpOp::Ne => " != ",
+            });
+            self.expr(rhs);
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::AddrOf { name, field, .. } => {
+                self.out.push('&');
+                self.out.push_str(self.program.name(*name));
+                self.field_sel(field);
+            }
+            Expr::Path { derefs, name, field, .. } => {
+                for _ in 0..*derefs {
+                    self.out.push('*');
+                }
+                self.out.push_str(self.program.name(*name));
+                self.field_sel(field);
+            }
+            Expr::Call(call) => {
+                match &call.callee {
+                    Callee::Named(sym) => self.out.push_str(self.program.name(*sym)),
+                    Callee::Deref { derefs, name } => {
+                        self.out.push('(');
+                        for _ in 0..*derefs {
+                            self.out.push('*');
+                        }
+                        self.out.push_str(self.program.name(*name));
+                        self.out.push(')');
+                    }
+                }
+                self.out.push('(');
+                for (i, arg) in call.args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(arg);
+                }
+                self.out.push(')');
+            }
+            Expr::Malloc { .. } => self.out.push_str("malloc()"),
+            Expr::Null { .. } => self.out.push_str("null"),
+            Expr::Int { value, .. } => {
+                let _ = write!(self.out, "{value}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// Strips spans by comparing the pretty forms.
+    fn roundtrips(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let text1 = pretty(&p1);
+        let p2 = parse(&text1).expect("reparse of pretty output");
+        let text2 = pretty(&p2);
+        assert_eq!(text1, text2, "pretty output is not a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrips("int g; int *h = &g; void main() { h = &g; *h = 1; }");
+    }
+
+    #[test]
+    fn roundtrip_calls() {
+        roundtrips(
+            "int *id(int *p) { return p; } \
+             void main() { void *fp = id; int *r = (*fp)(null); r = id(r); id(r); }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrips(
+            "void main() { int *p; if (p == null) p = malloc(); else { p = null; } \
+             while (p != null) { p = null; } { int *q; q = p; } }",
+        );
+    }
+
+    #[test]
+    fn output_is_indented() {
+        let p = parse("void main() { int *p; { p = null; } }").expect("parses");
+        let text = pretty(&p);
+        assert!(text.contains("\n    int *p;"), "got:\n{text}");
+        assert!(text.contains("\n        p = null;"), "got:\n{text}");
+    }
+}

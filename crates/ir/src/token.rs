@@ -1,0 +1,159 @@
+//! Tokens and source spans for MiniC.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with 1-based line/column of its
+/// start for diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based source column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Creates a span.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a MiniC token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (owned; interning happens in the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `int`
+    KwInt,
+    /// `struct`
+    KwStruct,
+    /// `void`
+    KwVoid,
+    /// `return`
+    KwReturn,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `malloc`
+    KwMalloc,
+    /// `null`
+    KwNull,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::KwInt => "`int`".into(),
+            TokenKind::KwStruct => "`struct`".into(),
+            TokenKind::KwVoid => "`void`".into(),
+            TokenKind::KwReturn => "`return`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::KwWhile => "`while`".into(),
+            TokenKind::KwMalloc => "`malloc`".into(),
+            TokenKind::KwNull => "`null`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display() {
+        let s = Span::new(0, 3, 2, 5);
+        assert_eq!(format!("{s}"), "2:5");
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        for kind in [
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(3),
+            TokenKind::Star,
+            TokenKind::Eof,
+        ] {
+            assert!(!kind.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Robustness properties of the MiniC frontend: the lexer/parser/checker
+//! must never panic, and error spans must stay within the input.
+
+use proptest::prelude::*;
+
+use ddpa_ir::lexer::lex;
+use ddpa_ir::parse;
+
+proptest! {
+    /// The lexer totalizes: any byte soup either lexes or reports a
+    /// located error — never panics.
+    #[test]
+    fn lexer_never_panics(input in "[ -~\n\t]{0,200}") {
+        match lex(&input) {
+            Ok(tokens) => {
+                prop_assert!(!tokens.is_empty());
+                prop_assert_eq!(
+                    &tokens.last().expect("eof token").kind,
+                    &ddpa_ir::token::TokenKind::Eof
+                );
+            }
+            Err(e) => {
+                prop_assert!(e.span.start as usize <= input.len());
+            }
+        }
+    }
+
+    /// The parser totalizes on arbitrary token-shaped soup.
+    #[test]
+    fn parser_never_panics(input in "[a-z0-9*&=;,(){}! \n]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Any successfully parsed program pretty-prints to something that
+    /// parses again to the same pretty form.
+    #[test]
+    fn accepted_inputs_roundtrip(input in "[a-z*&=;(){} ]{0,80}") {
+        if let Ok(program) = parse(&input) {
+            let text1 = ddpa_ir::pretty(&program);
+            let reparsed = parse(&text1).expect("pretty output must parse");
+            prop_assert_eq!(text1, ddpa_ir::pretty(&reparsed));
+        }
+    }
+
+    /// Checker never panics and reports spans within the input.
+    #[test]
+    fn checker_never_panics(input in "[a-z0-9*&=;,(){} \n]{0,200}") {
+        if let Ok(program) = parse(&input) {
+            if let Err(errs) = ddpa_ir::check(&program) {
+                for e in errs.0 {
+                    prop_assert!(e.span.start as usize <= input.len());
+                }
+            }
+        }
+    }
+}

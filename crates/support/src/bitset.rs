@@ -1,0 +1,359 @@
+//! A sorted, chunked sparse bitset over `u32` keys.
+//!
+//! Points-to sets for C programs are heavy-tailed: most are tiny but a few
+//! contain thousands of elements clustered around allocation-site id ranges.
+//! [`SparseBitSet`] stores 64-bit words keyed by their word index in a
+//! sorted vector, giving compact storage, deterministic iteration order and
+//! merge-style unions.
+
+use std::fmt;
+
+const WORD_BITS: u32 = 64;
+
+/// A sparse set of `u32` values.
+///
+/// # Examples
+///
+/// ```
+/// use ddpa_support::SparseBitSet;
+///
+/// let mut s = SparseBitSet::new();
+/// assert!(s.insert(3));
+/// assert!(s.insert(100_000));
+/// assert!(!s.insert(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 100_000]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct SparseBitSet {
+    /// Sorted by word index; words are never zero.
+    words: Vec<(u32, u64)>,
+    len: usize,
+}
+
+impl SparseBitSet {
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        Self { words: Vec::new(), len: 0 }
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn split(value: u32) -> (u32, u64) {
+        (value / WORD_BITS, 1u64 << (value % WORD_BITS))
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: u32) -> bool {
+        let (key, bit) = Self::split(value);
+        match self.words.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => self.words[pos].1 & bit != 0,
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (key, bit) = Self::split(value);
+        match self.words.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => {
+                let word = &mut self.words[pos].1;
+                if *word & bit != 0 {
+                    false
+                } else {
+                    *word |= bit;
+                    self.len += 1;
+                    true
+                }
+            }
+            Err(pos) => {
+                self.words.insert(pos, (key, bit));
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: u32) -> bool {
+        let (key, bit) = Self::split(value);
+        match self.words.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => {
+                let word = &mut self.words[pos].1;
+                if *word & bit == 0 {
+                    false
+                } else {
+                    *word &= !bit;
+                    self.len -= 1;
+                    if *word == 0 {
+                        self.words.remove(pos);
+                    }
+                    true
+                }
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &SparseBitSet) -> bool {
+        let mut changed = false;
+        let mut merged = Vec::with_capacity(self.words.len() + other.words.len());
+        let mut len = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.words.len() && j < other.words.len() {
+            let (ka, wa) = self.words[i];
+            let (kb, wb) = other.words[j];
+            if ka < kb {
+                merged.push((ka, wa));
+                len += wa.count_ones() as usize;
+                i += 1;
+            } else if kb < ka {
+                merged.push((kb, wb));
+                len += wb.count_ones() as usize;
+                changed = true;
+                j += 1;
+            } else {
+                let w = wa | wb;
+                if w != wa {
+                    changed = true;
+                }
+                merged.push((ka, w));
+                len += w.count_ones() as usize;
+                i += 1;
+                j += 1;
+            }
+        }
+        for &(k, w) in &self.words[i..] {
+            merged.push((k, w));
+            len += w.count_ones() as usize;
+        }
+        for &(k, w) in &other.words[j..] {
+            merged.push((k, w));
+            len += w.count_ones() as usize;
+            changed = true;
+        }
+        if changed {
+            self.words = merged;
+            self.len = len;
+        }
+        changed
+    }
+
+    /// Unions `other` into `self`, pushing every newly added value onto
+    /// `delta`. Returns `true` if `self` changed.
+    pub fn union_with_delta(&mut self, other: &SparseBitSet, delta: &mut Vec<u32>) -> bool {
+        let before = delta.len();
+        // Collect the new bits per word first, then apply.
+        let mut additions: Vec<(u32, u64)> = Vec::new();
+        let mut i = 0usize;
+        for &(kb, wb) in &other.words {
+            while i < self.words.len() && self.words[i].0 < kb {
+                i += 1;
+            }
+            let existing = if i < self.words.len() && self.words[i].0 == kb {
+                self.words[i].1
+            } else {
+                0
+            };
+            let new_bits = wb & !existing;
+            if new_bits != 0 {
+                additions.push((kb, new_bits));
+            }
+        }
+        for (k, mut bits) in additions {
+            while bits != 0 {
+                let tz = bits.trailing_zeros();
+                delta.push(k * WORD_BITS + tz);
+                bits &= bits - 1;
+            }
+        }
+        let changed = delta.len() > before;
+        if changed {
+            for &v in &delta[before..] {
+                self.insert(v);
+            }
+        }
+        changed
+    }
+
+    /// Returns `true` if `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &SparseBitSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.words.len() && j < other.words.len() {
+            let (ka, wa) = self.words[i];
+            let (kb, wb) = other.words[j];
+            if ka < kb {
+                i += 1;
+            } else if kb < ka {
+                j += 1;
+            } else {
+                if wa & wb != 0 {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &SparseBitSet) -> bool {
+        let mut j = 0usize;
+        for &(ka, wa) in &self.words {
+            while j < other.words.len() && other.words[j].0 < ka {
+                j += 1;
+            }
+            if j >= other.words.len() || other.words[j].0 != ka || wa & !other.words[j].1 != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { words: &self.words, pos: 0, current: self.words.first().map_or(0, |w| w.1) }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+/// Iterator over a [`SparseBitSet`], produced by [`SparseBitSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    words: &'a [(u32, u64)],
+    pos: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.pos >= self.words.len() {
+                return None;
+            }
+            if self.current == 0 {
+                self.pos += 1;
+                self.current = self.words.get(self.pos).map_or(0, |w| w.1);
+                continue;
+            }
+            let tz = self.current.trailing_zeros();
+            self.current &= self.current - 1;
+            return Some(self.words[self.pos].0 * WORD_BITS + tz);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SparseBitSet {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<u32> for SparseBitSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut set = SparseBitSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl Extend<u32> for SparseBitSet {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Debug for SparseBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = SparseBitSet::new();
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(1_000_000));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 1_000_000]);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let a: SparseBitSet = [1, 5, 200].into_iter().collect();
+        let mut b: SparseBitSet = [5, 7].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 5, 7, 200]);
+        assert!(!b.union_with(&a));
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn union_with_delta_reports_new_elements() {
+        let a: SparseBitSet = [1, 2, 3, 1000].into_iter().collect();
+        let mut b: SparseBitSet = [2, 4].into_iter().collect();
+        let mut delta = Vec::new();
+        assert!(b.union_with_delta(&a, &mut delta));
+        assert_eq!(delta, vec![1, 3, 1000]);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 1000]);
+        delta.clear();
+        assert!(!b.union_with_delta(&a, &mut delta));
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn intersects_and_subset() {
+        let a: SparseBitSet = [1, 2, 3].into_iter().collect();
+        let b: SparseBitSet = [3, 4].into_iter().collect();
+        let c: SparseBitSet = [4, 5].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let sub: SparseBitSet = [1, 3].into_iter().collect();
+        assert!(sub.is_subset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(SparseBitSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let s = SparseBitSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+}

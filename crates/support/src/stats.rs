@@ -1,0 +1,149 @@
+//! Counters, timers and distribution summaries for the evaluation harness.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Summary statistics of a sample of `u64` measurements (per-query costs,
+/// set sizes, …). Used to regenerate the paper's distribution figures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples` (sorts its argument).
+    ///
+    /// Returns the all-zero summary for an empty sample.
+    pub fn of(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        samples.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let rank = ((samples.len() as f64 - 1.0) * p).floor() as usize;
+            samples[rank]
+        };
+        Summary {
+            count: samples.len(),
+            min: samples[0],
+            max: *samples.last().expect("nonempty"),
+            sum: samples.iter().sum(),
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+
+    /// Arithmetic mean of the samples (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p90={} p99={} max={} mean={:.1}",
+            self.count,
+            self.min,
+            self.p50,
+            self.p90,
+            self.p99,
+            self.max,
+            self.mean()
+        )
+    }
+}
+
+/// Formats a count with thousands separators (`1234567` → `1,234,567`).
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a duration compactly (`1.23s`, `45.6ms`, `789µs`).
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::of(&mut []);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&mut samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&mut [42]);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.p99, 42);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

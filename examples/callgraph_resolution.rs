@@ -1,0 +1,89 @@
+//! The paper's motivating client: resolving indirect calls to build a call
+//! graph, comparing the demand-driven route against exhaustive analysis.
+//!
+//! ```sh
+//! cargo run -p ddpa --example callgraph_resolution
+//! ```
+
+use std::time::Instant;
+
+use ddpa::clients::{CallGraph, Reachability};
+use ddpa::demand::{DemandConfig, DemandEngine};
+
+const SOURCE: &str = r#"
+    // A command dispatch table, the classic function-pointer pattern.
+    int g;
+
+    int *cmd_open(int *arg)  { return arg; }
+    int *cmd_close(int *arg) { return arg; }
+    int *cmd_read(int *arg)  { return &g; }
+    int *helper(int *arg)    { return arg; }   // installed nowhere: dead
+
+    void *table0; void *table1; void *table2;
+
+    void install() {
+        table0 = cmd_open;
+        table1 = cmd_close;
+        table2 = cmd_read;
+    }
+
+    void main() {
+        install();
+        void *which = table1;
+        int *r = (*which)(&g);
+        r = (*table2)(r);
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cp = ddpa::compile(SOURCE)?;
+
+    // Demand-driven: one query per indirect call site.
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    let start = Instant::now();
+    let (demand_cg, stats) = CallGraph::from_demand(&mut engine);
+    let demand_time = start.elapsed();
+
+    // Exhaustive: solve everything, then read the targets off.
+    let start = Instant::now();
+    let solution = ddpa::anders::solve(&cp);
+    let exhaustive_cg = CallGraph::from_exhaustive(&cp, &solution);
+    let exhaustive_time = start.elapsed();
+
+    println!("indirect call sites and their resolved targets:");
+    for &cs in cp.indirect_callsites() {
+        let names: Vec<&str> = demand_cg
+            .targets(cs)
+            .iter()
+            .map(|&f| cp.interner().resolve(cp.func(f).name))
+            .collect();
+        println!("  callsite {cs:?} → {{{}}}", names.join(", "));
+    }
+
+    assert!(demand_cg.same_as(&exhaustive_cg), "precision must be identical");
+    println!(
+        "\nprecision identical to exhaustive ✓  \
+         (demand {demand_time:?} vs exhaustive {exhaustive_time:?}, \
+         {} of {} queries resolved)",
+        stats.indirect_resolved,
+        stats.indirect_resolved + stats.indirect_fallback,
+    );
+
+    // A consumer of the call graph: dead-function detection.
+    let main_fn = cp
+        .funcs()
+        .iter_enumerated()
+        .find(|(_, i)| cp.interner().resolve(i.name) == "main")
+        .map(|(id, _)| id)
+        .expect("main exists");
+    let reach = Reachability::compute(&cp, &demand_cg, &[main_fn]);
+    let dead: Vec<&str> = reach
+        .dead()
+        .iter()
+        .map(|&f| cp.interner().resolve(cp.func(f).name))
+        .collect();
+    println!("reachable functions: {}, dead: {{{}}}", reach.count(), dead.join(", "));
+    // cmd_open is installed in table0 but table0 is never invoked.
+    assert_eq!(dead, vec!["cmd_open", "helper"]);
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Context-sensitivity via call-string cloning: the classic `id()`
+//! conflation, and heap cloning for `malloc` wrappers.
+//!
+//! ```sh
+//! cargo run -p ddpa --example context_sensitivity
+//! ```
+
+use ddpa::cxt::{CloneConfig, CsAnalysis};
+
+const SOURCE: &str = r#"
+    int a; int b;
+
+    int *id(int *p) { return p; }
+
+    // A malloc wrapper: context-insensitively, every caller shares ONE
+    // abstract heap object.
+    int *fresh() { int *p = malloc(); return p; }
+
+    void main() {
+        int *r1 = id(&a);
+        int *r2 = id(&b);
+        int *h1 = fresh();
+        int *h2 = fresh();
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cp = ddpa::compile(SOURCE)?;
+    let node = |name: &str| {
+        cp.node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    };
+    let names = |nodes: &[ddpa::constraints::NodeId]| {
+        nodes.iter().map(|&n| cp.display_node(n)).collect::<Vec<_>>().join(", ")
+    };
+
+    // Context-insensitive baseline: both id() results merge.
+    let ci = ddpa::anders::solve(&cp);
+    println!("context-insensitive:");
+    println!("  pts(r1) = {{{}}}", names(&ci.pts_nodes(node("main::r1"))));
+    println!("  pts(r2) = {{{}}}", names(&ci.pts_nodes(node("main::r2"))));
+    assert_eq!(ci.pts(node("main::r1")).len(), 2);
+
+    // k=1 call strings keep the two calls apart.
+    let cs = CsAnalysis::run(&cp, &CloneConfig::with_k(1));
+    println!(
+        "\nk=1 call-string cloning ({} clones, {:.2}x nodes):",
+        cs.cloned.clone_count,
+        cs.cloned.expansion_factor(&cp)
+    );
+    let r1 = cs.pts_of(node("main::r1"));
+    let r2 = cs.pts_of(node("main::r2"));
+    println!("  pts(r1) = {{{}}}", names(&r1));
+    println!("  pts(r2) = {{{}}}", names(&r2));
+    assert_eq!(names(&r1), "a");
+    assert_eq!(names(&r2), "b");
+
+    // Heap cloning: h1 and h2 get distinct allocation sites.
+    let h1 = cs.pts_of(node("main::h1"));
+    let h2 = cs.pts_of(node("main::h2"));
+    println!("  pts(h1) = {{{}}}   pts(h2) = {{{}}}", names(&h1), names(&h2));
+    // Projection folds the cloned sites back to the original, so compare
+    // inside the cloned program where the sites stay distinct.
+    let ci_total: usize = cp.node_ids().map(|n| ci.pts(n).len()).sum();
+    let cs_total = cs.total_pts(&cp);
+    println!(
+        "\nΣ|pts|: context-insensitive {ci_total} → k=1 {cs_total} \
+         ({} spurious facts removed)",
+        ci_total - cs_total
+    );
+    assert!(cs_total < ci_total);
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Field-sensitive analysis of linked structures (the extension beyond
+//! the 2001 paper's field-insensitive model).
+//!
+//! ```sh
+//! cargo run -p ddpa --example linked_list_fields
+//! ```
+
+use ddpa::demand::{DemandConfig, DemandEngine};
+
+const SOURCE: &str = r#"
+    struct Node { struct Node *next; int *payload; };
+
+    int red;
+    int blue;
+
+    void main() {
+        // Two disjoint lists with different payloads.
+        struct Node *reds = malloc();
+        struct Node *more_reds = malloc();
+        reds->next = more_reds;
+        reds->payload = &red;
+        more_reds->payload = &red;
+
+        struct Node *blues = malloc();
+        blues->payload = &blue;
+
+        // Walk the red list.
+        struct Node *cur = reds;
+        while (cur != null) {
+            int *got = cur->payload;
+            cur = cur->next;
+        }
+
+        // Read the blue payload through a pointer field.
+        int *other = blues->payload;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cp = ddpa::compile(SOURCE)?;
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+
+    let node = |name: &str| {
+        cp.node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    };
+    let names = |pts: &[ddpa::constraints::NodeId]| {
+        pts.iter().map(|&n| cp.display_node(n)).collect::<Vec<_>>().join(", ")
+    };
+
+    let got = engine.points_to(node("main::got"));
+    let other = engine.points_to(node("main::other"));
+    println!("pts(got)   = {{{}}}   (walking the red list)", names(&got.pts));
+    println!("pts(other) = {{{}}}   (blue payload)", names(&other.pts));
+
+    // Field-sensitivity keeps payloads of distinct objects distinct: the
+    // red walk only ever sees `red`, the blue read only `blue`.
+    assert_eq!(names(&got.pts), "red");
+    assert_eq!(names(&other.pts), "blue");
+
+    // And the `next` field of the red head points to exactly the second
+    // red cell — inspect the heap object's field node directly.
+    let head = engine.points_to(node("main::reds"));
+    let head_obj = head.pts[0];
+    let next_field = cp.field_of(head_obj, 0).expect("typed allocation has fields");
+    let next = engine.points_to(next_field);
+    println!(
+        "pts({}) = {{{}}}",
+        cp.display_node(next_field),
+        names(&next.pts)
+    );
+    assert_eq!(next.pts.len(), 1);
+
+    println!("\nfield-sensitive: red and blue payloads never conflate ✓");
+    Ok(())
+}

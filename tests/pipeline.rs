@@ -1,0 +1,389 @@
+//! End-to-end pipeline tests: MiniC source → constraints → all three
+//! solvers agree (naive oracle, worklist baseline, demand engine).
+
+use ddpa::anders::{naive, worklist, SolverConfig};
+use ddpa::constraints::ConstraintProgram;
+use ddpa::demand::{DemandConfig, DemandEngine};
+
+/// A corpus of MiniC programs covering the constructs the analyses model.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "swap",
+        r#"
+        int a; int b;
+        void swap(int **x, int **y) {
+            int *t1 = *x;
+            int *t2 = *y;
+            *x = t2;
+            *y = t1;
+        }
+        void main() {
+            int *p = &a;
+            int *q = &b;
+            swap(&p, &q);
+        }
+        "#,
+    ),
+    (
+        "heap-chains",
+        r#"
+        void main() {
+            int **head = malloc();
+            int *cell = malloc();
+            *head = cell;
+            int *got = *head;
+            int **indirect = head;
+            *indirect = got;
+        }
+        "#,
+    ),
+    (
+        "function-pointers",
+        r#"
+        int g;
+        int *zero(int *p) { return &g; }
+        int *one(int *p)  { return p; }
+        void main() {
+            void *fp = zero;
+            if (g == 0) fp = one;
+            int *r = (*fp)(&g);
+            int *s = fp(r);
+        }
+        "#,
+    ),
+    (
+        "recursion",
+        r#"
+        int g;
+        int *walk(int *p) {
+            if (p == null) return &g;
+            int *next = walk(p);
+            return next;
+        }
+        void main() {
+            int *r = walk(&g);
+        }
+        "#,
+    ),
+    (
+        "globals-and-init",
+        r#"
+        int obj;
+        int *gp = &obj;
+        int **gpp = &gp;
+        void main() {
+            int *local = *gpp;
+            *gpp = local;
+        }
+        "#,
+    ),
+    (
+        "deep-derefs",
+        r#"
+        int x;
+        void main() {
+            int *p = &x;
+            int **pp = &p;
+            int ***ppp = &pp;
+            int *r = **ppp;
+            **ppp = r;
+            int **q = *ppp;
+        }
+        "#,
+    ),
+    (
+        "structs-field-sensitive",
+        r#"
+        struct Pair { int *first; int *second; };
+        int a; int b;
+        void main() {
+            struct Pair pair;
+            pair.first = &a;
+            pair.second = &b;
+            int *f = pair.first;
+            int *s = pair.second;
+            struct Pair *p = &pair;
+            p->first = f;
+            int *viaptr = p->first;
+            int **faddr = &p->second;
+        }
+        "#,
+    ),
+    (
+        "linked-list",
+        r#"
+        struct Node { struct Node *next; int *payload; };
+        int data;
+        void main() {
+            struct Node *head = malloc();
+            struct Node *second = malloc();
+            head->next = second;
+            head->payload = &data;
+            struct Node *cur = head;
+            while (cur != null) {
+                int *got = cur->payload;
+                cur = cur->next;
+            }
+        }
+        "#,
+    ),
+    (
+        "fp-through-memory",
+        r#"
+        int g;
+        int *f1(int *a) { return a; }
+        int *f2(int *a) { return &g; }
+        void main() {
+            void **table = malloc();
+            *table = f1;
+            *table = f2;
+            void *h = *table;
+            int *r = (*h)(&g);
+        }
+        "#,
+    ),
+];
+
+fn compile(name: &str, src: &str) -> ConstraintProgram {
+    ddpa::compile(src).unwrap_or_else(|e| panic!("{name} failed to compile: {e}"))
+}
+
+#[test]
+fn all_solvers_agree_on_corpus() {
+    for (name, src) in CORPUS {
+        let cp = compile(name, src);
+        let oracle = naive::solve(&cp);
+
+        for config in [SolverConfig::default(), SolverConfig::without_cycle_elimination()] {
+            let (got, _) = worklist::solve(&cp, &config);
+            if let Err(node) = got.same_as(&oracle, &cp) {
+                panic!(
+                    "{name}: worklist (cycles={}) differs at {}",
+                    config.cycle_elimination,
+                    cp.display_node(node)
+                );
+            }
+        }
+        let (wave, _) = ddpa::anders::wave::solve(&cp);
+        if let Err(node) = wave.same_as(&oracle, &cp) {
+            panic!("{name}: wave differs at {}", cp.display_node(node));
+        }
+
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        for node in cp.node_ids() {
+            let got = engine.points_to(node);
+            assert!(got.complete, "{name}: pts({}) unresolved", cp.display_node(node));
+            assert_eq!(
+                got.pts,
+                oracle.pts_nodes(node),
+                "{name}: pts({}) differs",
+                cp.display_node(node)
+            );
+        }
+        for cs in cp.callsites().indices() {
+            let got = engine.call_targets(cs);
+            assert!(got.resolved);
+            assert_eq!(
+                got.targets.as_slice(),
+                oracle.call_targets(cs),
+                "{name}: callsite {cs:?} targets differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn swap_keeps_both_objects_in_both_pointers() {
+    // Flow-insensitively, after swap p and q may each point to a and b.
+    let (name, src) = CORPUS[0];
+    let cp = compile(name, src);
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    for var in ["main::p", "main::q"] {
+        let node = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == var)
+            .expect("node exists");
+        let r = engine.points_to(node);
+        let names: Vec<String> = r.pts.iter().map(|&n| cp.display_node(n)).collect();
+        assert_eq!(names, vec!["a", "b"], "{var}");
+    }
+}
+
+#[test]
+fn fp_through_memory_resolves_both_targets() {
+    let (name, src) = CORPUS
+        .iter()
+        .find(|(name, _)| *name == "fp-through-memory")
+        .expect("corpus entry exists");
+    let cp = compile(name, src);
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    let cs = cp.indirect_callsites()[0];
+    let targets = engine.call_targets(cs);
+    assert!(targets.resolved);
+    let names: Vec<&str> = targets
+        .targets
+        .iter()
+        .map(|&f| cp.interner().resolve(cp.func(f).name))
+        .collect();
+    assert_eq!(names, vec!["f1", "f2"]);
+}
+
+#[test]
+fn textual_constraint_roundtrip_preserves_solutions() {
+    for (name, src) in CORPUS {
+        let cp = compile(name, src);
+        let printed = ddpa::constraints::print_constraints(&cp);
+        let reparsed = ddpa::constraints::parse_constraints(&printed)
+            .unwrap_or_else(|e| panic!("{name} failed to reparse: {e}"));
+
+        // Compare solutions keyed by display name (node ids differ).
+        let sol1 = naive::solve(&cp);
+        let sol2 = naive::solve(&reparsed);
+        let pts_by_name = |cp: &ConstraintProgram, sol: &ddpa::anders::Solution| {
+            let mut map = std::collections::BTreeMap::new();
+            for n in cp.node_ids() {
+                let mut targets: Vec<String> =
+                    sol.pts_nodes(n).iter().map(|&t| cp.display_node(t)).collect();
+                targets.sort();
+                map.insert(cp.display_node(n), targets);
+            }
+            map
+        };
+        assert_eq!(
+            pts_by_name(&cp, &sol1),
+            pts_by_name(&reparsed, &sol2),
+            "{name}: solutions differ after text roundtrip"
+        );
+    }
+}
+
+#[test]
+fn generated_suite_demand_equals_exhaustive_on_callgraph() {
+    // The actual experiment invariant, on the two smallest suite entries.
+    for bench in ddpa::gen::suite().into_iter().take(2) {
+        let cp = bench.build();
+        let solution = ddpa::anders::solve(&cp);
+        let exhaustive =
+            ddpa::clients::CallGraph::from_exhaustive(&cp, &solution);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let (demand, stats) = ddpa::clients::CallGraph::from_demand(&mut engine);
+        assert!(demand.same_as(&exhaustive), "{}", bench.name);
+        assert_eq!(stats.indirect_fallback, 0);
+    }
+}
+
+#[test]
+fn field_sensitivity_keeps_fields_apart() {
+    let (name, src) = CORPUS
+        .iter()
+        .find(|(name, _)| *name == "structs-field-sensitive")
+        .expect("corpus entry exists");
+    let cp = compile(name, src);
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    let node = |n: &str| {
+        cp.node_ids()
+            .find(|&x| cp.display_node(x) == n)
+            .unwrap_or_else(|| panic!("no node {n}"))
+    };
+    // pair.first only ever holds &a (plus f, which is also a); pair.second
+    // holds &b. A field-insensitive analysis would conflate them.
+    let f = engine.points_to(node("main::f"));
+    let names: Vec<String> = f.pts.iter().map(|&n| cp.display_node(n)).collect();
+    assert_eq!(names, vec!["a"]);
+    let s = engine.points_to(node("main::s"));
+    let names: Vec<String> = s.pts.iter().map(|&n| cp.display_node(n)).collect();
+    assert_eq!(names, vec!["b"]);
+}
+
+#[test]
+fn linked_list_traversal_reaches_payload() {
+    let (name, src) = CORPUS
+        .iter()
+        .find(|(name, _)| *name == "linked-list")
+        .expect("corpus entry exists");
+    let cp = compile(name, src);
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    let got = cp
+        .node_ids()
+        .find(|&x| cp.display_node(x) == "main::got")
+        .expect("got exists");
+    let r = engine.points_to(got);
+    assert!(r.complete);
+    let names: Vec<String> = r.pts.iter().map(|&n| cp.display_node(n)).collect();
+    assert_eq!(names, vec!["data"]);
+}
+
+#[test]
+fn generated_minic_demand_equals_oracle_on_all_nodes() {
+    for seed in [3u64, 8] {
+        let program = ddpa::gen::generate_minic(&ddpa::gen::MiniCConfig::sized(seed, 10));
+        let cp = ddpa::constraints::lower(&program).expect("lowers");
+        let oracle = naive::solve(&cp);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        for node in cp.node_ids() {
+            let got = engine.points_to(node);
+            assert!(got.complete, "seed {seed}: {} unresolved", cp.display_node(node));
+            assert_eq!(
+                got.pts,
+                oracle.pts_nodes(node),
+                "seed {seed}: pts({}) differs",
+                cp.display_node(node)
+            );
+        }
+    }
+}
+
+#[test]
+fn monolithic_arrays_behave_like_single_objects() {
+    let cp = compile(
+        "arrays",
+        "int g; int h; \
+         void main() { int *tab[4]; tab[0] = &g; tab[3] = &h; int *x = tab[1]; }",
+    );
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    let x = cp.node_ids().find(|&n| cp.display_node(n) == "main::x").expect("x");
+    let r = engine.points_to(x);
+    let names: Vec<String> = r.pts.iter().map(|&n| cp.display_node(n)).collect();
+    // Monolithic: reading any element sees every stored address.
+    assert_eq!(names, vec!["g", "h"]);
+}
+
+#[test]
+fn function_pointer_array_dispatch() {
+    let cp = compile(
+        "fp-array",
+        "int *f1(int *a) { return a; } \
+         int *f2(int *a) { return a; } \
+         void main() { \
+             void *tab[2]; \
+             tab[0] = f1; \
+             tab[1] = f2; \
+             void *h = tab[0]; \
+             int *r = (*h)(null); \
+         }",
+    );
+    let oracle = naive::solve(&cp);
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    let cs = cp.indirect_callsites()[0];
+    let targets = engine.call_targets(cs);
+    assert!(targets.resolved);
+    assert_eq!(targets.targets.as_slice(), oracle.call_targets(cs));
+    assert_eq!(targets.targets.len(), 2, "monolithic table: both targets");
+}
+
+#[test]
+fn array_decay_through_calls() {
+    let cp = compile(
+        "array-decay",
+        "int g; \
+         void take(int **p) { *p = &g; } \
+         void main() { int *tab[2]; take(tab); take(&tab[0]); int *y = tab[0]; }",
+    );
+    let oracle = naive::solve(&cp);
+    let y = cp.node_ids().find(|&n| cp.display_node(n) == "main::y").expect("y");
+    let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+    assert_eq!(engine.points_to(y).pts, oracle.pts_nodes(y));
+    let names: Vec<String> =
+        oracle.pts_nodes(y).iter().map(|&n| cp.display_node(n)).collect();
+    assert_eq!(names, vec!["g"]);
+}
