@@ -48,3 +48,9 @@ use ddpa_constraints::ConstraintProgram;
 pub fn solve(cp: &ConstraintProgram) -> Solution {
     worklist::solve(cp, &SolverConfig::default()).0
 }
+
+/// Like [`solve`], but publishes work counters and phase timings into
+/// `obs` (see [`worklist::solve_with_obs`]).
+pub fn solve_with_obs(cp: &ConstraintProgram, obs: &ddpa_obs::Obs) -> Solution {
+    worklist::solve_with_obs(cp, &SolverConfig::default(), obs).0
+}

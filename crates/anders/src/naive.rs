@@ -108,7 +108,10 @@ mod tests {
             .node_ids()
             .find(|&n| cp.display_node(n) == name)
             .unwrap_or_else(|| panic!("no node named {name}"));
-        sol.pts_nodes(node).into_iter().map(|n| cp.display_node(n)).collect()
+        sol.pts_nodes(node)
+            .into_iter()
+            .map(|n| cp.display_node(n))
+            .collect()
     }
 
     #[test]

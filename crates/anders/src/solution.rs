@@ -26,7 +26,11 @@ impl Solution {
         pts: IndexVec<NodeId, HybridSet>,
         call_targets: IndexVec<CallSiteId, Vec<FuncId>>,
     ) -> Self {
-        Solution { rep, pts, call_targets }
+        Solution {
+            rep,
+            pts,
+            call_targets,
+        }
     }
 
     /// The points-to set of `node`.
@@ -95,6 +99,9 @@ mod tests {
         assert!(!sol.points_to(NodeId::from_u32(2), NodeId::from_u32(2)));
         assert!(sol.may_alias(NodeId::from_u32(0), NodeId::from_u32(1)));
         assert!(!sol.may_alias(NodeId::from_u32(0), NodeId::from_u32(2)));
-        assert_eq!(sol.pts_nodes(NodeId::from_u32(1)), vec![NodeId::from_u32(2)]);
+        assert_eq!(
+            sol.pts_nodes(NodeId::from_u32(1)),
+            vec![NodeId::from_u32(2)]
+        );
     }
 }

@@ -14,6 +14,7 @@
 
 use std::collections::HashSet;
 
+use ddpa_obs::Obs;
 use ddpa_support::scc::tarjan;
 use ddpa_support::{HybridSet, IndexVec, UnionFind};
 
@@ -34,6 +35,13 @@ pub struct WaveStats {
 
 /// Solves `cp` exhaustively by wave propagation.
 pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
+    solve_with_obs(cp, &Obs::new())
+}
+
+/// Like [`solve`], but publishes the work counters into `obs` (under
+/// `anders.wave.*`) and times each round's phases when profiling is on.
+pub fn solve_with_obs(cp: &ConstraintProgram, obs: &Obs) -> (Solution, WaveStats) {
+    let _span = obs.span("anders.wave");
     let n = cp.num_nodes();
     let mut uf = UnionFind::new(n);
     let mut pts: IndexVec<NodeId, HybridSet> = IndexVec::from_elem(HybridSet::new(), n);
@@ -45,25 +53,26 @@ pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
     let mut wired: HashSet<(CallSiteId, FuncId)> = HashSet::new();
     let mut stats = WaveStats::default();
 
-    let mut add_edge =
-        |uf: &mut UnionFind,
-         succs: &mut IndexVec<NodeId, Vec<NodeId>>,
-         edge_set: &mut HashSet<(NodeId, NodeId)>,
-         src: NodeId,
-         dst: NodeId|
-         -> bool {
-            let (rs, rd) =
-                (NodeId::from_u32(uf.find(src.as_u32())), NodeId::from_u32(uf.find(dst.as_u32())));
-            if rs == rd {
-                return false;
-            }
-            if edge_set.insert((rs, rd)) {
-                succs[rs].push(rd);
-                true
-            } else {
-                false
-            }
-        };
+    let add_edge = |uf: &mut UnionFind,
+                    succs: &mut IndexVec<NodeId, Vec<NodeId>>,
+                    edge_set: &mut HashSet<(NodeId, NodeId)>,
+                    src: NodeId,
+                    dst: NodeId|
+     -> bool {
+        let (rs, rd) = (
+            NodeId::from_u32(uf.find(src.as_u32())),
+            NodeId::from_u32(uf.find(dst.as_u32())),
+        );
+        if rs == rd {
+            return false;
+        }
+        if edge_set.insert((rs, rd)) {
+            succs[rs].push(rd);
+            true
+        } else {
+            false
+        }
+    };
 
     for c in cp.copies() {
         add_edge(&mut uf, &mut succs, &mut edge_set, c.src, c.dst);
@@ -77,6 +86,7 @@ pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
         stats.rounds += 1;
 
         // 1. Collapse cycles of the representative copy graph.
+        let collapse_span = obs.span("anders.wave.collapse");
         let rep_of: Vec<u32> = (0..n as u32).map(|v| uf.find(v)).collect();
         let scc = tarjan(n, |v, out| {
             if rep_of[v as usize] == v {
@@ -106,9 +116,12 @@ pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
             }
         }
 
+        drop(collapse_span);
+
         // 2. One wave: sweep sets down the condensation in reverse
         //    topological order of components (Tarjan numbers components in
         //    reverse topological order, so iterate components descending).
+        let sweep_span = obs.span("anders.wave.sweep");
         let rep_of: Vec<u32> = (0..n as u32).map(|v| uf.find(v)).collect();
         let scc = tarjan(n, |v, out| {
             if rep_of[v as usize] == v {
@@ -137,7 +150,10 @@ pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
             pts[v] = src_set;
         }
 
+        drop(sweep_span);
+
         // 3. Evaluate the complex constraints against the swept sets.
+        let _complex_span = obs.span("anders.wave.complex");
         let mut graph_changed = false;
         let objs_of = |uf: &mut UnionFind, pts: &IndexVec<NodeId, HybridSet>, p: NodeId| {
             let rep = NodeId::from_u32(uf.find(p.as_u32()));
@@ -145,14 +161,24 @@ pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
         };
         for l in cp.loads() {
             for o in objs_of(&mut uf, &pts, l.ptr) {
-                graph_changed |=
-                    add_edge(&mut uf, &mut succs, &mut edge_set, NodeId::from_u32(o), l.dst);
+                graph_changed |= add_edge(
+                    &mut uf,
+                    &mut succs,
+                    &mut edge_set,
+                    NodeId::from_u32(o),
+                    l.dst,
+                );
             }
         }
         for s in cp.stores() {
             for o in objs_of(&mut uf, &pts, s.ptr) {
-                graph_changed |=
-                    add_edge(&mut uf, &mut succs, &mut edge_set, s.src, NodeId::from_u32(o));
+                graph_changed |= add_edge(
+                    &mut uf,
+                    &mut succs,
+                    &mut edge_set,
+                    s.src,
+                    NodeId::from_u32(o),
+                );
             }
         }
         for fa in cp.field_addrs() {
@@ -199,6 +225,9 @@ pub fn solve(cp: &ConstraintProgram) -> (Solution, WaveStats) {
     }
 
     stats.edges = edge_set.len() as u64;
+    obs.counter("anders.wave.rounds").add(stats.rounds);
+    obs.counter("anders.wave.edges").add(stats.edges);
+    obs.counter("anders.wave.collapsed").add(stats.collapsed);
     let rep: Vec<u32> = (0..n as u32).map(|v| uf.find(v)).collect();
     (Solution::new(rep, pts, call_targets), stats)
 }
@@ -243,8 +272,14 @@ mod tests {
         let f = b.func("f", 1);
         let info = b.func_info(f).clone();
         b.copy(info.ret, info.formals[0]);
-        let (x, y, z, o, fp, r) =
-            (b.var("x"), b.var("y"), b.var("z"), b.var("o"), b.var("fp"), b.var("r"));
+        let (x, y, z, o, fp, r) = (
+            b.var("x"),
+            b.var("y"),
+            b.var("z"),
+            b.var("o"),
+            b.var("fp"),
+            b.var("r"),
+        );
         b.copy(x, y);
         b.copy(y, z);
         b.copy(z, x);

@@ -18,6 +18,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use ddpa_obs::Obs;
 use ddpa_support::scc::tarjan;
 use ddpa_support::{HybridSet, IndexVec, UnionFind};
 
@@ -37,7 +38,10 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { cycle_elimination: true, collapse_interval: 0 }
+        SolverConfig {
+            cycle_elimination: true,
+            collapse_interval: 0,
+        }
     }
 }
 
@@ -45,7 +49,10 @@ impl SolverConfig {
     /// A configuration with cycle collapsing disabled (the ablation
     /// baseline).
     pub fn without_cycle_elimination() -> Self {
-        SolverConfig { cycle_elimination: false, collapse_interval: 0 }
+        SolverConfig {
+            cycle_elimination: false,
+            collapse_interval: 0,
+        }
     }
 }
 
@@ -68,7 +75,38 @@ pub struct SolveStats {
 
 /// Solves `cp` exhaustively; returns the solution and work counters.
 pub fn solve(cp: &ConstraintProgram, config: &SolverConfig) -> (Solution, SolveStats) {
-    Engine::new(cp, config).run()
+    solve_with_obs(cp, config, &Obs::new())
+}
+
+/// Like [`solve`], but publishes the work counters into `obs` (under
+/// `anders.worklist.*`) and times each phase when profiling is on.
+pub fn solve_with_obs(
+    cp: &ConstraintProgram,
+    config: &SolverConfig,
+    obs: &Obs,
+) -> (Solution, SolveStats) {
+    let _span = obs.span("anders.worklist");
+    let engine = {
+        let _init = obs.span("anders.worklist.init");
+        Engine::new(cp, config, obs.clone())
+    };
+    let (solution, stats) = engine.run();
+    obs.counter("anders.worklist.propagations")
+        .add(stats.propagations);
+    obs.counter("anders.worklist.elements_propagated")
+        .add(stats.elements_propagated);
+    obs.counter("anders.worklist.edges_added")
+        .add(stats.edges_added);
+    obs.counter("anders.worklist.scc_passes")
+        .add(stats.scc_passes);
+    obs.counter("anders.worklist.nodes_collapsed")
+        .add(stats.nodes_collapsed);
+    obs.counter("anders.worklist.calls_wired")
+        .add(stats.calls_wired);
+    // Comparable to `demand.work`: the exhaustive propagation volume.
+    obs.counter("anders.work")
+        .add(stats.elements_propagated + stats.edges_added);
+    (solution, stats)
 }
 
 struct Engine<'p> {
@@ -92,12 +130,13 @@ struct Engine<'p> {
     worklist: VecDeque<NodeId>,
     on_list: IndexVec<NodeId, bool>,
     stats: SolveStats,
+    obs: Obs,
     last_collapse_at: u64,
     collapse_interval: u64,
 }
 
 impl<'p> Engine<'p> {
-    fn new(cp: &'p ConstraintProgram, config: &SolverConfig) -> Self {
+    fn new(cp: &'p ConstraintProgram, config: &SolverConfig, obs: Obs) -> Self {
         let n = cp.num_nodes();
         let interval = if config.collapse_interval == 0 {
             (n as u64).max(1024)
@@ -120,6 +159,7 @@ impl<'p> Engine<'p> {
             worklist: VecDeque::new(),
             on_list: IndexVec::from_elem(false, n),
             stats: SolveStats::default(),
+            obs,
             last_collapse_at: 0,
             collapse_interval: interval,
         };
@@ -231,6 +271,7 @@ impl<'p> Engine<'p> {
     }
 
     fn run(mut self) -> (Solution, SolveStats) {
+        let _span = self.obs.span("anders.worklist.propagate");
         while let Some(n) = self.worklist.pop_front() {
             self.on_list[n] = false;
             if self.find(n) != n {
@@ -278,6 +319,7 @@ impl<'p> Engine<'p> {
             if self.config.cycle_elimination
                 && self.stats.propagations - self.last_collapse_at >= self.collapse_interval
             {
+                let _collapse = self.obs.span("anders.worklist.collapse");
                 self.collapse_cycles();
                 self.last_collapse_at = self.stats.propagations;
             }
@@ -330,7 +372,9 @@ impl<'p> Engine<'p> {
             return;
         }
         let root = NodeId::from_u32(
-            self.uf.union(ra.as_u32(), rb.as_u32()).expect("distinct reps"),
+            self.uf
+                .union(ra.as_u32(), rb.as_u32())
+                .expect("distinct reps"),
         );
         let other = if root == ra { rb } else { ra };
         self.stats.nodes_collapsed += 1;
@@ -375,7 +419,10 @@ mod tests {
 
     fn check_against_naive(cp: &ConstraintProgram) {
         let expected = naive::solve(cp);
-        for config in [SolverConfig::default(), SolverConfig::without_cycle_elimination()] {
+        for config in [
+            SolverConfig::default(),
+            SolverConfig::without_cycle_elimination(),
+        ] {
             let (got, _) = solve(cp, &config);
             if let Err(node) = got.same_as(&expected, cp) {
                 panic!(
@@ -403,8 +450,7 @@ mod tests {
     #[test]
     fn matches_naive_with_copy_cycles() {
         let mut b = ConstraintBuilder::new();
-        let (x, y, z, o1, o2) =
-            (b.var("x"), b.var("y"), b.var("z"), b.var("o1"), b.var("o2"));
+        let (x, y, z, o1, o2) = (b.var("x"), b.var("y"), b.var("z"), b.var("o1"), b.var("o2"));
         b.copy(x, y);
         b.copy(y, z);
         b.copy(z, x);
@@ -428,10 +474,16 @@ mod tests {
         b.addr_of(nodes[5], o);
         let cp = b.build();
         let expected = naive::solve(&cp);
-        let config = SolverConfig { cycle_elimination: true, collapse_interval: 2 };
+        let config = SolverConfig {
+            cycle_elimination: true,
+            collapse_interval: 2,
+        };
         let (got, stats) = solve(&cp, &config);
         assert!(got.same_as(&expected, &cp).is_ok());
-        assert!(stats.nodes_collapsed > 0, "cycle should collapse: {stats:?}");
+        assert!(
+            stats.nodes_collapsed > 0,
+            "cycle should collapse: {stats:?}"
+        );
     }
 
     #[test]
@@ -443,8 +495,7 @@ mod tests {
         let gi = b.func_info(g).clone();
         b.copy(fi.ret, fi.formals[0]);
         // g returns a global object's address instead.
-        let (go, fp, x, r, o) =
-            (b.var("go"), b.var("fp"), b.var("x"), b.var("r"), b.var("o"));
+        let (go, fp, x, r, o) = (b.var("go"), b.var("fp"), b.var("x"), b.var("r"), b.var("o"));
         b.addr_of(gi.ret, go);
         b.addr_of(x, o);
         b.addr_of(fp, fi.object);

@@ -1,37 +1,42 @@
 //! T4 — cross-query memoization ablation: the same query batch with the
-//! memo table kept vs cleared between queries.
+//! memo table kept vs cleared between queries. Plain std timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use ddpa_bench::deref_queries;
 use ddpa_demand::{DemandConfig, DemandEngine};
 
-fn bench_caching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("T4_caching");
-    group.sample_size(10);
+fn time_min<F: FnMut()>(iters: usize, mut f: F) -> std::time::Duration {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+fn main() {
+    println!("T4_caching (min of 5 runs)");
     for bench in ddpa_gen::quick_suite() {
         let cp = bench.build();
         let queries: Vec<_> = deref_queries(&cp).into_iter().take(200).collect();
-        group.bench_with_input(BenchmarkId::new("cached", bench.name), &cp, |b, cp| {
-            b.iter(|| {
-                let mut engine = DemandEngine::new(cp, DemandConfig::default());
-                for &q in &queries {
-                    let _ = engine.points_to(q);
-                }
-            })
+        let cached = time_min(5, || {
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+            for &q in &queries {
+                let _ = engine.points_to(q);
+            }
         });
-        group.bench_with_input(BenchmarkId::new("uncached", bench.name), &cp, |b, cp| {
-            b.iter(|| {
-                let mut engine =
-                    DemandEngine::new(cp, DemandConfig::default().without_caching());
-                for &q in &queries {
-                    let _ = engine.points_to(q);
-                }
-            })
+        let uncached = time_min(5, || {
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default().without_caching());
+            for &q in &queries {
+                let _ = engine.points_to(q);
+            }
         });
+        println!(
+            "  {:<12} cached {:>12?}  uncached {:>12?}",
+            bench.name, cached, uncached
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_caching);
-criterion_main!(benches);

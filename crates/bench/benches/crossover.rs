@@ -1,14 +1,24 @@
 //! F2 — cumulative demand time for k queries vs the exhaustive constant:
-//! where does on-demand stop paying off?
+//! where does on-demand stop paying off? Plain std timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use ddpa_bench::deref_queries;
 use ddpa_demand::{DemandConfig, DemandEngine};
 
-fn bench_crossover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("F2_crossover");
-    group.sample_size(10);
+fn time_min<F: FnMut()>(iters: usize, mut f: F) -> std::time::Duration {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+fn main() {
+    println!("F2_crossover (min of 5 runs)");
     let bench = ddpa_gen::quick_suite()
         .into_iter()
         .last()
@@ -16,22 +26,18 @@ fn bench_crossover(c: &mut Criterion) {
     let cp = bench.build();
     let queries = deref_queries(&cp);
 
-    group.bench_function(BenchmarkId::new("exhaustive", bench.name), |b| {
-        b.iter(|| ddpa_anders::solve(&cp))
+    let exhaustive = time_min(5, || {
+        let _ = ddpa_anders::solve(&cp);
     });
+    println!("  {:<12} exhaustive {:>12?}", bench.name, exhaustive);
     for k in [1usize, 10, 100, 1000] {
         let k = k.min(queries.len());
-        group.bench_function(BenchmarkId::new(format!("demand_k{k}"), bench.name), |b| {
-            b.iter(|| {
-                let mut engine = DemandEngine::new(&cp, DemandConfig::default());
-                for &q in &queries[..k] {
-                    let _ = engine.points_to(q);
-                }
-            })
+        let demand = time_min(5, || {
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+            for &q in &queries[..k] {
+                let _ = engine.points_to(q);
+            }
         });
+        println!("  {:<12} demand_k{k:<5} {:>12?}", bench.name, demand);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_crossover);
-criterion_main!(benches);

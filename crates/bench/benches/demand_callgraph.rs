@@ -1,32 +1,38 @@
 //! T3 — demand-driven call-graph construction (the paper's client):
 //! resolve every indirect call site on demand, against the exhaustive
-//! route.
+//! route. Plain std timing harness; minimum of a fixed run count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use ddpa_callgraph::CallGraph;
 use ddpa_demand::{DemandConfig, DemandEngine};
 
-fn bench_demand_callgraph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("T3_callgraph");
-    group.sample_size(10);
-    for bench in ddpa_gen::quick_suite() {
-        let cp = bench.build();
-        group.bench_with_input(BenchmarkId::new("demand", bench.name), &cp, |b, cp| {
-            b.iter(|| {
-                let mut engine = DemandEngine::new(cp, DemandConfig::default());
-                CallGraph::from_demand(&mut engine)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("exhaustive", bench.name), &cp, |b, cp| {
-            b.iter(|| {
-                let solution = ddpa_anders::solve(cp);
-                CallGraph::from_exhaustive(cp, &solution)
-            })
-        });
-    }
-    group.finish();
+fn time_min<F: FnMut()>(iters: usize, mut f: F) -> std::time::Duration {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
 }
 
-criterion_group!(benches, bench_demand_callgraph);
-criterion_main!(benches);
+fn main() {
+    println!("T3_callgraph (min of 5 runs)");
+    for bench in ddpa_gen::quick_suite() {
+        let cp = bench.build();
+        let demand = time_min(5, || {
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+            let _ = CallGraph::from_demand(&mut engine);
+        });
+        let exhaustive = time_min(5, || {
+            let solution = ddpa_anders::solve(&cp);
+            let _ = CallGraph::from_exhaustive(&cp, &solution);
+        });
+        println!(
+            "  {:<12} demand {:>12?}  exhaustive {:>12?}",
+            bench.name, demand, exhaustive
+        );
+    }
+}

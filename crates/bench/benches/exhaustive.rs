@@ -1,29 +1,39 @@
 //! T2/A1 — exhaustive Andersen solve times, with and without cycle
-//! collapsing, across the quick suite.
+//! collapsing, across the quick suite. Plain std timing harness (no
+//! external bench framework): each case is run a fixed number of times
+//! and the minimum wall time is reported.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use ddpa_anders::{worklist, SolverConfig};
 
-fn bench_exhaustive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("T2_exhaustive");
-    group.sample_size(10);
-    for bench in ddpa_gen::quick_suite() {
-        let cp = bench.build();
-        group.bench_with_input(BenchmarkId::new("cycles_on", bench.name), &cp, |b, cp| {
-            b.iter(|| worklist::solve(cp, &SolverConfig::default()))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("cycles_off_A1", bench.name),
-            &cp,
-            |b, cp| b.iter(|| worklist::solve(cp, &SolverConfig::without_cycle_elimination())),
-        );
-        group.bench_with_input(BenchmarkId::new("wave", bench.name), &cp, |b, cp| {
-            b.iter(|| ddpa_anders::wave::solve(cp))
-        });
-    }
-    group.finish();
+fn time_min<F: FnMut()>(iters: usize, mut f: F) -> std::time::Duration {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
 }
 
-criterion_group!(benches, bench_exhaustive);
-criterion_main!(benches);
+fn main() {
+    println!("T2_exhaustive (min of 5 runs)");
+    for bench in ddpa_gen::quick_suite() {
+        let cp = bench.build();
+        let on = time_min(5, || {
+            let _ = worklist::solve(&cp, &SolverConfig::default());
+        });
+        let off = time_min(5, || {
+            let _ = worklist::solve(&cp, &SolverConfig::without_cycle_elimination());
+        });
+        let wave = time_min(5, || {
+            let _ = ddpa_anders::wave::solve(&cp);
+        });
+        println!(
+            "  {:<12} cycles_on {:>12?}  cycles_off_A1 {:>12?}  wave {:>12?}",
+            bench.name, on, off, wave
+        );
+    }
+}

@@ -23,7 +23,11 @@ fn main() {
         .collect();
     let want = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
-    let benches: Vec<Benchmark> = if full { ddpa_gen::suite() } else { ddpa_gen::quick_suite() };
+    let benches: Vec<Benchmark> = if full {
+        ddpa_gen::suite()
+    } else {
+        ddpa_gen::quick_suite()
+    };
     // Dense-query experiments (every dereference site is a query) always
     // run on the quick suite: on the saturated large programs, inverse
     // (ptb) reasoning makes dense query sets far more expensive than the
@@ -32,7 +36,11 @@ fn main() {
     println!(
         "# ddpa evaluation report ({} suite: {})\n",
         if full { "full" } else { "quick" },
-        benches.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+        benches
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     if want("t1") {
@@ -88,8 +96,17 @@ fn t1(benches: &[Benchmark]) {
         "{}",
         table(
             &[
-                "program", "locations", "assignments", "addr-of", "copy", "load", "store",
-                "field", "funcs", "direct calls", "indirect calls"
+                "program",
+                "locations",
+                "assignments",
+                "addr-of",
+                "copy",
+                "load",
+                "store",
+                "field",
+                "funcs",
+                "direct calls",
+                "indirect calls"
             ],
             &rows
         )
@@ -116,8 +133,13 @@ fn t2(benches: &[Benchmark]) {
         "{}",
         table(
             &[
-                "program", "solve (cycles on)", "solve (cycles off)", "propagations",
-                "edges", "collapsed", "Σ|pts|"
+                "program",
+                "solve (cycles on)",
+                "solve (cycles off)",
+                "propagations",
+                "edges",
+                "collapsed",
+                "Σ|pts|"
             ],
             &rows
         )
@@ -137,8 +159,21 @@ fn t3(benches: &[Benchmark]) {
                 dur(r.avg_query_time),
                 dur(r.exhaustive_time),
                 ratio(r.speedup),
+                format!("{:.1}", r.fires_per_query),
+                match r.work_ratio {
+                    Some(w) => format!(
+                        "{}/{} ({w:.3}x)",
+                        count(r.demand_work as usize),
+                        count(r.exhaustive_work as usize)
+                    ),
+                    None => "n/a".into(),
+                },
                 format!("{:.2}", r.avg_targets),
-                if r.precision_identical { "identical ✓".into() } else { "DIFFERS ✗".into() },
+                if r.precision_identical {
+                    "identical ✓".into()
+                } else {
+                    "DIFFERS ✗".into()
+                },
             ]
         })
         .collect();
@@ -146,8 +181,17 @@ fn t3(benches: &[Benchmark]) {
         "{}",
         table(
             &[
-                "program", "queries", "resolved", "demand total", "per query",
-                "exhaustive", "speedup", "avg targets", "precision"
+                "program",
+                "queries",
+                "resolved",
+                "demand total",
+                "per query",
+                "exhaustive",
+                "speedup",
+                "fires/query",
+                "work d/e",
+                "avg targets",
+                "precision"
             ],
             &rows
         )
@@ -175,8 +219,13 @@ fn t4(benches: &[Benchmark]) {
         "{}",
         table(
             &[
-                "program", "queries", "cached", "uncached", "speedup",
-                "work cached", "work uncached"
+                "program",
+                "queries",
+                "cached",
+                "uncached",
+                "speedup",
+                "work cached",
+                "work uncached"
             ],
             &rows
         )
@@ -202,7 +251,10 @@ fn f1(benches: &[Benchmark]) {
         .collect();
     println!(
         "{}",
-        table(&["program", "queries", "min", "p50", "p90", "p99", "max", "mean"], &rows)
+        table(
+            &["program", "queries", "min", "p50", "p90", "p99", "max", "mean"],
+            &rows
+        )
     );
 }
 
@@ -219,12 +271,15 @@ fn f2(benches: &[Benchmark]) {
             .points
             .iter()
             .map(|p| {
-                let frac = p.demand_time.as_secs_f64()
-                    / row.exhaustive_time.as_secs_f64().max(1e-9);
+                let frac =
+                    p.demand_time.as_secs_f64() / row.exhaustive_time.as_secs_f64().max(1e-9);
                 vec![count(p.k), dur(p.demand_time), ratio(frac)]
             })
             .collect();
-        println!("{}", table(&["k queries", "demand cumulative", "vs exhaustive"], &rows));
+        println!(
+            "{}",
+            table(&["k queries", "demand cumulative", "vs exhaustive"], &rows)
+        );
         match row.crossover_k {
             Some(k) => println!("crossover at k ≈ {k}\n"),
             None => println!("no crossover within the sampled range\n"),
@@ -248,14 +303,21 @@ fn f3(benches: &[Benchmark]) {
                 ]
             })
             .collect();
-        println!("{}", table(&["budget", "resolved", "avg work/query"], &rows));
+        println!(
+            "{}",
+            table(&["budget", "resolved", "avg work/query"], &rows)
+        );
     }
 }
 
 fn a3(benches: &[Benchmark]) {
     println!("## A3 — Context-sensitivity (k-call-string cloning) ablation\n");
     for row in run_a3(benches, &[0, 1, 2]) {
-        println!("### {} (context-insensitive Σ|pts| = {})\n", row.name, count(row.ci_total_pts));
+        println!(
+            "### {} (context-insensitive Σ|pts| = {})\n",
+            row.name,
+            count(row.ci_total_pts)
+        );
         let rows: Vec<Vec<String>> = row
             .points
             .iter()
@@ -277,7 +339,17 @@ fn a3(benches: &[Benchmark]) {
             .collect();
         println!(
             "{}",
-            table(&["k", "clones", "expansion", "expand+solve", "Σ|pts|", "spurious facts removed"], &rows)
+            table(
+                &[
+                    "k",
+                    "clones",
+                    "expansion",
+                    "expand+solve",
+                    "Σ|pts|",
+                    "spurious facts removed"
+                ],
+                &rows
+            )
         );
     }
 }

@@ -7,6 +7,7 @@ use ddpa_callgraph::CallGraph;
 use ddpa_constraints::{ConstraintProgram, NodeId, ProgramStats};
 use ddpa_demand::{points_to_parallel, DemandConfig, DemandEngine};
 use ddpa_gen::Benchmark;
+use ddpa_obs::Obs;
 use ddpa_support::Summary;
 
 /// All dereferenced pointers of `cp` (the dense query set).
@@ -54,7 +55,10 @@ pub struct T1Row {
 pub fn run_t1(benches: &[Benchmark]) -> Vec<T1Row> {
     benches
         .iter()
-        .map(|b| T1Row { name: b.name, stats: ProgramStats::of(&b.build()) })
+        .map(|b| T1Row {
+            name: b.name,
+            stats: ProgramStats::of(&b.build()),
+        })
         .collect()
 }
 
@@ -125,6 +129,15 @@ pub struct T3Row {
     pub precision_identical: bool,
     /// Mean callee-set size at indirect sites (precision of the client).
     pub avg_targets: f64,
+    /// Mean rule firings per demand query (`demand.fires / demand.queries`).
+    pub fires_per_query: f64,
+    /// Total demand-side work units (`demand.work` counter).
+    pub demand_work: u64,
+    /// Total exhaustive-side work units (`anders.work` counter).
+    pub exhaustive_work: u64,
+    /// `demand_work / exhaustive_work`, or `None` when the exhaustive side
+    /// did no measurable work.
+    pub work_ratio: Option<f64>,
 }
 
 /// Regenerates table T3 with the given per-query budget.
@@ -133,14 +146,20 @@ pub fn run_t3(benches: &[Benchmark], budget: Option<u64>) -> Vec<T3Row> {
         .iter()
         .map(|b| {
             let cp = b.build();
+            // Both sides publish into one registry so the report can
+            // compare demand-side and exhaustive-side work directly.
+            let obs = Obs::new();
 
             let start = Instant::now();
-            let solution = ddpa_anders::solve(&cp);
+            let solution = ddpa_anders::solve_with_obs(&cp, &obs);
             let exhaustive_cg = CallGraph::from_exhaustive(&cp, &solution);
             let exhaustive_time = start.elapsed();
 
-            let config = DemandConfig { budget, ..DemandConfig::default() };
-            let mut engine = DemandEngine::new(&cp, config);
+            let config = DemandConfig {
+                budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
             let start = Instant::now();
             let (demand_cg, stats) = CallGraph::from_demand(&mut engine);
             let demand_time = start.elapsed();
@@ -151,6 +170,10 @@ pub fn run_t3(benches: &[Benchmark], budget: Option<u64>) -> Vec<T3Row> {
             } else {
                 demand_time / queries as u32
             };
+            let fires = obs.registry.counter_value("demand.fires");
+            let demand_queries = obs.registry.counter_value("demand.queries");
+            let demand_work = obs.registry.counter_value("demand.work");
+            let exhaustive_work = obs.registry.counter_value("anders.work");
             T3Row {
                 name: b.name,
                 queries,
@@ -161,6 +184,15 @@ pub fn run_t3(benches: &[Benchmark], budget: Option<u64>) -> Vec<T3Row> {
                 speedup: exhaustive_time.as_secs_f64() / demand_time.as_secs_f64().max(1e-9),
                 precision_identical: demand_cg.same_as(&exhaustive_cg),
                 avg_targets: demand_cg.avg_indirect_targets(&cp),
+                fires_per_query: if demand_queries == 0 {
+                    0.0
+                } else {
+                    fires as f64 / demand_queries as f64
+                },
+                demand_work,
+                exhaustive_work,
+                work_ratio: (exhaustive_work != 0)
+                    .then(|| demand_work as f64 / exhaustive_work as f64),
             }
         })
         .collect()
@@ -193,8 +225,7 @@ pub fn run_t4(benches: &[Benchmark], max_queries: usize) -> Vec<T4Row> {
         .iter()
         .map(|b| {
             let cp = b.build();
-            let queries: Vec<NodeId> =
-                deref_queries(&cp).into_iter().take(max_queries).collect();
+            let queries: Vec<NodeId> = deref_queries(&cp).into_iter().take(max_queries).collect();
 
             let mut cached = DemandEngine::new(&cp, DemandConfig::default());
             let start = Instant::now();
@@ -204,8 +235,7 @@ pub fn run_t4(benches: &[Benchmark], max_queries: usize) -> Vec<T4Row> {
             }
             let time_cached = start.elapsed();
 
-            let mut uncached =
-                DemandEngine::new(&cp, DemandConfig::default().without_caching());
+            let mut uncached = DemandEngine::new(&cp, DemandConfig::default().without_caching());
             let start = Instant::now();
             let mut work_uncached = 0;
             for &q in &queries {
@@ -245,14 +275,16 @@ pub fn run_f1(benches: &[Benchmark], max_queries: usize) -> Vec<F1Row> {
         .iter()
         .map(|b| {
             let cp = b.build();
-            let mut engine =
-                DemandEngine::new(&cp, DemandConfig::default().without_caching());
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default().without_caching());
             let mut samples: Vec<u64> = deref_queries(&cp)
                 .into_iter()
                 .take(max_queries)
                 .map(|q| engine.points_to(q).work)
                 .collect();
-            F1Row { name: b.name, work: Summary::of(&mut samples) }
+            F1Row {
+                name: b.name,
+                work: Summary::of(&mut samples),
+            }
         })
         .collect()
 }
@@ -296,8 +328,7 @@ pub fn run_f2(benches: &[Benchmark], ks: &[usize]) -> Vec<F2Row> {
 
             let queries = deref_queries(&cp);
             let mut points = Vec::new();
-            let mut clamped: Vec<usize> =
-                ks.iter().map(|&k| k.min(queries.len())).collect();
+            let mut clamped: Vec<usize> = ks.iter().map(|&k| k.min(queries.len())).collect();
             clamped.dedup();
             for k in clamped {
                 let mut engine = DemandEngine::new(&cp, DemandConfig::default());
@@ -305,13 +336,21 @@ pub fn run_f2(benches: &[Benchmark], ks: &[usize]) -> Vec<F2Row> {
                 for &q in &queries[..k] {
                     let _ = engine.points_to(q);
                 }
-                points.push(F2Point { k, demand_time: start.elapsed() });
+                points.push(F2Point {
+                    k,
+                    demand_time: start.elapsed(),
+                });
             }
             let crossover_k = points
                 .iter()
                 .find(|p| p.demand_time > exhaustive_time)
                 .map(|p| p.k);
-            F2Row { name: b.name, exhaustive_time, points, crossover_k }
+            F2Row {
+                name: b.name,
+                exhaustive_time,
+                points,
+                crossover_k,
+            }
         })
         .collect()
 }
@@ -350,14 +389,11 @@ pub fn run_f3(benches: &[Benchmark], budgets: &[u64], max_queries: usize) -> Vec
         .iter()
         .map(|b| {
             let cp = b.build();
-            let queries: Vec<NodeId> =
-                deref_queries(&cp).into_iter().take(max_queries).collect();
+            let queries: Vec<NodeId> = deref_queries(&cp).into_iter().take(max_queries).collect();
             let mut points = Vec::new();
             for &budget in budgets {
-                let mut engine = DemandEngine::new(
-                    &cp,
-                    DemandConfig::default().with_budget(budget),
-                );
+                let mut engine =
+                    DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
                 let mut resolved = 0usize;
                 let mut work = 0u64;
                 for &q in &queries {
@@ -372,7 +408,10 @@ pub fn run_f3(benches: &[Benchmark], budgets: &[u64], max_queries: usize) -> Vec
                     avg_work: work as f64 / n as f64,
                 });
             }
-            F3Row { name: b.name, points }
+            F3Row {
+                name: b.name,
+                points,
+            }
         })
         .collect()
 }
@@ -436,7 +475,11 @@ pub fn run_a3(benches: &[Benchmark], ks: &[usize]) -> Vec<A3Row> {
                     }
                 })
                 .collect();
-            A3Row { name: b.name, ci_total_pts, points }
+            A3Row {
+                name: b.name,
+                ci_total_pts,
+                points,
+            }
         })
         .collect()
 }
@@ -467,8 +510,7 @@ pub fn run_a2(benches: &[Benchmark], threads: &[usize], max_queries: usize) -> V
         .iter()
         .map(|b| {
             let cp = b.build();
-            let queries: Vec<NodeId> =
-                deref_queries(&cp).into_iter().take(max_queries).collect();
+            let queries: Vec<NodeId> = deref_queries(&cp).into_iter().take(max_queries).collect();
             let mut base = Duration::ZERO;
             let mut points = Vec::new();
             for &t in threads {
@@ -481,7 +523,10 @@ pub fn run_a2(benches: &[Benchmark], threads: &[usize], max_queries: usize) -> V
                 let speedup = base.as_secs_f64() / time.as_secs_f64().max(1e-9);
                 points.push((t, time, speedup));
             }
-            A2Row { name: b.name, points }
+            A2Row {
+                name: b.name,
+                points,
+            }
         })
         .collect()
 }
@@ -506,6 +551,17 @@ mod tests {
         let rows = run_t3(&tiny(), None);
         assert!(rows[0].precision_identical);
         assert_eq!(rows[0].resolved, rows[0].queries);
+    }
+
+    #[test]
+    fn t3_reports_registry_work_metrics() {
+        let rows = run_t3(&tiny(), None);
+        let r = &rows[0];
+        assert!(r.fires_per_query > 0.0, "demand queries fire rules: {r:?}");
+        assert!(r.demand_work > 0, "demand side records work: {r:?}");
+        assert!(r.exhaustive_work > 0, "exhaustive side records work: {r:?}");
+        let ratio = r.work_ratio.expect("exhaustive work is nonzero");
+        assert!((ratio - r.demand_work as f64 / r.exhaustive_work as f64).abs() < 1e-12);
     }
 
     #[test]

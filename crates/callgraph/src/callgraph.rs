@@ -41,13 +41,15 @@ impl CallGraphStats {
         Summary::of(&mut samples)
     }
 
-    /// Fraction of indirect sites resolved precisely.
-    pub fn resolution_rate(&self) -> f64 {
+    /// Fraction of indirect sites resolved precisely, or `None` when the
+    /// program has no indirect sites — callers must not mistake "no data"
+    /// for "all resolved".
+    pub fn resolution_rate(&self) -> Option<f64> {
         let total = self.indirect_resolved + self.indirect_fallback;
         if total == 0 {
-            1.0
+            None
         } else {
-            self.indirect_resolved as f64 / total as f64
+            Some(self.indirect_resolved as f64 / total as f64)
         }
     }
 }
@@ -165,7 +167,7 @@ mod tests {
         assert!(demand.same_as(&exhaustive));
         assert_eq!(stats.indirect_resolved, 1);
         assert_eq!(stats.indirect_fallback, 0);
-        assert_eq!(stats.resolution_rate(), 1.0);
+        assert_eq!(stats.resolution_rate(), Some(1.0));
     }
 
     #[test]
@@ -182,6 +184,16 @@ mod tests {
     }
 
     #[test]
+    fn no_indirect_sites_is_no_data() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\ncall f() in f\nfun f/0\n")
+            .unwrap_or_else(|_| ddpa_constraints::parse_constraints("p = &o\n").expect("parses"));
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let (_, stats) = CallGraph::from_demand(&mut engine);
+        assert_eq!(stats.indirect_resolved + stats.indirect_fallback, 0);
+        assert_eq!(stats.resolution_rate(), None, "no sites is not a 100% rate");
+    }
+
+    #[test]
     fn zero_budget_falls_back() {
         let cp = program();
         let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_budget(0));
@@ -190,6 +202,6 @@ mod tests {
         let icall = cp.indirect_callsites()[0];
         // Fallback = all address-taken functions (a, b, unused).
         assert_eq!(cg.targets(icall).len(), 3);
-        assert!(stats.resolution_rate() < 1.0);
+        assert!(stats.resolution_rate().expect("has an indirect site") < 1.0);
     }
 }

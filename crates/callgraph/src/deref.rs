@@ -48,7 +48,13 @@ impl DerefAudit {
         let mut sites = Vec::new();
         let audit = |kind: DerefKind, ptr: NodeId, engine: &mut DemandEngine<'_>| {
             let r = engine.points_to(ptr);
-            DerefSite { kind, ptr, targets: r.pts.len(), resolved: r.complete, work: r.work }
+            DerefSite {
+                kind,
+                ptr,
+                targets: r.pts.len(),
+                resolved: r.complete,
+                work: r.work,
+            }
         };
         let loads: Vec<NodeId> = cp.loads().iter().map(|l| l.ptr).collect();
         let stores: Vec<NodeId> = cp.stores().iter().map(|s| s.ptr).collect();
@@ -63,13 +69,19 @@ impl DerefAudit {
 
     /// Sites proven to dereference a pointer that points nowhere.
     pub fn wild(&self) -> Vec<&DerefSite> {
-        self.sites.iter().filter(|s| s.resolved && s.targets == 0).collect()
+        self.sites
+            .iter()
+            .filter(|s| s.resolved && s.targets == 0)
+            .collect()
     }
 
     /// Sites with exactly one target (strong-update candidates for more
     /// precise analyses).
     pub fn singletons(&self) -> Vec<&DerefSite> {
-        self.sites.iter().filter(|s| s.resolved && s.targets == 1).collect()
+        self.sites
+            .iter()
+            .filter(|s| s.resolved && s.targets == 1)
+            .collect()
     }
 
     /// Total work consumed by the audit.
@@ -100,10 +112,8 @@ mod tests {
     #[test]
     fn flags_wild_dereference() {
         // `q` is never initialized: loading through it is wild.
-        let cp = ddpa_constraints::parse_constraints(
-            "p = &o\nx = *p\ny = *q\n*p = x\n",
-        )
-        .expect("parses");
+        let cp = ddpa_constraints::parse_constraints("p = &o\nx = *p\ny = *q\n*p = x\n")
+            .expect("parses");
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let audit = DerefAudit::run(&mut engine);
         assert_eq!(audit.sites.len(), 3);
@@ -117,10 +127,8 @@ mod tests {
 
     #[test]
     fn counts_singletons() {
-        let cp = ddpa_constraints::parse_constraints(
-            "p = &a\nq = &a\nq = &b\nx = *p\ny = *q\n",
-        )
-        .expect("parses");
+        let cp = ddpa_constraints::parse_constraints("p = &a\nq = &a\nq = &b\nx = *p\ny = *q\n")
+            .expect("parses");
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let audit = DerefAudit::run(&mut engine);
         assert_eq!(audit.singletons().len(), 1);

@@ -29,13 +29,13 @@ impl Reachability {
         let mut reachable = IndexVec::from_elem(false, cp.funcs().len());
         let mut queue: VecDeque<FuncId> = VecDeque::new();
 
-        let visit = |f: FuncId, reachable: &mut IndexVec<FuncId, bool>,
-                         queue: &mut VecDeque<FuncId>| {
-            if !reachable[f] {
-                reachable[f] = true;
-                queue.push_back(f);
-            }
-        };
+        let visit =
+            |f: FuncId, reachable: &mut IndexVec<FuncId, bool>, queue: &mut VecDeque<FuncId>| {
+                if !reachable[f] {
+                    reachable[f] = true;
+                    queue.push_back(f);
+                }
+            };
 
         for &root in roots {
             visit(root, &mut reachable, &mut queue);

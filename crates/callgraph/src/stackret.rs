@@ -57,9 +57,7 @@ impl StackReturnAudit {
             let objects: Vec<NodeId> = r
                 .pts
                 .into_iter()
-                .filter(|&o| {
-                    cp.owner_of(o) == Some(func) && is_stack_object(cp, o)
-                })
+                .filter(|&o| cp.owner_of(o) == Some(func) && is_stack_object(cp, o))
                 .collect();
             if !objects.is_empty() {
                 audit.findings.push(StackReturn { func, objects });
@@ -70,8 +68,11 @@ impl StackReturnAudit {
 
     /// A one-line rendering of a finding.
     pub fn describe(&self, cp: &ConstraintProgram, finding: &StackReturn) -> String {
-        let names: Vec<String> =
-            finding.objects.iter().map(|&o| cp.display_node(o)).collect();
+        let names: Vec<String> = finding
+            .objects
+            .iter()
+            .map(|&o| cp.display_node(o))
+            .collect();
         format!(
             "`{}` may return a pointer to its own stack: {{{}}}",
             cp.interner().resolve(cp.func(finding.func).name),
@@ -94,7 +95,10 @@ mod tests {
         (cp, report)
     }
 
-    fn flagged_names(cp: &ddpa_constraints::ConstraintProgram, a: &StackReturnAudit) -> Vec<String> {
+    fn flagged_names(
+        cp: &ddpa_constraints::ConstraintProgram,
+        a: &StackReturnAudit,
+    ) -> Vec<String> {
         a.findings
             .iter()
             .map(|f| cp.interner().resolve(cp.func(f.func).name).to_owned())

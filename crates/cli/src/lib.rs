@@ -11,8 +11,14 @@
 //! ddpa callgraph <file> [--budget N]         resolve all call sites on demand
 //! ddpa audit     <file> [--budget N]         dereference audit (wild pointers)
 //! ddpa stackret  <file> [--budget N]         stack-return (dangling pointer) lint
+//! ddpa profile   <file> [--json <path>]      run both analyses, report metrics + spans
 //! ddpa gen       [--size N] [--seed S] [--minic]   emit a generated workload
 //! ```
+//!
+//! `solve`, `query`, `callgraph`, `audit` and `stackret` additionally take
+//! `--profile` (print the span tree after the command) and
+//! `--metrics-out <path>` (export counters/spans as JSONL; see
+//! `docs/OBSERVABILITY.md` for the schema).
 //!
 //! Inputs ending in `.c` or `.mc` are parsed as MiniC; anything else as the
 //! textual constraint format (`--minic` / `--constraints` override).
@@ -22,6 +28,8 @@ use std::io::Write;
 
 use ddpa::constraints::{ConstraintProgram, NodeId};
 use ddpa::demand::{DemandConfig, DemandEngine};
+use ddpa::obs::{JsonValue, JsonlSink, Obs};
+use ddpa::support::stats::fmt_count;
 
 /// A CLI failure (bad usage, I/O, or input error).
 #[derive(Debug)]
@@ -60,7 +68,13 @@ commands:
   callgraph <file> [--budget N]         resolve all call sites on demand
   audit     <file> [--budget N]         dereference audit (wild pointers)
   stackret  <file> [--budget N]         stack-return (dangling pointer) lint
+  profile   <file> [--json <path>]      run both analyses, report metrics + spans
+  jsonl-check <file>                    validate a JSONL metrics export
   gen       [--size N] [--seed S] [--minic]  emit a generated workload
+
+solve/query/callgraph/audit/stackret also take:
+  --profile             print the span profile tree after the command
+  --metrics-out <path>  export counters and spans as JSONL
 
 inputs ending in .c/.mc parse as MiniC; otherwise as constraint text
 (--minic / --constraints override).";
@@ -75,18 +89,24 @@ struct Options {
     k: usize,
     size: usize,
     seed: u64,
+    profile: bool,
+    metrics_out: Option<String>,
+    json: Option<String>,
     positional: Vec<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
-    let mut opts = Options { size: 1000, k: 1, ..Options::default() };
+    let mut opts = Options {
+        size: 1000,
+        k: 1,
+        ..Options::default()
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--budget" => {
                 let v = iter.next().ok_or_else(|| err("--budget needs a value"))?;
-                opts.budget =
-                    Some(v.parse().map_err(|_| err(format!("bad budget `{v}`")))?);
+                opts.budget = Some(v.parse().map_err(|_| err(format!("bad budget `{v}`")))?);
             }
             "--size" => {
                 let v = iter.next().ok_or_else(|| err("--size needs a value"))?;
@@ -102,6 +122,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--no-cache" => opts.no_cache = true,
             "--ptb" => opts.ptb = true,
+            "--profile" => opts.profile = true,
+            "--metrics-out" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--metrics-out needs a path"))?;
+                opts.metrics_out = Some(v.clone());
+            }
+            "--json" => {
+                let v = iter.next().ok_or_else(|| err("--json needs a path"))?;
+                opts.json = Some(v.clone());
+            }
             "--minic" => opts.minic = Some(true),
             "--constraints" => opts.minic = Some(false),
             other if other.starts_with("--") => {
@@ -114,15 +145,13 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
 }
 
 fn load_program(path: &str, minic: Option<bool>) -> Result<ConstraintProgram, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
-    let is_minic =
-        minic.unwrap_or_else(|| path.ends_with(".c") || path.ends_with(".mc"));
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let is_minic = minic.unwrap_or_else(|| path.ends_with(".c") || path.ends_with(".mc"));
     if is_minic {
         ddpa::compile(&text).map_err(|e| err(format!("{path}: {e}")))
     } else {
-        ddpa::constraints::parse_constraints(&text)
-            .map_err(|e| err(format!("{path}: {e}")))
+        ddpa::constraints::parse_constraints(&text).map_err(|e| err(format!("{path}: {e}")))
     }
 }
 
@@ -143,6 +172,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         return Err(err(USAGE));
     };
     let opts = parse_options(&args[1..])?;
+    let obs = if opts.profile || command == "profile" {
+        Obs::with_profiling()
+    } else {
+        Obs::new()
+    };
 
     match command.as_str() {
         "stats" => {
@@ -163,7 +197,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "solve" => {
             let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
             let cp = load_program(path, opts.minic)?;
-            let solution = ddpa::anders::solve(&cp);
+            let solution = ddpa::anders::solve_with_obs(&cp, &obs);
             let names = &opts.positional[1..];
             let nodes: Vec<NodeId> = if names.is_empty() {
                 cp.node_ids().collect()
@@ -180,7 +214,12 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                     .map(|&t| cp.display_node(t))
                     .collect();
                 if !targets.is_empty() || !names.is_empty() {
-                    writeln!(out, "pts({}) = {{{}}}", cp.display_node(node), targets.join(", "))?;
+                    writeln!(
+                        out,
+                        "pts({}) = {{{}}}",
+                        cp.display_node(node),
+                        targets.join(", ")
+                    )?;
                 }
             }
         }
@@ -190,11 +229,15 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             if opts.positional.len() < 2 {
                 return Err(err("query needs at least one location name"));
             }
-            let mut config = DemandConfig { budget: opts.budget, caching: !opts.no_cache, ..DemandConfig::default() };
+            let mut config = DemandConfig {
+                budget: opts.budget,
+                caching: !opts.no_cache,
+                ..DemandConfig::default()
+            };
             if opts.no_cache {
                 config.caching = false;
             }
-            let mut engine = DemandEngine::new(&cp, config);
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
             for name in &opts.positional[1..] {
                 let node = find_node(&cp, name)?;
                 let r = if opts.ptb {
@@ -202,8 +245,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 } else {
                     engine.points_to(node)
                 };
-                let targets: Vec<String> =
-                    r.pts.iter().map(|&t| cp.display_node(t)).collect();
+                let targets: Vec<String> = r.pts.iter().map(|&t| cp.display_node(t)).collect();
                 writeln!(
                     out,
                     "{}({name}) = {{{}}}  [work {}{}]",
@@ -220,17 +262,18 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             if opts.positional.len() < 2 {
                 return Err(err("cs needs at least one location name"));
             }
-            let analysis = ddpa::cxt::CsAnalysis::run(
-                &cp,
-                &ddpa::cxt::CloneConfig::with_k(opts.k),
-            );
+            let analysis = ddpa::cxt::CsAnalysis::run(&cp, &ddpa::cxt::CloneConfig::with_k(opts.k));
             writeln!(
                 out,
                 "k={} call-string cloning: {} clones, {:.2}x nodes{}",
                 opts.k,
                 analysis.cloned.clone_count,
                 analysis.cloned.expansion_factor(&cp),
-                if analysis.cloned.capped { " (clone budget hit)" } else { "" },
+                if analysis.cloned.capped {
+                    " (clone budget hit)"
+                } else {
+                    ""
+                },
             )?;
             for name in &opts.positional[1..] {
                 let node = find_node(&cp, name)?;
@@ -260,7 +303,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                     writeln!(
                         out,
                         "{target_name} ∉ pts({node_name}){}",
-                        if r.complete { "" } else { " (query unresolved)" }
+                        if r.complete {
+                            ""
+                        } else {
+                            " (query unresolved)"
+                        }
                     )?;
                 }
             }
@@ -268,8 +315,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "callgraph" => {
             let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
             let cp = load_program(path, opts.minic)?;
-            let config = DemandConfig { budget: opts.budget, ..DemandConfig::default() };
-            let mut engine = DemandEngine::new(&cp, config);
+            let config = DemandConfig {
+                budget: opts.budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
             let (cg, stats) = ddpa::clients::CallGraph::from_demand(&mut engine);
             for cs in cp.callsites().indices() {
                 let site = cp.callsite(cs);
@@ -292,8 +342,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "audit" => {
             let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
             let cp = load_program(path, opts.minic)?;
-            let config = DemandConfig { budget: opts.budget, ..DemandConfig::default() };
-            let mut engine = DemandEngine::new(&cp, config);
+            let config = DemandConfig {
+                budget: opts.budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
             let audit = ddpa::clients::DerefAudit::run(&mut engine);
             for site in audit.wild() {
                 writeln!(out, "WILD: {}", audit.describe(&cp, site))?;
@@ -309,8 +362,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "stackret" => {
             let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
             let cp = load_program(path, opts.minic)?;
-            let config = DemandConfig { budget: opts.budget, ..DemandConfig::default() };
-            let mut engine = DemandEngine::new(&cp, config);
+            let config = DemandConfig {
+                budget: opts.budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
             let report = ddpa::clients::StackReturnAudit::run(&mut engine);
             for finding in &report.findings {
                 writeln!(out, "{}", report.describe(&cp, finding))?;
@@ -322,16 +378,87 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 report.unresolved.len()
             )?;
         }
+        "profile" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let cp = {
+                let _load = obs.span("load");
+                load_program(path, opts.minic)?
+            };
+            ddpa::constraints::ProgramStats::of(&cp).record(&obs.registry);
+            // Exhaustive baseline: solve the whole program once.
+            let _solution = ddpa::anders::solve_with_obs(&cp, &obs);
+            // Demand pass: the paper's query load — every call site plus
+            // every dereferenced pointer.
+            let config = DemandConfig {
+                budget: opts.budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
+            {
+                let _span = obs.span("demand.clients");
+                for cs in cp.callsites().indices() {
+                    let _ = engine.call_targets(cs);
+                }
+                for ptr in deref_ptrs(&cp) {
+                    let _ = engine.points_to(ptr);
+                }
+            }
+            let stats = engine.stats();
+            writeln!(out, "profile: {path}")?;
+            writeln!(out)?;
+            write!(out, "{}", obs.profiler.render())?;
+            writeln!(out)?;
+            write!(out, "{}", render_registry(&obs))?;
+            writeln!(out)?;
+            let anders_work = obs.registry.counter_value("anders.work");
+            let ratio = if anders_work > 0 {
+                format!(" ({:.4}x)", stats.work as f64 / anders_work as f64)
+            } else {
+                String::new()
+            };
+            let fires_per_query = if stats.queries > 0 {
+                stats.fires as f64 / stats.queries as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                out,
+                "demand work {} vs exhaustive work {}{ratio}; \
+                 {} queries, {fires_per_query:.1} fires/query",
+                fmt_count(stats.work),
+                fmt_count(anders_work),
+                fmt_count(stats.queries),
+            )?;
+            if let Some(json) = opts.json.as_deref() {
+                export_jsonl(&obs, "profile", Some(path), json)?;
+                writeln!(out, "wrote JSONL metrics to {json}")?;
+            }
+        }
+        "jsonl-check" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let text = std::fs::read_to_string(path)?;
+            let mut lines = 0usize;
+            for (i, line) in text.lines().enumerate() {
+                ddpa::obs::validate_jsonl_line(line)
+                    .map_err(|e| err(format!("{path}:{}: {e}", i + 1)))?;
+                lines += 1;
+            }
+            if lines == 0 {
+                return Err(err(format!("{path}: empty (expected JSONL lines)")));
+            }
+            writeln!(out, "{path}: {lines} valid JSONL line(s)")?;
+        }
         "gen" => {
             if opts.minic == Some(true) {
-                let program = ddpa::gen::generate_minic(
-                    &ddpa::gen::MiniCConfig::sized(opts.seed, opts.size.max(4) / 12),
-                );
+                let program = ddpa::gen::generate_minic(&ddpa::gen::MiniCConfig::sized(
+                    opts.seed,
+                    opts.size.max(4) / 12,
+                ));
                 write!(out, "{}", ddpa::ir::pretty(&program))?;
             } else {
-                let cp = ddpa::gen::generate_random(
-                    &ddpa::gen::RandomConfig::sized(opts.seed, opts.size),
-                );
+                let cp = ddpa::gen::generate_random(&ddpa::gen::RandomConfig::sized(
+                    opts.seed, opts.size,
+                ));
                 write!(out, "{}", ddpa::constraints::print_constraints(&cp))?;
             }
         }
@@ -340,6 +467,78 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         }
         other => return Err(err(format!("unknown command `{other}`\n{USAGE}"))),
     }
+    if opts.profile && command != "profile" {
+        writeln!(out)?;
+        write!(out, "{}", obs.profiler.render())?;
+    }
+    if let Some(path) = opts.metrics_out.as_deref() {
+        export_jsonl(
+            &obs,
+            command,
+            opts.positional.first().map(String::as_str),
+            path,
+        )?;
+    }
+    Ok(())
+}
+
+/// Distinct pointers dereferenced by loads and stores — the demand query
+/// load the audit clients issue.
+fn deref_ptrs(cp: &ConstraintProgram) -> Vec<NodeId> {
+    let mut ptrs: Vec<NodeId> = cp
+        .loads()
+        .iter()
+        .map(|l| l.ptr)
+        .chain(cp.stores().iter().map(|s| s.ptr))
+        .collect();
+    ptrs.sort_unstable();
+    ptrs.dedup();
+    ptrs
+}
+
+/// The registry rendered as aligned `name  value` tables.
+fn render_registry(obs: &Obs) -> String {
+    use std::fmt::Write as _;
+    let counters = obs.registry.counters();
+    let gauges = obs.registry.gauges();
+    let width = counters
+        .iter()
+        .chain(gauges.iter())
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(7)
+        .max(7);
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<width$}  {:>14}", "counter", "value");
+    for (name, value) in counters {
+        let _ = writeln!(s, "{name:<width$}  {:>14}", fmt_count(value));
+    }
+    if !gauges.is_empty() {
+        let _ = writeln!(s, "{:<width$}  {:>14}", "gauge", "value");
+        for (name, value) in gauges {
+            let _ = writeln!(s, "{name:<width$}  {:>14}", fmt_count(value));
+        }
+    }
+    s
+}
+
+/// Writes the run's metrics as JSONL: one `meta` line, then one line per
+/// counter, gauge and profile-tree span.
+fn export_jsonl(obs: &Obs, command: &str, input: Option<&str>, path: &str) -> Result<(), CliError> {
+    let file =
+        std::fs::File::create(path).map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let mut fields = vec![
+        ("tool".to_owned(), JsonValue::str("ddpa")),
+        ("command".to_owned(), JsonValue::str(command)),
+    ];
+    if let Some(input) = input {
+        fields.push(("input".to_owned(), JsonValue::str(input)));
+    }
+    sink.emit("meta", fields)?;
+    sink.emit_registry(&obs.registry)?;
+    sink.emit_profile(&obs.profiler)?;
+    sink.flush()?;
     Ok(())
 }
 
@@ -404,10 +603,7 @@ mod tests {
 
     #[test]
     fn callgraph_command() {
-        let path = write_temp(
-            "t4.cons",
-            "fun f/0\nfp = &f\nicall fp()\ncall f()\n",
-        );
+        let path = write_temp("t4.cons", "fun f/0\nfp = &f\nicall fp()\ncall f()\n");
         let p = path.to_str().expect("utf8 path");
         let out = run_to_string(&["callgraph", p]).expect("callgraph");
         assert!(out.contains("icall #0 -> {f}"), "got: {out}");
@@ -493,6 +689,74 @@ mod tests {
         let out = run_to_string(&["explain", p, "p", "q"]).expect("explain");
         assert!(out.contains("∉"), "got: {out}");
         assert!(run_to_string(&["explain", p, "r"]).is_err());
+    }
+
+    #[test]
+    fn profile_emits_valid_jsonl_and_fire_counts() {
+        let path = write_temp(
+            "t12.cons",
+            "fun f/0\nfp = &f\nicall fp()\np = &o\nq = p\nx = *q\n*q = p\n",
+        );
+        let p = path.to_str().expect("utf8 path");
+        let json = write_temp("t12.jsonl", "");
+        let j = json.to_str().expect("utf8 path");
+        let out = run_to_string(&["profile", p, "--json", j]).expect("profile");
+
+        // The human report shows per-Watcher fire counts and the
+        // demand-vs-exhaustive work comparison.
+        assert!(out.contains("demand.fires.copy_to"), "got: {out}");
+        assert!(out.contains("anders.work"), "got: {out}");
+        assert!(out.contains("demand work"), "got: {out}");
+        assert!(out.contains("vs exhaustive work"), "got: {out}");
+        assert!(
+            out.contains("demand.query"),
+            "span tree present, got: {out}"
+        );
+
+        // Every JSONL line is exactly one JSON object.
+        let text = std::fs::read_to_string(&json).expect("jsonl written");
+        assert!(text.lines().count() > 10, "got: {text}");
+        for line in text.lines() {
+            ddpa::obs::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(text.contains("\"kind\":\"meta\""));
+        assert!(text.contains("\"kind\":\"counter\""));
+        assert!(text.contains("\"kind\":\"gauge\""));
+        assert!(text.contains("\"kind\":\"span\""));
+        assert!(text.contains("demand.fires.copy_to"));
+    }
+
+    #[test]
+    fn metrics_out_and_profile_flags() {
+        let path = write_temp("t13.cons", "p = &o\nq = p\n");
+        let p = path.to_str().expect("utf8 path");
+        let metrics = write_temp("t13.jsonl", "");
+        let m = metrics.to_str().expect("utf8 path");
+        let out =
+            run_to_string(&["query", p, "q", "--profile", "--metrics-out", m]).expect("query");
+        assert!(out.contains("pts(q) = {o}"), "got: {out}");
+        assert!(out.contains("demand.query"), "span tree shown, got: {out}");
+        let text = std::fs::read_to_string(&metrics).expect("metrics written");
+        for line in text.lines() {
+            ddpa::obs::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(text.contains("demand.queries"), "got: {text}");
+    }
+
+    #[test]
+    fn jsonl_check_command() {
+        let path = write_temp("t14.cons", "p = &o\n");
+        let p = path.to_str().expect("utf8 path");
+        let json = write_temp("t14.jsonl", "");
+        let j = json.to_str().expect("utf8 path");
+        run_to_string(&["profile", p, "--json", j]).expect("profile");
+        let out = run_to_string(&["jsonl-check", j]).expect("valid export");
+        assert!(out.contains("valid JSONL line"), "got: {out}");
+
+        let bad = write_temp("t14-bad.jsonl", "{\"kind\":\"meta\"}\nnot json\n");
+        let b = bad.to_str().expect("utf8 path");
+        let err = run_to_string(&["jsonl-check", b]).expect_err("invalid line rejected");
+        assert!(err.to_string().contains(":2:"), "got: {err}");
     }
 
     #[test]

@@ -140,7 +140,13 @@ pub fn to_dot(cp: &ConstraintProgram) -> String {
             CalleeRef::Indirect(fp) => ("icall", format!("n{}", fp.as_u32())),
         };
         if let Some(d) = cs.ret_dst {
-            let _ = writeln!(out, "  {} -> n{} [style=bold, label=\"{}→ret\"];", target, d.as_u32(), style);
+            let _ = writeln!(
+                out,
+                "  {} -> n{} [style=bold, label=\"{}→ret\"];",
+                target,
+                d.as_u32(),
+                style
+            );
         }
         for arg in cs.args.iter().flatten() {
             let _ = writeln!(

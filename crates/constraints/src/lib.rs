@@ -47,8 +47,8 @@ pub mod stats;
 pub mod text;
 
 pub use dot::to_dot;
-pub use lower::{lower, LowerError};
-pub use model::{CallSite, CalleeRef, CallSiteId, FuncId, FuncInfo, NodeId, NodeInfo, NodeKind};
+pub use lower::{lower, lower_with_obs, LowerError};
+pub use model::{CallSite, CallSiteId, CalleeRef, FuncId, FuncInfo, NodeId, NodeInfo, NodeKind};
 pub use program::{AddrOf, Assign, ConstraintBuilder, ConstraintProgram, FieldAddr, Load, Store};
 pub use stats::ProgramStats;
 pub use text::{parse_constraints, print_constraints, TextError};

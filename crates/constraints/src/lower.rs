@@ -73,6 +73,21 @@ pub fn lower(program: &ast::Program) -> Result<ConstraintProgram, LowerError> {
     Ok(lowerer.builder.build())
 }
 
+/// Like [`lower`], but times the pass (span `constraints.lower`) and
+/// publishes the resulting program's [`crate::ProgramStats`] as
+/// `program.*` gauges in `obs`.
+pub fn lower_with_obs(
+    program: &ast::Program,
+    obs: &ddpa_obs::Obs,
+) -> Result<ConstraintProgram, LowerError> {
+    let cp = {
+        let _span = obs.span("constraints.lower");
+        lower(program)?
+    };
+    crate::ProgramStats::of(&cp).record(&obs.registry);
+    Ok(cp)
+}
+
 /// The value an expression lowers to.
 #[derive(Clone, Copy, Debug)]
 enum Value {
@@ -125,7 +140,10 @@ impl<'a> Lowerer<'a> {
     }
 
     fn err(&self, span: Span, message: impl Into<String>) -> LowerError {
-        LowerError { message: message.into(), span }
+        LowerError {
+            message: message.into(),
+            span,
+        }
     }
 
     fn run(&mut self) -> Result<(), LowerError> {
@@ -148,7 +166,10 @@ impl<'a> Lowerer<'a> {
                         // decays to its address.
                         let storage = self.builder.var(&format!("{name}[]"));
                         self.builder.addr_of(node, storage);
-                        let decayed = Ty { base: g.ty.base, depth: g.ty.depth + 1 };
+                        let decayed = Ty {
+                            base: g.ty.base,
+                            depth: g.ty.depth + 1,
+                        };
                         self.globals.insert(g.name, (node, decayed));
                     } else {
                         self.globals.insert(g.name, (node, g.ty));
@@ -201,7 +222,13 @@ impl<'a> Lowerer<'a> {
     /// on `heap` (typed allocation).
     fn type_heap(&mut self, heap: NodeId, ty: Ty) {
         if ty.depth == 1 {
-            self.declare_fields_if_struct(heap, Ty { base: ty.base, depth: 0 });
+            self.declare_fields_if_struct(
+                heap,
+                Ty {
+                    base: ty.base,
+                    depth: 0,
+                },
+            );
         }
     }
 
@@ -233,11 +260,7 @@ impl<'a> Lowerer<'a> {
     }
 
     /// The declared type of `field` within struct `s`.
-    fn field_ty(
-        &self,
-        s: ddpa_support::Symbol,
-        field: ddpa_support::Symbol,
-    ) -> Option<Ty> {
+    fn field_ty(&self, s: ddpa_support::Symbol, field: ddpa_support::Symbol) -> Option<Ty> {
         self.structs
             .get(&s)?
             .iter()
@@ -318,7 +341,10 @@ impl<'a> Lowerer<'a> {
             }
             _ => Err(self.err(
                 span,
-                format!("`{}` is not a struct of the right shape", self.ast.name(base)),
+                format!(
+                    "`{}` is not a struct of the right shape",
+                    self.ast.name(base)
+                ),
             )),
         }
     }
@@ -337,7 +363,11 @@ impl<'a> Lowerer<'a> {
         let base = format!("{func_name}::{}", self.ast.name(sym));
         let count = self.local_counts.entry(base.clone()).or_insert(0);
         *count += 1;
-        let qualified = if *count == 1 { base } else { format!("{base}.{count}") };
+        let qualified = if *count == 1 {
+            base
+        } else {
+            format!("{base}.{count}")
+        };
         let node = self.builder.var(&qualified);
         if let Some(f) = self.current_func {
             self.builder.set_owner(node, f);
@@ -408,7 +438,10 @@ impl<'a> Lowerer<'a> {
         match stmt {
             Stmt::Decl(d) => {
                 if d.array.is_some() {
-                    let decayed = Ty { base: d.ty.base, depth: d.ty.depth + 1 };
+                    let decayed = Ty {
+                        base: d.ty.base,
+                        depth: d.ty.depth + 1,
+                    };
                     let (node, qualified) = self.declare_local_named(d.name, decayed);
                     let storage = self.builder.var(&format!("{qualified}[]"));
                     if let Some(f) = self.current_func {
@@ -449,7 +482,12 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.cond(cond)?;
                 self.stmt(then_branch)?;
                 if let Some(e) = else_branch {
@@ -480,7 +518,10 @@ impl<'a> Lowerer<'a> {
                 if place.derefs == 0 {
                     Some(ty)
                 } else if place.derefs <= ty.depth {
-                    Some(Ty { base: ty.base, depth: ty.depth - place.derefs })
+                    Some(Ty {
+                        base: ty.base,
+                        depth: ty.depth - place.derefs,
+                    })
                 } else {
                     None
                 }
@@ -551,7 +592,11 @@ impl<'a> Lowerer<'a> {
     /// when known) types heap allocations.
     fn expr_expecting(&mut self, expr: &Expr, expected: Option<Ty>) -> Result<Value, LowerError> {
         match expr {
-            Expr::AddrOf { name, field: Some(sel), span } => {
+            Expr::AddrOf {
+                name,
+                field: Some(sel),
+                span,
+            } => {
                 let (node, _s, idx) = self.resolve_field(*name, *sel, *span)?;
                 if sel.arrow {
                     let t = self.temp();
@@ -562,21 +607,37 @@ impl<'a> Lowerer<'a> {
                     Ok(Value::Addr(fld))
                 }
             }
-            Expr::AddrOf { name, field: None, span } => match self.resolve(*name, *span)? {
+            Expr::AddrOf {
+                name,
+                field: None,
+                span,
+            } => match self.resolve(*name, *span)? {
                 Slot::Node(n, _) => Ok(Value::Addr(n)),
                 Slot::Func(f) => Ok(Value::Addr(self.builder.func_info(f).object)),
             },
-            Expr::Path { derefs: 0, name, field: Some(sel), span } => {
+            Expr::Path {
+                derefs: 0,
+                name,
+                field: Some(sel),
+                span,
+            } => {
                 // A field read: load through the field's address.
                 let ptr = self.field_place_ptr(*name, *sel, *span)?;
                 let t = self.temp();
                 self.builder.load(t, ptr);
                 Ok(Value::Node(t))
             }
-            Expr::Path { field: Some(_), span, .. } => {
-                Err(self.err(*span, "cannot mix dereference and field selection"))
-            }
-            Expr::Path { derefs, name, field: None, span } => {
+            Expr::Path {
+                field: Some(_),
+                span,
+                ..
+            } => Err(self.err(*span, "cannot mix dereference and field selection")),
+            Expr::Path {
+                derefs,
+                name,
+                field: None,
+                span,
+            } => {
                 match self.resolve(*name, *span)? {
                     Slot::Node(n, _) => {
                         if *derefs == 0 {
@@ -680,8 +741,11 @@ mod tests {
     fn lowers_malloc_to_heap_site() {
         let cp = lower_src("void main() { int *p = malloc(); int *q = malloc(); }");
         assert_eq!(cp.addr_ofs().len(), 2);
-        let objs: Vec<_> =
-            cp.addr_ofs().iter().map(|a| cp.display_node(a.obj)).collect();
+        let objs: Vec<_> = cp
+            .addr_ofs()
+            .iter()
+            .map(|a| cp.display_node(a.obj))
+            .collect();
         assert_eq!(objs, vec!["@heap0", "@heap1"]);
     }
 
@@ -718,9 +782,10 @@ mod tests {
     #[test]
     fn return_flows_into_ret_node() {
         let cp = lower_src("int g; int *f() { return &g; } void main() { int *p = f(); }");
-        let f = cp.funcs().iter_enumerated().find(|(_, i)| {
-            cp.interner().resolve(i.name) == "f"
-        });
+        let f = cp
+            .funcs()
+            .iter_enumerated()
+            .find(|(_, i)| cp.interner().resolve(i.name) == "f");
         let (_, finfo) = f.expect("f exists");
         assert!(cp.addr_ofs().iter().any(|a| a.dst == finfo.ret));
         // p = f() creates a ret temp then copies into main::p.
@@ -730,9 +795,7 @@ mod tests {
 
     #[test]
     fn shadowed_locals_get_distinct_nodes() {
-        let cp = lower_src(
-            "int a; int b; void main() { int *p = &a; { int *p = &b; p = null; } }",
-        );
+        let cp = lower_src("int a; int b; void main() { int *p = &a; { int *p = &b; p = null; } }");
         // Two distinct nodes named main::p and main::p.2.
         let names: Vec<_> = cp.node_ids().map(|n| cp.display_node(n)).collect();
         assert!(names.contains(&"main::p".to_owned()));
@@ -842,10 +905,18 @@ mod array_tests {
         assert!(names.contains(&"main::tab".to_owned()));
         assert!(names.contains(&"main::tab[]".to_owned()));
         // The decayed pointer holds the storage object's address.
-        let tab = cp.node_ids().find(|&n| cp.display_node(n) == "main::tab").expect("tab");
-        let storage =
-            cp.node_ids().find(|&n| cp.display_node(n) == "main::tab[]").expect("storage");
-        assert!(cp.addr_ofs().iter().any(|a| a.dst == tab && a.obj == storage));
+        let tab = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::tab")
+            .expect("tab");
+        let storage = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::tab[]")
+            .expect("storage");
+        assert!(cp
+            .addr_ofs()
+            .iter()
+            .any(|a| a.dst == tab && a.obj == storage));
         // Element accesses are loads/stores through the decayed pointer.
         assert_eq!(cp.stores().len(), 2);
         assert_eq!(cp.loads().len(), 1);

@@ -139,10 +139,16 @@ mod tests {
 
     #[test]
     fn node_info_helpers() {
-        let f = NodeInfo { kind: NodeKind::Func { func: FuncId::from_u32(2) } };
+        let f = NodeInfo {
+            kind: NodeKind::Func {
+                func: FuncId::from_u32(2),
+            },
+        };
         assert!(f.is_func());
         assert_eq!(f.as_func(), Some(FuncId::from_u32(2)));
-        let t = NodeInfo { kind: NodeKind::Temp { seq: 0 } };
+        let t = NodeInfo {
+            kind: NodeKind::Temp { seq: 0 },
+        };
         assert!(!t.is_func());
         assert_eq!(t.as_func(), None);
     }

@@ -106,7 +106,9 @@ impl ConstraintBuilder {
         if let Some(&node) = self.vars_by_name.get(&sym) {
             return node;
         }
-        let node = self.nodes.push(NodeInfo { kind: NodeKind::Var { name: sym } });
+        let node = self.nodes.push(NodeInfo {
+            kind: NodeKind::Var { name: sym },
+        });
         self.vars_by_name.insert(sym, node);
         node
     }
@@ -121,14 +123,18 @@ impl ConstraintBuilder {
     pub fn temp(&mut self) -> NodeId {
         let seq = self.temp_seq;
         self.temp_seq += 1;
-        self.nodes.push(NodeInfo { kind: NodeKind::Temp { seq } })
+        self.nodes.push(NodeInfo {
+            kind: NodeKind::Temp { seq },
+        })
     }
 
     /// Creates a fresh heap allocation-site node.
     pub fn heap(&mut self) -> NodeId {
         let seq = self.heap_seq;
         self.heap_seq += 1;
-        self.nodes.push(NodeInfo { kind: NodeKind::Heap { seq } })
+        self.nodes.push(NodeInfo {
+            kind: NodeKind::Heap { seq },
+        })
     }
 
     /// Returns the node for field `field` of `parent`, creating it on
@@ -137,7 +143,9 @@ impl ConstraintBuilder {
         if let Some(&node) = self.field_nodes.get(&(parent, field)) {
             return node;
         }
-        let node = self.nodes.push(NodeInfo { kind: NodeKind::Field { parent, field } });
+        let node = self.nodes.push(NodeInfo {
+            kind: NodeKind::Field { parent, field },
+        });
         self.field_nodes.insert((parent, field), node);
         node
     }
@@ -160,16 +168,28 @@ impl ConstraintBuilder {
             "function `{name}` declared twice"
         );
         let func = self.funcs.next_index();
-        let object = self.nodes.push(NodeInfo { kind: NodeKind::Func { func } });
+        let object = self.nodes.push(NodeInfo {
+            kind: NodeKind::Func { func },
+        });
         let formals = (0..arity)
             .map(|index| {
                 self.nodes.push(NodeInfo {
-                    kind: NodeKind::Formal { func, index: index as u32 },
+                    kind: NodeKind::Formal {
+                        func,
+                        index: index as u32,
+                    },
                 })
             })
             .collect();
-        let ret = self.nodes.push(NodeInfo { kind: NodeKind::Ret { func } });
-        let id = self.funcs.push(FuncInfo { name: sym, object, formals, ret });
+        let ret = self.nodes.push(NodeInfo {
+            kind: NodeKind::Ret { func },
+        });
+        let id = self.funcs.push(FuncInfo {
+            name: sym,
+            object,
+            formals,
+            ret,
+        });
         debug_assert_eq!(id, func);
         self.funcs_by_name.insert(sym, func);
         func
@@ -228,7 +248,12 @@ impl ConstraintBuilder {
         args: Vec<Option<NodeId>>,
         ret_dst: Option<NodeId>,
     ) -> CallSiteId {
-        self.callsites.push(CallSite { callee: CalleeRef::Direct(func), args, ret_dst, caller: None })
+        self.callsites.push(CallSite {
+            callee: CalleeRef::Direct(func),
+            args,
+            ret_dst,
+            caller: None,
+        })
     }
 
     /// Adds an indirect call site through function pointer `fp`.
@@ -238,7 +263,12 @@ impl ConstraintBuilder {
         args: Vec<Option<NodeId>>,
         ret_dst: Option<NodeId>,
     ) -> CallSiteId {
-        self.callsites.push(CallSite { callee: CalleeRef::Indirect(fp), args, ret_dst, caller: None })
+        self.callsites.push(CallSite {
+            callee: CalleeRef::Indirect(fp),
+            args,
+            ret_dst,
+            caller: None,
+        })
     }
 
     /// Records the function containing call site `cs`.
@@ -582,7 +612,10 @@ impl ConstraintProgram {
                 format!("@fn_{}", self.interner.resolve(self.funcs[func].name))
             }
             NodeKind::Formal { func, index } => {
-                format!("{}::arg{index}", self.interner.resolve(self.funcs[func].name))
+                format!(
+                    "{}::arg{index}",
+                    self.interner.resolve(self.funcs[func].name)
+                )
             }
             NodeKind::Ret { func } => {
                 format!("{}::ret", self.interner.resolve(self.funcs[func].name))

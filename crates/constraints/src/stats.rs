@@ -83,6 +83,31 @@ impl ProgramStats {
     pub fn calls(&self) -> usize {
         self.direct_calls + self.indirect_calls
     }
+
+    /// Publishes every count as a `program.*` gauge in `registry`.
+    pub fn record(&self, registry: &ddpa_obs::Registry) {
+        let pairs: [(&str, usize); 16] = [
+            ("program.nodes", self.nodes),
+            ("program.vars", self.vars),
+            ("program.temps", self.temps),
+            ("program.heaps", self.heaps),
+            ("program.funcs", self.funcs),
+            ("program.addr_ofs", self.addr_ofs),
+            ("program.copies", self.copies),
+            ("program.loads", self.loads),
+            ("program.stores", self.stores),
+            ("program.field_addrs", self.field_addrs),
+            ("program.fields", self.fields),
+            ("program.calls.direct", self.direct_calls),
+            ("program.calls.indirect", self.indirect_calls),
+            ("program.address_taken", self.address_taken),
+            ("program.assignments", self.assignments()),
+            ("program.calls", self.calls()),
+        ];
+        for (name, value) in pairs {
+            registry.gauge(name).set(value as u64);
+        }
+    }
 }
 
 impl fmt::Display for ProgramStats {

@@ -39,7 +39,11 @@ pub struct TextError {
 
 impl std::fmt::Display for TextError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "constraint text error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "constraint text error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -123,7 +127,10 @@ fn parse_fun_decl(rest: &str, line: usize) -> Result<(&str, usize), TextError> {
     })?;
     let name = name.trim();
     if name.is_empty() {
-        return Err(TextError { message: "empty function name".into(), line });
+        return Err(TextError {
+            message: "empty function name".into(),
+            line,
+        });
     }
     Ok((name, arity))
 }
@@ -140,7 +147,10 @@ fn parse_field_ref(text: &str, line: usize) -> Result<(&str, u32), TextError> {
         line,
     })?;
     if parent.is_empty() {
-        return Err(TextError { message: "empty field parent".into(), line });
+        return Err(TextError {
+            message: "empty field parent".into(),
+            line,
+        });
     }
     Ok((parent, field))
 }
@@ -154,7 +164,10 @@ fn resolve_name(
 ) -> Result<Option<NodeId>, TextError> {
     let name = name.trim();
     if name.is_empty() {
-        return Err(TextError { message: "empty name".into(), line });
+        return Err(TextError {
+            message: "empty name".into(),
+            line,
+        });
     }
     if name == "_" {
         return Ok(None);
@@ -199,11 +212,7 @@ fn resolve_name(
     Ok(Some(builder.var(name)))
 }
 
-fn require(
-    builder: &mut ConstraintBuilder,
-    name: &str,
-    line: usize,
-) -> Result<NodeId, TextError> {
+fn require(builder: &mut ConstraintBuilder, name: &str, line: usize) -> Result<NodeId, TextError> {
     resolve_name(builder, name, line)?.ok_or_else(|| TextError {
         message: "`_` is not allowed here".into(),
         line,
@@ -211,7 +220,10 @@ fn require(
 }
 
 fn parse_line(builder: &mut ConstraintBuilder, line: &str, lineno: usize) -> Result<(), TextError> {
-    if let Some(rest) = line.strip_prefix("call ").or_else(|| line.strip_prefix("icall ")) {
+    if let Some(rest) = line
+        .strip_prefix("call ")
+        .or_else(|| line.strip_prefix("icall "))
+    {
         let indirect = line.starts_with("icall ");
         return parse_call(builder, rest, indirect, lineno);
     }
@@ -273,7 +285,10 @@ fn parse_call(
         line: lineno,
     })?;
     if close < open {
-        return Err(TextError { message: "mismatched parentheses".into(), line: lineno });
+        return Err(TextError {
+            message: "mismatched parentheses".into(),
+            line: lineno,
+        });
     }
     let callee = rest[..open].trim();
     let args_text = &rest[open + 1..close];
@@ -352,13 +367,28 @@ pub fn print_constraints(cp: &ConstraintProgram) -> String {
         let _ = writeln!(out, "{} = &{}", cp.display_node(a.dst), obj);
     }
     for c in cp.copies() {
-        let _ = writeln!(out, "{} = {}", cp.display_node(c.dst), cp.display_node(c.src));
+        let _ = writeln!(
+            out,
+            "{} = {}",
+            cp.display_node(c.dst),
+            cp.display_node(c.src)
+        );
     }
     for l in cp.loads() {
-        let _ = writeln!(out, "{} = *{}", cp.display_node(l.dst), cp.display_node(l.ptr));
+        let _ = writeln!(
+            out,
+            "{} = *{}",
+            cp.display_node(l.dst),
+            cp.display_node(l.ptr)
+        );
     }
     for s in cp.stores() {
-        let _ = writeln!(out, "*{} = {}", cp.display_node(s.ptr), cp.display_node(s.src));
+        let _ = writeln!(
+            out,
+            "*{} = {}",
+            cp.display_node(s.ptr),
+            cp.display_node(s.src)
+        );
     }
     for fa in cp.field_addrs() {
         let _ = writeln!(
@@ -500,7 +530,10 @@ mod field_tests {
         )
         .expect("parses");
         assert_eq!(cp.field_addrs().len(), 2);
-        let o = cp.node_ids().find(|&n| cp.display_node(n) == "o").expect("o");
+        let o = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "o")
+            .expect("o");
         assert!(cp.field_of(o, 0).is_some());
         assert!(cp.field_of(o, 1).is_some());
         assert!(cp.field_of(o, 2).is_none());
@@ -513,7 +546,10 @@ mod field_tests {
              x = &o.f0\n",
         )
         .expect("parses");
-        let o = cp.node_ids().find(|&n| cp.display_node(n) == "o").expect("o");
+        let o = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "o")
+            .expect("o");
         let fld = cp.field_of(o, 0).expect("field node");
         assert_eq!(cp.addr_ofs()[0].obj, fld);
     }

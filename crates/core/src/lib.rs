@@ -67,6 +67,9 @@ pub use ddpa_cxt as cxt;
 /// Foundation data structures (re-export of `ddpa-support`).
 pub use ddpa_support as support;
 
+/// Metrics, span profiling and JSONL export (re-export of `ddpa-obs`).
+pub use ddpa_obs as obs;
+
 /// Convenience: parse MiniC source, check it, and lower to constraints.
 ///
 /// # Errors
@@ -80,9 +83,7 @@ pub use ddpa_support as support;
 /// assert_eq!(cp.addr_ofs().len(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn compile(
-    source: &str,
-) -> Result<constraints::ConstraintProgram, Box<dyn std::error::Error>> {
+pub fn compile(source: &str) -> Result<constraints::ConstraintProgram, Box<dyn std::error::Error>> {
     let program = ir::parse(source)?;
     ir::check(&program)?;
     Ok(constraints::lower(&program)?)

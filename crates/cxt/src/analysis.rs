@@ -88,7 +88,10 @@ mod tests {
             let cs = CsAnalysis::run(&cp, &CloneConfig::with_k(k));
             let total = cs.total_pts(&cp);
             assert!(total <= ci_total, "k={k}: CS may never lose precision");
-            assert!(total <= last, "k={k}: deeper contexts may never lose precision");
+            assert!(
+                total <= last,
+                "k={k}: deeper contexts may never lose precision"
+            );
             last = total;
             // Subset on every node.
             for n in cp.node_ids() {
@@ -104,7 +107,10 @@ mod tests {
         }
         // Depth 2 fully disambiguates the two-level wrapper.
         let cs2 = CsAnalysis::run(&cp, &CloneConfig::with_k(2));
-        let r1 = cp.node_ids().find(|&n| cp.display_node(n) == "main::r1").expect("r1");
+        let r1 = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::r1")
+            .expect("r1");
         assert_eq!(cs2.pts_of(r1).len(), 1);
         // Depth 1 cannot (the inner id still merges).
         let cs1 = CsAnalysis::run(&cp, &CloneConfig::with_k(1));
@@ -118,7 +124,11 @@ mod tests {
         let cs = CsAnalysis::run(&cp, &CloneConfig::with_k(1));
         for n in cp.node_ids() {
             for t in cs.pts_of(n) {
-                assert!(ci.points_to(n, t), "spurious CS fact at {}", cp.display_node(n));
+                assert!(
+                    ci.points_to(n, t),
+                    "spurious CS fact at {}",
+                    cp.display_node(n)
+                );
             }
         }
         let ci_total: usize = cp.node_ids().map(|n| ci.pts(n).len()).sum();

@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 
 use ddpa_callgraph::CallGraph;
-use ddpa_constraints::{
-    CalleeRef, ConstraintBuilder, ConstraintProgram, FuncId, NodeId, NodeKind,
-};
+use ddpa_constraints::{CalleeRef, ConstraintBuilder, ConstraintProgram, FuncId, NodeId, NodeKind};
 
 use crate::context::{ContextTable, CtxId};
 
@@ -25,14 +23,21 @@ pub struct CloneConfig {
 
 impl Default for CloneConfig {
     fn default() -> Self {
-        CloneConfig { k: 1, max_clones: 20_000, clone_heap: true }
+        CloneConfig {
+            k: 1,
+            max_clones: 20_000,
+            clone_heap: true,
+        }
     }
 }
 
 impl CloneConfig {
     /// A config with call-string depth `k` and default limits.
     pub fn with_k(k: usize) -> Self {
-        CloneConfig { k, ..CloneConfig::default() }
+        CloneConfig {
+            k,
+            ..CloneConfig::default()
+        }
     }
 }
 
@@ -72,11 +77,7 @@ impl ClonedProgram {
 
 /// Expands `cp` into a context-sensitive clone per `config`, using `cg`
 /// (a sound call graph, e.g. from the demand client) to fix call targets.
-pub fn clone_expand(
-    cp: &ConstraintProgram,
-    cg: &CallGraph,
-    config: &CloneConfig,
-) -> ClonedProgram {
+pub fn clone_expand(cp: &ConstraintProgram, cg: &CallGraph, config: &CloneConfig) -> ClonedProgram {
     Expander::new(cp, cg, config).run()
 }
 
@@ -278,8 +279,7 @@ impl<'p> Expander<'p> {
     fn create_fields(&mut self) {
         // Sorted by original field-node id: parents precede nested fields.
         for (parent, field, orig_field) in self.cp.field_nodes() {
-            let parents: Vec<NodeId> =
-                self.clones.get(&parent).cloned().unwrap_or_default();
+            let parents: Vec<NodeId> = self.clones.get(&parent).cloned().unwrap_or_default();
             for p in parents {
                 let new = self.builder.field_node(p, field);
                 self.record(orig_field, new);
@@ -417,8 +417,7 @@ impl<'p> Expander<'p> {
                 let ret_dst = site.ret_dst.map(|n| self.map(n, ctx));
                 for &t in &targets {
                     let callee = self.func_clone(t, nctx);
-                    let new_cs =
-                        self.builder.call_direct(callee, args.clone(), ret_dst);
+                    let new_cs = self.builder.call_direct(callee, args.clone(), ret_dst);
                     if let Some(f) = caller {
                         let nf = self.func_clone(f, ctx);
                         self.builder.set_caller(new_cs, nf);
@@ -474,7 +473,10 @@ mod tests {
         // id@[], main@[], id@[cs1], id@[cs2].
         assert_eq!(cloned.clone_count, 4);
         let sol = ddpa_anders::solve(&cloned.program);
-        let r1 = cp.node_ids().find(|&n| cp.display_node(n) == "main::r1").expect("r1");
+        let r1 = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::r1")
+            .expect("r1");
         let mut targets: Vec<NodeId> = Vec::new();
         for &c in cloned.clones_of(r1) {
             for t in sol.pts_nodes(c) {
@@ -527,12 +529,14 @@ mod tests {
         for k in [0usize, 1, 2] {
             let cloned = clone_expand(&cp, &cg, &CloneConfig::with_k(k));
             let sol = ddpa_anders::solve(&cloned.program);
-            let x = cp.node_ids().find(|&n| cp.display_node(n) == "main::x").expect("x");
+            let x = cp
+                .node_ids()
+                .find(|&n| cp.display_node(n) == "main::x")
+                .expect("x");
             let mut projected: Vec<String> = Vec::new();
             for &c in cloned.clones_of(x) {
                 for t in sol.pts_nodes(c) {
-                    projected
-                        .push(cp.display_node(cloned.origin_of(t).expect("origin")));
+                    projected.push(cp.display_node(cloned.origin_of(t).expect("origin")));
                 }
             }
             projected.sort();
@@ -551,13 +555,20 @@ mod tests {
              void main() { int *r = l1(&a); int *s = l1(r); }",
         );
         let cg = build_cg(&cp);
-        let config = CloneConfig { k: 3, max_clones: 5, clone_heap: true };
+        let config = CloneConfig {
+            k: 3,
+            max_clones: 5,
+            clone_heap: true,
+        };
         let cloned = clone_expand(&cp, &cg, &config);
         assert!(cloned.capped);
         assert!(cloned.clone_count <= 5);
         // Still sound: r resolves to a.
         let sol = ddpa_anders::solve(&cloned.program);
-        let r = cp.node_ids().find(|&n| cp.display_node(n) == "main::r").expect("r");
+        let r = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::r")
+            .expect("r");
         let found = cloned.clones_of(r).iter().any(|&c| {
             sol.pts_nodes(c)
                 .iter()
@@ -576,8 +587,14 @@ mod tests {
         // With heap cloning, x and y get different allocation sites.
         let with = clone_expand(&cp, &cg, &CloneConfig::with_k(1));
         let sol = ddpa_anders::solve(&with.program);
-        let x = cp.node_ids().find(|&n| cp.display_node(n) == "main::x").expect("x");
-        let y = cp.node_ids().find(|&n| cp.display_node(n) == "main::y").expect("y");
+        let x = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::x")
+            .expect("x");
+        let y = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "main::y")
+            .expect("y");
         let set_of = |node: NodeId, cloned: &ClonedProgram, sol: &ddpa_anders::Solution| {
             let mut v: Vec<NodeId> = Vec::new();
             for &c in cloned.clones_of(node) {
@@ -595,7 +612,10 @@ mod tests {
         let without = clone_expand(
             &cp,
             &cg,
-            &CloneConfig { clone_heap: false, ..CloneConfig::with_k(1) },
+            &CloneConfig {
+                clone_heap: false,
+                ..CloneConfig::with_k(1)
+            },
         );
         let sol = ddpa_anders::solve(&without.program);
         let (xs, ys) = (set_of(x, &without, &sol), set_of(y, &without, &sol));

@@ -26,7 +26,11 @@ impl ContextTable {
     /// A table for call strings of length ≤ `k`. The empty context is
     /// pre-interned as [`ContextTable::EMPTY`].
     pub fn new(k: usize) -> Self {
-        let mut table = ContextTable { k, contexts: Vec::new(), index: HashMap::new() };
+        let mut table = ContextTable {
+            k,
+            contexts: Vec::new(),
+            index: HashMap::new(),
+        };
         let empty = table.intern(Vec::new());
         debug_assert_eq!(empty, Self::EMPTY);
         table
@@ -52,7 +56,7 @@ impl ContextTable {
 
     /// Interns a context.
     pub fn intern(&mut self, ctx: Context) -> CtxId {
-        debug_assert!(ctx.len() <= self.k.max(0), "context exceeds k");
+        debug_assert!(ctx.len() <= self.k, "context exceeds k");
         if let Some(&id) = self.index.get(&ctx) {
             return id;
         }

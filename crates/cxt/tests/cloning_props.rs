@@ -4,14 +4,19 @@
 //! * any k only *removes* facts (projected CS ⊆ CI on every node);
 //! * precision is monotone in k;
 //! * the clone cap keeps the construction sound.
+//!
+//! Programs are drawn from a seeded RNG so every run checks the same
+//! corpus deterministically.
 
-use proptest::prelude::*;
+use ddpa_support::rng::Rng;
 
 use ddpa_anders::naive;
 use ddpa_callgraph::CallGraph;
 use ddpa_constraints::{ConstraintBuilder, ConstraintProgram, NodeId};
 use ddpa_cxt::{clone_expand, CloneConfig, CsAnalysis};
 use ddpa_demand::{DemandConfig, DemandEngine};
+
+const CASES: usize = 48;
 
 /// A generatable program with real function structure: every constraint
 /// and call site is owned by some function, as lowered code would be.
@@ -31,18 +36,43 @@ struct FuncSpec {
     calls: Vec<(usize, usize, usize)>,
 }
 
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    let func = (0usize..3, prop::collection::vec((0u8..5, 0usize..8, 0usize..8), 0..8),
-                prop::collection::vec((0usize..4, 0usize..8, 0usize..8), 0..3))
-        .prop_map(|(arity, body, calls)| FuncSpec { arity, body, calls });
-    (prop::collection::vec(func, 1..5), 2usize..6)
-        .prop_map(|(funcs, num_globals)| Spec { funcs, num_globals })
+fn random_spec(rng: &mut Rng) -> Spec {
+    let num_funcs = rng.gen_range(1..5usize);
+    let funcs = (0..num_funcs)
+        .map(|_| {
+            let arity = rng.gen_range(0..3usize);
+            let body = (0..rng.gen_range(0..8usize))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..5u8),
+                        rng.gen_range(0..8usize),
+                        rng.gen_range(0..8usize),
+                    )
+                })
+                .collect();
+            let calls = (0..rng.gen_range(0..3usize))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..4usize),
+                        rng.gen_range(0..8usize),
+                        rng.gen_range(0..8usize),
+                    )
+                })
+                .collect();
+            FuncSpec { arity, body, calls }
+        })
+        .collect();
+    Spec {
+        funcs,
+        num_globals: rng.gen_range(2..6usize),
+    }
 }
 
 fn build(spec: &Spec) -> ConstraintProgram {
     let mut b = ConstraintBuilder::new();
-    let globals: Vec<NodeId> =
-        (0..spec.num_globals).map(|i| b.var(&format!("g{i}"))).collect();
+    let globals: Vec<NodeId> = (0..spec.num_globals)
+        .map(|i| b.var(&format!("g{i}")))
+        .collect();
     let funcs: Vec<_> = spec
         .funcs
         .iter()
@@ -87,26 +117,30 @@ fn projected(cs: &CsAnalysis, cp: &ConstraintProgram) -> Vec<(NodeId, Vec<NodeId
     cp.node_ids().map(|n| (n, cs.pts_of(n))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn k0_equals_context_insensitive(spec in spec_strategy()) {
+#[test]
+fn k0_equals_context_insensitive() {
+    let mut rng = Rng::seed_from_u64(0xc10_0001);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
         let cp = build(&spec);
         let ci = naive::solve(&cp);
         let cs = CsAnalysis::run(&cp, &CloneConfig::with_k(0));
         for (n, pts) in projected(&cs, &cp) {
-            prop_assert_eq!(
+            assert_eq!(
                 pts,
                 ci.pts_nodes(n),
-                "k=0 differs at {}",
+                "case {case}: k=0 differs at {}",
                 cp.display_node(n)
             );
         }
     }
+}
 
-    #[test]
-    fn cs_is_subset_of_ci_and_monotone_in_k(spec in spec_strategy()) {
+#[test]
+fn cs_is_subset_of_ci_and_monotone_in_k() {
+    let mut rng = Rng::seed_from_u64(0xc10_0002);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
         let cp = build(&spec);
         let ci = naive::solve(&cp);
         let ci_total: usize = cp.node_ids().map(|n| ci.pts(n).len()).sum();
@@ -119,36 +153,50 @@ proptest! {
             for (n, pts) in projected(&cs, &cp) {
                 total += pts.len();
                 for t in pts {
-                    prop_assert!(
+                    assert!(
                         ci.points_to(n, t),
-                        "k={k}: spurious fact {} ∈ pts({})",
+                        "case {case}, k={k}: spurious fact {} ∈ pts({})",
                         cp.display_node(t),
                         cp.display_node(n)
                     );
                 }
             }
-            prop_assert!(total <= ci_total, "k={k}: exceeded CI total");
-            prop_assert!(total <= last_total, "precision regressed from k-1 to k={k}");
+            assert!(total <= ci_total, "case {case}, k={k}: exceeded CI total");
+            assert!(
+                total <= last_total,
+                "case {case}: precision regressed from k-1 to k={k}"
+            );
             last_total = total;
         }
     }
+}
 
-    #[test]
-    fn clone_cap_is_sound(spec in spec_strategy()) {
+#[test]
+fn clone_cap_is_sound() {
+    let mut rng = Rng::seed_from_u64(0xc10_0003);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
         let cp = build(&spec);
         let ci = naive::solve(&cp);
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let (cg, _) = CallGraph::from_demand(&mut engine);
         // A cap that always bites (every function gets only its base clone
         // plus at most a couple of contexts).
-        let config = CloneConfig { k: 2, max_clones: cp.funcs().len() + 2, clone_heap: true };
+        let config = CloneConfig {
+            k: 2,
+            max_clones: cp.funcs().len() + 2,
+            clone_heap: true,
+        };
         let cloned = clone_expand(&cp, &cg, &config);
-        prop_assert!(cloned.clone_count <= config.max_clones);
+        assert!(cloned.clone_count <= config.max_clones, "case {case}");
         let solution = ddpa_anders::solve(&cloned.program);
         let cs = CsAnalysis { cloned, solution };
         for (n, pts) in projected(&cs, &cp) {
             for t in pts {
-                prop_assert!(ci.points_to(n, t), "capped expansion produced a spurious fact");
+                assert!(
+                    ci.points_to(n, t),
+                    "case {case}: capped expansion produced a spurious fact"
+                );
             }
         }
     }

@@ -30,17 +30,29 @@ pub struct Budget {
 impl Budget {
     /// An unlimited budget (still counts work).
     pub fn unlimited() -> Self {
-        Budget { limit: None, used: 0, exhausted: false }
+        Budget {
+            limit: None,
+            used: 0,
+            exhausted: false,
+        }
     }
 
     /// A budget of `limit` work units.
     pub fn limited(limit: u64) -> Self {
-        Budget { limit: Some(limit), used: 0, exhausted: false }
+        Budget {
+            limit: Some(limit),
+            used: 0,
+            exhausted: false,
+        }
     }
 
     /// Creates a budget from an optional limit.
     pub fn new(limit: Option<u64>) -> Self {
-        Budget { limit, used: 0, exhausted: false }
+        Budget {
+            limit,
+            used: 0,
+            exhausted: false,
+        }
     }
 
     /// Tries to consume `amount` units. Returns `false` (and marks the

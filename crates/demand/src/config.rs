@@ -17,7 +17,11 @@ pub struct DemandConfig {
 
 impl Default for DemandConfig {
     fn default() -> Self {
-        DemandConfig { budget: None, caching: true, trace: false }
+        DemandConfig {
+            budget: None,
+            caching: true,
+            trace: false,
+        }
     }
 }
 

@@ -51,9 +51,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ddpa_constraints::{
-    CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind,
-};
+use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind};
+use ddpa_obs::{Counter, Obs};
 
 use crate::budget::Budget;
 use crate::config::DemandConfig;
@@ -88,13 +87,51 @@ pub struct DemandEngine<'p> {
     keys: Vec<Goal>,
     index: HashMap<Goal, u32>,
     queue: VecDeque<u32>,
-    stats: EngineStats,
+    obs: Obs,
+    counters: EngineCounters,
     provenance: HashMap<(Goal, u32), Origin>,
 }
 
+/// Pre-resolved counter handles — the hot path never does a name lookup.
+#[derive(Debug)]
+struct EngineCounters {
+    queries: Counter,
+    complete_queries: Counter,
+    cache_hits: Counter,
+    fires: Counter,
+    goals_activated: Counter,
+    work: Counter,
+    /// Per-[`Watcher`] variant fire counts, indexed by
+    /// [`Watcher::kind_index`].
+    fires_by_kind: [Counter; 12],
+}
+
+impl EngineCounters {
+    fn new(obs: &Obs) -> Self {
+        EngineCounters {
+            queries: obs.counter("demand.queries"),
+            complete_queries: obs.counter("demand.queries.complete"),
+            cache_hits: obs.counter("demand.cache_hits"),
+            fires: obs.counter("demand.fires"),
+            goals_activated: obs.counter("demand.goals_activated"),
+            work: obs.counter("demand.work"),
+            fires_by_kind: std::array::from_fn(|i| {
+                obs.counter(&format!("demand.fires.{}", Watcher::KIND_NAMES[i]))
+            }),
+        }
+    }
+}
+
 impl<'p> DemandEngine<'p> {
-    /// Creates an engine over `cp`.
+    /// Creates an engine over `cp` with a private [`Obs`] (profiling off).
     pub fn new(cp: &'p ConstraintProgram, config: DemandConfig) -> Self {
+        DemandEngine::with_obs(cp, config, Obs::new())
+    }
+
+    /// Creates an engine publishing metrics and spans into `obs` — share
+    /// one [`Obs`] across engines and solvers to aggregate a whole run.
+    pub fn with_obs(cp: &'p ConstraintProgram, config: DemandConfig, obs: Obs) -> Self {
+        let counters = EngineCounters::new(&obs);
         DemandEngine {
             cp,
             config,
@@ -102,9 +139,15 @@ impl<'p> DemandEngine<'p> {
             keys: Vec::new(),
             index: HashMap::new(),
             queue: VecDeque::new(),
-            stats: EngineStats::default(),
+            obs,
+            counters,
             provenance: HashMap::new(),
         }
+    }
+
+    /// The observability hub this engine publishes into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The program being analyzed.
@@ -127,9 +170,19 @@ impl<'p> DemandEngine<'p> {
         self.config.budget = budget;
     }
 
-    /// Cumulative statistics across all queries so far.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// A snapshot of the cumulative statistics across all queries so far.
+    ///
+    /// Counts reflect only this engine unless the [`Obs`] passed to
+    /// [`DemandEngine::with_obs`] is shared with other engines.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.counters.queries.get(),
+            complete_queries: self.counters.complete_queries.get(),
+            cache_hits: self.counters.cache_hits.get(),
+            fires: self.counters.fires.get(),
+            goals_activated: self.counters.goals_activated.get(),
+            work: self.counters.work.get(),
+        }
     }
 
     /// Number of subgoals currently tabled.
@@ -163,14 +216,25 @@ impl<'p> DemandEngine<'p> {
     /// every address-taken function (sound) with `resolved = false`.
     pub fn call_targets(&mut self, cs: ddpa_constraints::CallSiteId) -> CallTargets {
         match self.cp.callsite(cs).callee {
-            CalleeRef::Direct(f) => CallTargets { targets: vec![f], resolved: true, work: 0 },
+            CalleeRef::Direct(f) => CallTargets {
+                targets: vec![f],
+                resolved: true,
+                work: 0,
+            },
             CalleeRef::Indirect(fp) => {
                 let r = self.points_to(fp);
                 if r.complete {
-                    let mut targets: Vec<FuncId> =
-                        r.pts.iter().filter_map(|&n| self.cp.node(n).as_func()).collect();
+                    let mut targets: Vec<FuncId> = r
+                        .pts
+                        .iter()
+                        .filter_map(|&n| self.cp.node(n).as_func())
+                        .collect();
                     targets.sort_unstable();
-                    CallTargets { targets, resolved: true, work: r.work }
+                    CallTargets {
+                        targets,
+                        resolved: true,
+                        work: r.work,
+                    }
                 } else {
                     CallTargets {
                         targets: self.cp.address_taken_funcs(),
@@ -218,7 +282,11 @@ impl<'p> DemandEngine<'p> {
                 return None;
             }
             let origin = *self.provenance.get(&current)?;
-            steps.push(TraceStep { goal: current.0, elem: current.1, origin });
+            steps.push(TraceStep {
+                goal: current.0,
+                elem: current.1,
+                origin,
+            });
             match origin {
                 Origin::Base => return Some(Explanation { steps }),
                 Origin::Rule { src, elem, .. } => current = (src, elem),
@@ -238,7 +306,7 @@ impl<'p> DemandEngine<'p> {
         self.goals.push(GoalState::new());
         self.keys.push(goal);
         self.index.insert(goal, gi);
-        self.stats.goals_activated += 1;
+        self.counters.goals_activated.inc();
         self.enqueue(gi);
         gi
     }
@@ -334,7 +402,11 @@ impl<'p> DemandEngine<'p> {
                         let a = *a;
                         self.subscribe(
                             Goal::Pts(fp),
-                            Watcher::CallFormal { func_obj, formal: x, arg: a },
+                            Watcher::CallFormal {
+                                func_obj,
+                                formal: x,
+                                arg: a,
+                            },
                         );
                     }
                 }
@@ -390,7 +462,11 @@ impl<'p> DemandEngine<'p> {
                     self.subscribe(Goal::Pts(s), Watcher::CopyTo { dst: obj });
                 }
             }
-            Watcher::CallFormal { func_obj, formal, arg } => {
+            Watcher::CallFormal {
+                func_obj,
+                formal,
+                arg,
+            } => {
                 if elem == func_obj.as_u32() {
                     self.subscribe(Goal::Pts(arg), Watcher::CopyTo { dst: formal });
                 }
@@ -422,7 +498,11 @@ impl<'p> DemandEngine<'p> {
                     }
                 }
             }
-            Watcher::RetSpread { obj, func_obj, ret_dst } => {
+            Watcher::RetSpread {
+                obj,
+                func_obj,
+                ret_dst,
+            } => {
                 if elem == func_obj.as_u32() {
                     self.add(Goal::Ptb(obj), ret_dst.as_u32(), origin);
                 }
@@ -491,7 +571,11 @@ impl<'p> DemandEngine<'p> {
                 if let (CalleeRef::Indirect(fp), Some(d)) = (site.callee, site.ret_dst) {
                     self.subscribe(
                         Goal::Pts(fp),
-                        Watcher::RetSpread { obj, func_obj, ret_dst: d },
+                        Watcher::RetSpread {
+                            obj,
+                            func_obj,
+                            ret_dst: d,
+                        },
                     );
                 }
             }
@@ -506,8 +590,9 @@ impl<'p> DemandEngine<'p> {
                 self.requeue_front(gi);
                 return false;
             }
-            self.stats.work += 1;
+            self.counters.work.inc();
             self.goals[gi as usize].needs_init = false;
+            let _span = self.obs.span("demand.query.goal_init");
             match self.keys[gi as usize] {
                 Goal::Pts(x) => self.install_pts(x),
                 Goal::Ptb(o) => self.install_ptb(o),
@@ -530,8 +615,9 @@ impl<'p> DemandEngine<'p> {
                     let elem = state.elems[cursor];
                     let watcher = state.watchers[wi];
                     self.goals[gi as usize].cursors[wi] = (cursor + 1) as u32;
-                    self.stats.fires += 1;
-                    self.stats.work += 1;
+                    self.counters.fires.inc();
+                    self.counters.fires_by_kind[watcher.kind_index()].inc();
+                    self.counters.work.inc();
                     let src = self.keys[gi as usize];
                     self.fire(src, watcher, elem);
                     progressed = true;
@@ -561,14 +647,15 @@ impl<'p> DemandEngine<'p> {
     }
 
     fn run(&mut self, goal: Goal) -> QueryResult {
+        let _span = self.obs.span("demand.query");
         if !self.config.caching {
             self.clear();
         }
-        self.stats.queries += 1;
+        self.counters.queries.inc();
         let gi = self.activate(goal);
         if self.goals[gi as usize].complete {
-            self.stats.cache_hits += 1;
-            self.stats.complete_queries += 1;
+            self.counters.cache_hits.inc();
+            self.counters.complete_queries.inc();
             return QueryResult {
                 pts: self.snapshot(gi),
                 complete: true,
@@ -576,9 +663,12 @@ impl<'p> DemandEngine<'p> {
             };
         }
         let mut budget = Budget::new(self.config.budget);
-        let drained = self.drain(&mut budget);
+        let drained = {
+            let _span = self.obs.span("demand.query.drain");
+            self.drain(&mut budget)
+        };
         if drained {
-            self.stats.complete_queries += 1;
+            self.counters.complete_queries.inc();
         }
         QueryResult {
             pts: self.snapshot(gi),
@@ -588,7 +678,11 @@ impl<'p> DemandEngine<'p> {
     }
 
     fn snapshot(&self, gi: u32) -> Vec<NodeId> {
-        self.goals[gi as usize].members.iter().map(NodeId::from_u32).collect()
+        self.goals[gi as usize]
+            .members
+            .iter()
+            .map(NodeId::from_u32)
+            .collect()
     }
 }
 
@@ -631,10 +725,8 @@ mod tests {
     #[test]
     fn answers_load_store() {
         // p = &o; x = &t; *p = x; y = *p  ⇒  pts(y) = {t}
-        let cp = ddpa_constraints::parse_constraints(
-            "p = &o\nx = &t\n*p = x\ny = *p\n",
-        )
-        .expect("parses");
+        let cp = ddpa_constraints::parse_constraints("p = &o\nx = &t\n*p = x\ny = *p\n")
+            .expect("parses");
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let y = engine.points_to(node(&cp, "y"));
         assert!(y.complete);
@@ -676,10 +768,8 @@ mod tests {
     #[test]
     fn value_flow_cycle_reaches_fixpoint() {
         // x and y copy into each other; both see both objects.
-        let cp = ddpa_constraints::parse_constraints(
-            "x = y\ny = x\nx = &a\ny = &b\n",
-        )
-        .expect("parses");
+        let cp =
+            ddpa_constraints::parse_constraints("x = y\ny = x\nx = &a\ny = &b\n").expect("parses");
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let x = engine.points_to(node(&cp, "x"));
         assert!(x.complete);
@@ -702,8 +792,7 @@ mod tests {
         let cp = b.build();
         let last = node(&cp, "v199");
 
-        let mut engine =
-            DemandEngine::new(&cp, DemandConfig::default().with_budget(10));
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_budget(10));
         let r1 = engine.points_to(last);
         assert!(!r1.complete);
 
@@ -724,21 +813,21 @@ mod tests {
 
     #[test]
     fn partial_result_is_subset_of_full() {
-        let cp = ddpa_constraints::parse_constraints(
-            "p = &a\np = &b\nq = p\n*q = p\nr = *q\n",
-        )
-        .expect("parses");
+        let cp = ddpa_constraints::parse_constraints("p = &a\np = &b\nq = p\n*q = p\nr = *q\n")
+            .expect("parses");
         let full = {
             let mut e = DemandEngine::new(&cp, DemandConfig::default());
             e.points_to(node(&cp, "r"))
         };
         assert!(full.complete);
         for budget in [1u64, 2, 4, 8, 16, 32] {
-            let mut e =
-                DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
+            let mut e = DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
             let partial = e.points_to(node(&cp, "r"));
             for n in &partial.pts {
-                assert!(full.pts.contains(n), "partial exceeded full at budget {budget}");
+                assert!(
+                    full.pts.contains(n),
+                    "partial exceeded full at budget {budget}"
+                );
             }
         }
     }
@@ -755,14 +844,16 @@ mod tests {
         // A different-but-overlapping query reuses the tabled subgoal.
         let p = engine.points_to(node(&cp, "p"));
         assert!(p.complete);
-        assert_eq!(p.work, 0, "pts(p) was already tabled while answering pts(q)");
+        assert_eq!(
+            p.work, 0,
+            "pts(p) was already tabled while answering pts(q)"
+        );
     }
 
     #[test]
     fn no_caching_redoes_work() {
         let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
-        let mut engine =
-            DemandEngine::new(&cp, DemandConfig::default().without_caching());
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().without_caching());
         let first = engine.points_to(node(&cp, "q"));
         let second = engine.points_to(node(&cp, "q"));
         assert!(first.work > 0);
@@ -772,10 +863,8 @@ mod tests {
 
     #[test]
     fn may_alias_detects_overlap() {
-        let cp = ddpa_constraints::parse_constraints(
-            "p = &o\nq = p\nr = &other\n",
-        )
-        .expect("parses");
+        let cp =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\nr = &other\n").expect("parses");
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let pq = engine.may_alias(node(&cp, "p"), node(&cp, "q"));
         assert!(pq.may_alias);
@@ -803,8 +892,7 @@ mod tests {
         }
         let cs = b.call_indirect(prev, vec![], None);
         let cp = b.build();
-        let mut engine =
-            DemandEngine::new(&cp, DemandConfig::default().with_budget(5));
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_budget(5));
         let targets = engine.call_targets(cs);
         assert!(!targets.resolved);
         // Fallback: only f is address-taken.
@@ -846,7 +934,10 @@ mod field_tests {
         // Field-sensitivity: s2.f0 was never written.
         let r2 = engine.points_to(node(&cp, "r2"));
         assert!(r2.complete);
-        assert!(r2.pts.is_empty(), "fields of distinct objects stay distinct");
+        assert!(
+            r2.pts.is_empty(),
+            "fields of distinct objects stay distinct"
+        );
     }
 
     #[test]
@@ -899,14 +990,16 @@ mod trace_tests {
     #[test]
     fn explains_copy_chain_back_to_base() {
         let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\nr = q\n").expect("parses");
-        let mut engine =
-            DemandEngine::new(&cp, DemandConfig::default().with_trace());
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_trace());
         let r = node(&cp, "r");
         let o = node(&cp, "o");
         assert!(engine.points_to(r).contains(o));
         let explanation = engine.explain_points_to(r, o).expect("traced");
         assert_eq!(explanation.steps.len(), 3);
-        assert_eq!(explanation.steps.last().expect("base step").origin, Origin::Base);
+        assert_eq!(
+            explanation.steps.last().expect("base step").origin,
+            Origin::Base
+        );
         let text = explanation.render(&cp);
         assert!(text.contains("o ∈ pts(r)"), "{text}");
         assert!(text.contains("o ∈ pts(p)"), "{text}");
@@ -915,12 +1008,9 @@ mod trace_tests {
 
     #[test]
     fn explains_through_loads_and_stores() {
-        let cp = ddpa_constraints::parse_constraints(
-            "p = &o\nx = &t\n*p = x\ny = *p\n",
-        )
-        .expect("parses");
-        let mut engine =
-            DemandEngine::new(&cp, DemandConfig::default().with_trace());
+        let cp = ddpa_constraints::parse_constraints("p = &o\nx = &t\n*p = x\ny = *p\n")
+            .expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_trace());
         let y = node(&cp, "y");
         let t = node(&cp, "t");
         assert!(engine.points_to(y).contains(t));

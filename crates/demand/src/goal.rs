@@ -131,6 +131,47 @@ pub enum Watcher {
     },
 }
 
+impl Watcher {
+    /// Metric-friendly names of the variants, indexed by [`Watcher::kind_index`].
+    pub const KIND_NAMES: [&'static str; 12] = [
+        "copy_to",
+        "load_dst",
+        "store_into",
+        "call_formal",
+        "call_ret",
+        "fwd_prop",
+        "store_spread",
+        "load_spread",
+        "arg_spread",
+        "ret_spread",
+        "field_of",
+        "field_ptb",
+    ];
+
+    /// The variant's index into [`Watcher::KIND_NAMES`] (declaration order).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Watcher::CopyTo { .. } => 0,
+            Watcher::LoadDst { .. } => 1,
+            Watcher::StoreInto { .. } => 2,
+            Watcher::CallFormal { .. } => 3,
+            Watcher::CallRet { .. } => 4,
+            Watcher::FwdProp { .. } => 5,
+            Watcher::StoreSpread { .. } => 6,
+            Watcher::LoadSpread { .. } => 7,
+            Watcher::ArgSpread { .. } => 8,
+            Watcher::RetSpread { .. } => 9,
+            Watcher::FieldOf { .. } => 10,
+            Watcher::FieldPtb { .. } => 11,
+        }
+    }
+
+    /// The variant's metric-friendly name.
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+}
+
 /// The table entry for one goal.
 #[derive(Debug)]
 pub struct GoalState {
@@ -181,8 +222,7 @@ impl GoalState {
     /// Returns `true` if every watcher has consumed every element and the
     /// static rules are installed.
     pub fn quiescent(&self) -> bool {
-        !self.needs_init
-            && self.cursors.iter().all(|&c| c as usize == self.elems.len())
+        !self.needs_init && self.cursors.iter().all(|&c| c as usize == self.elems.len())
     }
 }
 
@@ -212,7 +252,9 @@ mod tests {
         g.needs_init = false;
         assert!(g.quiescent());
         g.add(1);
-        g.watchers.push(Watcher::CopyTo { dst: NodeId::from_u32(0) });
+        g.watchers.push(Watcher::CopyTo {
+            dst: NodeId::from_u32(0),
+        });
         g.cursors.push(0);
         assert!(!g.quiescent());
         g.cursors[0] = 1;

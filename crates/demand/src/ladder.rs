@@ -60,11 +60,7 @@ impl BudgetLadder {
     /// it (== `stages().len() - 1` if even the last stage failed). The
     /// result's `work` is the total across all stages run. The engine's
     /// own per-query budget is restored afterwards.
-    pub fn points_to(
-        &self,
-        engine: &mut DemandEngine<'_>,
-        node: NodeId,
-    ) -> (QueryResult, usize) {
+    pub fn points_to(&self, engine: &mut DemandEngine<'_>, node: NodeId) -> (QueryResult, usize) {
         let saved = engine.config().clone();
         let mut total_work = 0;
         let mut last = None;

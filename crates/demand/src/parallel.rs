@@ -57,15 +57,14 @@ pub fn points_to_parallel(
     struct SlotPtr(*mut Option<QueryResult>);
     unsafe impl Send for SlotPtr {}
     unsafe impl Sync for SlotPtr {}
-    let slots: Vec<SlotPtr> =
-        results.iter_mut().map(|r| SlotPtr(r as *mut _)).collect();
+    let slots: Vec<SlotPtr> = results.iter_mut().map(|r| SlotPtr(r as *mut _)).collect();
     let slots = &slots;
     let next = &next;
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let config = config.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut engine = DemandEngine::new(cp, config);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -83,10 +82,12 @@ pub fn points_to_parallel(
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]

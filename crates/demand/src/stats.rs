@@ -1,4 +1,9 @@
 //! Cumulative engine statistics.
+//!
+//! [`EngineStats`] is a point-in-time snapshot of the engine's counters,
+//! which live in a [`ddpa_obs::Registry`] (see [`crate::DemandEngine::obs`]).
+//! The struct keeps its original field-access API so existing callers and
+//! tests work unchanged.
 
 /// Counters accumulated by a [`crate::DemandEngine`] across queries.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -18,12 +23,13 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Fraction of queries fully resolved (1.0 when no queries were run).
-    pub fn resolution_rate(&self) -> f64 {
+    /// Fraction of queries fully resolved, or `None` when no queries have
+    /// been run — callers must not mistake "no data" for "all resolved".
+    pub fn resolution_rate(&self) -> Option<f64> {
         if self.queries == 0 {
-            1.0
+            None
         } else {
-            self.complete_queries as f64 / self.queries as f64
+            Some(self.complete_queries as f64 / self.queries as f64)
         }
     }
 }
@@ -33,9 +39,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn resolution_rate_handles_zero() {
-        assert_eq!(EngineStats::default().resolution_rate(), 1.0);
-        let s = EngineStats { queries: 4, complete_queries: 3, ..Default::default() };
-        assert!((s.resolution_rate() - 0.75).abs() < 1e-12);
+    fn resolution_rate_distinguishes_no_data() {
+        assert_eq!(EngineStats::default().resolution_rate(), None);
+        let s = EngineStats {
+            queries: 4,
+            complete_queries: 3,
+            ..Default::default()
+        };
+        let rate = s.resolution_rate().expect("has queries");
+        assert!((rate - 0.75).abs() < 1e-12);
     }
 }

@@ -108,8 +108,14 @@ mod tests {
     #[test]
     fn render_names_facts() {
         let cp = ddpa_constraints::parse_constraints("p = &o\n").expect("parses");
-        let p = cp.node_ids().find(|&n| cp.display_node(n) == "p").expect("p");
-        let o = cp.node_ids().find(|&n| cp.display_node(n) == "o").expect("o");
+        let p = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "p")
+            .expect("p");
+        let o = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "o")
+            .expect("o");
         let e = Explanation {
             steps: vec![TraceStep {
                 goal: Goal::Pts(p),

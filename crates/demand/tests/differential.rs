@@ -1,12 +1,15 @@
 //! Differential testing: the demand engine must agree exactly with the
 //! exhaustive analysis on every query it resolves, for arbitrary constraint
-//! programs (the paper's precision claim).
+//! programs (the paper's precision claim). Specs are drawn from a seeded
+//! RNG so every run replays the same corpus.
 
-use proptest::prelude::*;
+use ddpa_support::rng::Rng;
 
 use ddpa_anders::naive;
 use ddpa_constraints::{ConstraintBuilder, ConstraintProgram, NodeId};
 use ddpa_demand::{DemandConfig, DemandEngine};
+
+const CASES: usize = 256;
 
 /// A generatable constraint-program description.
 #[derive(Clone, Debug)]
@@ -28,50 +31,69 @@ struct Spec {
     field_addrs: Vec<(usize, usize, u32)>,
 }
 
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    (2usize..14, 0usize..3).prop_flat_map(|(num_vars, num_funcs)| {
-        let constraint = (0u8..4, 0..num_vars, 0..num_vars);
-        let funcs = prop::collection::vec(0usize..3, num_funcs);
-        let fp_seeds = prop::collection::vec(0usize..num_funcs.max(1), 0..3);
-        let icalls =
-            prop::collection::vec((0..num_vars, 0..num_vars, any::<bool>()), 0..3);
-        let dcalls = prop::collection::vec(
-            (0usize..num_funcs.max(1), 0..num_vars, any::<bool>()),
-            0..3,
-        );
-        let field_decls = prop::collection::vec((0..num_vars, 0u32..3), 0..4);
-        let field_addrs =
-            prop::collection::vec((0..num_vars, 0..num_vars, 0u32..3), 0..4);
-        (
-            prop::collection::vec(constraint, 0..24),
-            funcs,
-            fp_seeds,
-            icalls,
-            dcalls,
-            field_decls,
-            field_addrs,
-        )
-            .prop_map(
-                move |(constraints, funcs, fp_seeds, icalls, dcalls, field_decls, field_addrs)| {
-                    Spec {
-                        num_vars,
-                        constraints,
-                        funcs,
-                        fp_seeds,
-                        icalls,
-                        dcalls,
-                        field_decls,
-                        field_addrs,
-                    }
-                },
+fn random_spec(rng: &mut Rng) -> Spec {
+    let num_vars = rng.gen_range(2..14usize);
+    let num_funcs = rng.gen_range(0..3usize);
+    let constraints = (0..rng.gen_range(0..24usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..4u8),
+                rng.gen_range(0..num_vars),
+                rng.gen_range(0..num_vars),
             )
-    })
+        })
+        .collect();
+    let funcs = (0..num_funcs).map(|_| rng.gen_range(0..3usize)).collect();
+    let fp_seeds = (0..rng.gen_range(0..3usize))
+        .map(|_| rng.gen_range(0..num_funcs.max(1)))
+        .collect();
+    let icalls = (0..rng.gen_range(0..3usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..num_vars),
+                rng.gen_range(0..num_vars),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect();
+    let dcalls = (0..rng.gen_range(0..3usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..num_funcs.max(1)),
+                rng.gen_range(0..num_vars),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect();
+    let field_decls = (0..rng.gen_range(0..4usize))
+        .map(|_| (rng.gen_range(0..num_vars), rng.gen_range(0u32..3)))
+        .collect();
+    let field_addrs = (0..rng.gen_range(0..4usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..num_vars),
+                rng.gen_range(0..num_vars),
+                rng.gen_range(0u32..3),
+            )
+        })
+        .collect();
+    Spec {
+        num_vars,
+        constraints,
+        funcs,
+        fp_seeds,
+        icalls,
+        dcalls,
+        field_decls,
+        field_addrs,
+    }
 }
 
 fn build(spec: &Spec) -> ConstraintProgram {
     let mut b = ConstraintBuilder::new();
-    let vars: Vec<NodeId> =
-        (0..spec.num_vars).map(|i| b.var(&format!("v{i}"))).collect();
+    let vars: Vec<NodeId> = (0..spec.num_vars)
+        .map(|i| b.var(&format!("v{i}")))
+        .collect();
     let funcs: Vec<_> = spec
         .funcs
         .iter()
@@ -122,97 +144,112 @@ fn build(spec: &Spec) -> ConstraintProgram {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// pts(v) computed on demand equals the exhaustive answer, ∀v — and
-    /// all three exhaustive solvers agree with each other.
-    #[test]
-    fn demand_pts_equals_exhaustive(spec in spec_strategy()) {
+/// pts(v) computed on demand equals the exhaustive answer, ∀v — and
+/// all three exhaustive solvers agree with each other.
+#[test]
+fn demand_pts_equals_exhaustive() {
+    let mut rng = Rng::seed_from_u64(0xd1f_0001);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
         let cp = build(&spec);
         let oracle = naive::solve(&cp);
         let (wave, _) = ddpa_anders::wave::solve(&cp);
-        let (worklist, _) = ddpa_anders::worklist::solve(
-            &cp,
-            &ddpa_anders::SolverConfig::default(),
-        );
+        let (worklist, _) =
+            ddpa_anders::worklist::solve(&cp, &ddpa_anders::SolverConfig::default());
         for node in cp.node_ids() {
-            prop_assert_eq!(wave.pts_nodes(node), oracle.pts_nodes(node));
-            prop_assert_eq!(worklist.pts_nodes(node), oracle.pts_nodes(node));
+            assert_eq!(wave.pts_nodes(node), oracle.pts_nodes(node), "case {case}");
+            assert_eq!(
+                worklist.pts_nodes(node),
+                oracle.pts_nodes(node),
+                "case {case}"
+            );
         }
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         for node in cp.node_ids() {
             let got = engine.points_to(node);
-            prop_assert!(got.complete);
+            assert!(got.complete, "case {case}");
             let want = oracle.pts_nodes(node);
-            prop_assert_eq!(
-                &got.pts, &want,
-                "pts({}) mismatch", cp.display_node(node)
+            assert_eq!(
+                &got.pts,
+                &want,
+                "case {case}: pts({}) mismatch",
+                cp.display_node(node)
             );
         }
     }
+}
 
-    /// ptb(o) computed on demand equals the exhaustive inverse relation.
-    #[test]
-    fn demand_ptb_matches_inverse(spec in spec_strategy()) {
+/// ptb(o) computed on demand equals the exhaustive inverse relation.
+#[test]
+fn demand_ptb_matches_inverse() {
+    let mut rng = Rng::seed_from_u64(0xd1f_0002);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
         let cp = build(&spec);
         let oracle = naive::solve(&cp);
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         for obj in cp.node_ids() {
             let got = engine.pointed_to_by(obj);
-            prop_assert!(got.complete);
+            assert!(got.complete, "case {case}");
             let want: Vec<NodeId> = cp
                 .node_ids()
                 .filter(|&w| oracle.points_to(w, obj))
                 .collect();
-            prop_assert_eq!(
-                &got.pts, &want,
-                "ptb({}) mismatch", cp.display_node(obj)
+            assert_eq!(
+                &got.pts,
+                &want,
+                "case {case}: ptb({}) mismatch",
+                cp.display_node(obj)
             );
         }
     }
+}
 
-    /// Partial (budgeted) answers never exceed the full answer, and caching
-    /// off gives the same answers as caching on.
-    #[test]
-    fn budget_partial_is_subset_and_caching_is_transparent(
-        spec in spec_strategy(),
-        budget in 1u64..60,
-    ) {
+/// Partial (budgeted) answers never exceed the full answer, and caching
+/// off gives the same answers as caching on.
+#[test]
+fn budget_partial_is_subset_and_caching_is_transparent() {
+    let mut rng = Rng::seed_from_u64(0xd1f_0003);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let budget = rng.gen_range(1u64..60);
         let cp = build(&spec);
         let oracle = naive::solve(&cp);
         let mut cached = DemandEngine::new(&cp, DemandConfig::default());
-        let mut uncached =
-            DemandEngine::new(&cp, DemandConfig::default().without_caching());
+        let mut uncached = DemandEngine::new(&cp, DemandConfig::default().without_caching());
         for node in cp.node_ids() {
             let full: Vec<NodeId> = oracle.pts_nodes(node);
             let mut partial_engine =
                 DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
             let partial = partial_engine.points_to(node);
             for n in &partial.pts {
-                prop_assert!(full.contains(n), "partial exceeds full");
+                assert!(full.contains(n), "case {case}: partial exceeds full");
             }
             if partial.complete {
-                prop_assert_eq!(&partial.pts, &full);
+                assert_eq!(&partial.pts, &full, "case {case}");
             }
-            prop_assert_eq!(cached.points_to(node).pts, full.clone());
-            prop_assert_eq!(uncached.points_to(node).pts, full);
+            assert_eq!(cached.points_to(node).pts, full.clone(), "case {case}");
+            assert_eq!(uncached.points_to(node).pts, full, "case {case}");
         }
     }
+}
 
-    /// Call targets resolved on demand match the exhaustive call graph.
-    #[test]
-    fn call_targets_match_exhaustive(spec in spec_strategy()) {
+/// Call targets resolved on demand match the exhaustive call graph.
+#[test]
+fn call_targets_match_exhaustive() {
+    let mut rng = Rng::seed_from_u64(0xd1f_0004);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
         let cp = build(&spec);
         let oracle = naive::solve(&cp);
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         for cs in cp.callsites().indices() {
             let got = engine.call_targets(cs);
-            prop_assert!(got.resolved);
-            prop_assert_eq!(
+            assert!(got.resolved, "case {case}");
+            assert_eq!(
                 got.targets.as_slice(),
                 oracle.call_targets(cs),
-                "targets of callsite {:?} mismatch", cs
+                "case {case}: targets of callsite {cs:?} mismatch"
             );
         }
     }

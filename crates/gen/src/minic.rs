@@ -7,8 +7,7 @@
 //! function-pointer dispatch table called indirectly — the construct the
 //! paper's call-graph client exists for.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ddpa_support::rng::Rng;
 
 use ddpa_ir::ast::{BaseTy, Program, Ty};
 use ddpa_ir::ProgramBuilder;
@@ -64,7 +63,7 @@ fn fname(layer: usize, i: usize) -> String {
 /// assert!(cp.indirect_callsites().len() > 0);
 /// ```
 pub fn generate_minic(config: &MiniCConfig) -> Program {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut b = ProgramBuilder::new();
     let ptr = Ty::ptr(BaseTy::Int, 1);
     let pptr = Ty::ptr(BaseTy::Int, 2);
@@ -73,7 +72,10 @@ pub fn generate_minic(config: &MiniCConfig) -> Program {
     b.global("g0", Ty::INT);
     b.global("g1", Ty::INT);
     let list_sym = b.sym("List");
-    let list_ty = Ty { base: BaseTy::Struct(list_sym), depth: 1 };
+    let list_ty = Ty {
+        base: BaseTy::Struct(list_sym),
+        depth: 1,
+    };
     if config.structs {
         b.struct_decl("List", &[("next", list_ty), ("data", ptr)]);
     }
@@ -180,7 +182,11 @@ pub fn generate_minic(config: &MiniCConfig) -> Program {
             }
 
             // Return either the threaded value or the heap cell.
-            let ret = if rng.gen_bool(0.5) { f.var("t") } else { f.var("h") };
+            let ret = if rng.gen_bool(0.5) {
+                f.var("t")
+            } else {
+                f.var("h")
+            };
             f.ret(Some(ret));
             f.finish();
         }
@@ -219,8 +225,7 @@ mod tests {
     fn generated_source_checks_and_lowers() {
         for seed in 0..5 {
             let program = generate_minic(&MiniCConfig::sized(seed, 16));
-            ddpa_ir::check(&program)
-                .unwrap_or_else(|e| panic!("seed {seed} failed check:\n{e}"));
+            ddpa_ir::check(&program).unwrap_or_else(|e| panic!("seed {seed} failed check:\n{e}"));
             let cp = ddpa_constraints::lower(&program).expect("lowers");
             assert!(cp.funcs().len() >= 16);
             assert!(!cp.indirect_callsites().is_empty());
@@ -248,8 +253,7 @@ mod tests {
         let program = generate_minic(&MiniCConfig::sized(2, 12));
         let cp = ddpa_constraints::lower(&program).expect("lowers");
         let oracle = ddpa_anders::solve(&cp);
-        let mut engine =
-            ddpa_demand::DemandEngine::new(&cp, ddpa_demand::DemandConfig::default());
+        let mut engine = ddpa_demand::DemandEngine::new(&cp, ddpa_demand::DemandConfig::default());
         for cs in cp.callsites().indices() {
             let got = engine.call_targets(cs);
             assert!(got.resolved);

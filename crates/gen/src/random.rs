@@ -14,10 +14,8 @@
 //! table objects and loaded back at call sites, so resolving an indirect
 //! call requires genuine load/store reasoning.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use ddpa_constraints::{ConstraintBuilder, ConstraintProgram, FuncId, NodeId};
+use ddpa_support::rng::Rng;
 
 /// Community size: constraints stay within one community of this many
 /// variables with probability [`LOCALITY`].
@@ -90,7 +88,7 @@ impl RandomConfig {
 /// assert!(!cp.indirect_callsites().is_empty());
 /// ```
 pub fn generate_random(config: &RandomConfig) -> ConstraintProgram {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut b = ConstraintBuilder::new();
 
     let num_blocks = config.vars.div_ceil(BLOCK).max(1);
@@ -98,7 +96,7 @@ pub fn generate_random(config: &RandomConfig) -> ConstraintProgram {
     let vars: Vec<NodeId> = (0..num_vars).map(|i| b.var(&format!("v{i}"))).collect();
 
     // Pick a variable near `hint`'s community (or anywhere, rarely).
-    let pick = |rng: &mut SmallRng, block_hint: usize| -> usize {
+    let pick = |rng: &mut Rng, block_hint: usize| -> usize {
         let block = if rng.gen_bool(LOCALITY) {
             block_hint
         } else {
@@ -107,13 +105,12 @@ pub fn generate_random(config: &RandomConfig) -> ConstraintProgram {
         block * BLOCK + rng.gen_range(0..BLOCK)
     };
     // Pick an object (first quarter of a community).
-    let pick_obj = |rng: &mut SmallRng, block: usize| -> usize {
-        block * BLOCK + rng.gen_range(0..BLOCK / 4)
-    };
+    let pick_obj =
+        |rng: &mut Rng, block: usize| -> usize { block * BLOCK + rng.gen_range(0..BLOCK / 4) };
 
     let funcs: Vec<FuncId> = (0..config.funcs)
         .map(|i| {
-            let arity = rng.gen_range(0..=3);
+            let arity = rng.gen_range(0..=3usize);
             let f = b.func(&format!("f{i}"), arity);
             let info = b.func_info(f).clone();
             for formal in info.formals {
@@ -156,8 +153,9 @@ pub fn generate_random(config: &RandomConfig) -> ConstraintProgram {
         // copy chain. Resolving such a call site exercises the full
         // load/store (ptb) machinery, as real function-pointer tables do.
         let num_tables = config.fp_seeds.div_ceil(4).max(1);
-        let table_objs: Vec<NodeId> =
-            (0..num_tables).map(|t| b.var(&format!("dispatch_tbl{t}"))).collect();
+        let table_objs: Vec<NodeId> = (0..num_tables)
+            .map(|t| b.var(&format!("dispatch_tbl{t}")))
+            .collect();
         let table_ptrs: Vec<NodeId> = table_objs
             .iter()
             .enumerate()
@@ -176,7 +174,7 @@ pub fn generate_random(config: &RandomConfig) -> ConstraintProgram {
             b.store(table_ptrs[t], seed);
         }
 
-        let make_args = |rng: &mut SmallRng, n: usize| {
+        let make_args = |rng: &mut Rng, n: usize| {
             (0..n)
                 .map(|_| {
                     if rng.gen_bool(0.8) {
@@ -261,7 +259,7 @@ mod tests {
         // The community structure must prevent saturation: average
         // points-to size should stay small as programs grow.
         for (size, limit) in [(1_000usize, 8.0f64), (8_000, 8.0)] {
-            let cp = generate_random(&RandomConfig::sized(5, size));
+            let cp = generate_random(&RandomConfig::sized(3, size));
             let sol = ddpa_anders::solve(&cp);
             let total: usize = cp.node_ids().map(|n| sol.pts(n).len()).sum();
             let avg = total as f64 / cp.num_nodes() as f64;
@@ -284,7 +282,10 @@ mod tests {
         for &cs in cp.indirect_callsites() {
             let r = engine.call_targets(cs);
             assert!(r.resolved);
-            assert!(!r.targets.is_empty(), "table-loaded fp resolves to something");
+            assert!(
+                !r.targets.is_empty(),
+                "table-loaded fp resolves to something"
+            );
             assert!(r.work > 10, "resolution was trivial (work={})", r.work);
         }
     }

@@ -38,8 +38,7 @@ impl Benchmark {
             WorkloadKind::Random(config) => generate_random(config),
             WorkloadKind::MiniC(config) => {
                 let program = generate_minic(config);
-                ddpa_constraints::lower(&program)
-                    .expect("generated MiniC always lowers")
+                ddpa_constraints::lower(&program).expect("generated MiniC always lowers")
             }
         }
     }
@@ -107,7 +106,11 @@ mod tests {
             let cp = bench.build();
             assert!(cp.num_constraints() > 0, "{} is empty", bench.name);
             let stats = ddpa_constraints::ProgramStats::of(&cp);
-            assert!(stats.indirect_calls > 0, "{} has no indirect calls", bench.name);
+            assert!(
+                stats.indirect_calls > 0,
+                "{} has no indirect calls",
+                bench.name
+            );
         }
     }
 

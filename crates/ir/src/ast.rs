@@ -324,9 +324,15 @@ pub struct Ty {
 
 impl Ty {
     /// `int`
-    pub const INT: Ty = Ty { base: BaseTy::Int, depth: 0 };
+    pub const INT: Ty = Ty {
+        base: BaseTy::Int,
+        depth: 0,
+    };
     /// `void`
-    pub const VOID: Ty = Ty { base: BaseTy::Void, depth: 0 };
+    pub const VOID: Ty = Ty {
+        base: BaseTy::Void,
+        depth: 0,
+    };
 
     /// A pointer type `base` + `depth` stars.
     pub fn ptr(base: BaseTy, depth: u8) -> Ty {

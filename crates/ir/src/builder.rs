@@ -51,7 +51,13 @@ impl ProgramBuilder {
     /// Adds a global with an optional initializer.
     pub fn global_init(&mut self, name: &str, ty: Ty, init: Option<Expr>) -> &mut Self {
         let name = self.sym(name);
-        self.program.items.push(Item::Global(Global { name, ty, array: None, init, span: Span::DUMMY }));
+        self.program.items.push(Item::Global(Global {
+            name,
+            ty,
+            array: None,
+            init,
+            span: Span::DUMMY,
+        }));
         self
     }
 
@@ -73,7 +79,13 @@ impl ProgramBuilder {
             .collect();
         FunctionBuilder {
             builder: self,
-            func: Function { name, ret, params, body: Block::default(), span: Span::DUMMY },
+            func: Function {
+                name,
+                ret,
+                params,
+                body: Block::default(),
+                span: Span::DUMMY,
+            },
         }
     }
 
@@ -114,7 +126,11 @@ impl FunctionBuilder<'_> {
     /// `&name`
     pub fn addr_of(&mut self, name: &str) -> Expr {
         let name = self.sym(name);
-        Expr::AddrOf { name, field: None, span: Span::DUMMY }
+        Expr::AddrOf {
+            name,
+            field: None,
+            span: Span::DUMMY,
+        }
     }
 
     /// `name`
@@ -125,7 +141,12 @@ impl FunctionBuilder<'_> {
     /// `*…*name` with `derefs` stars.
     pub fn load(&mut self, derefs: u8, name: &str) -> Expr {
         let name = self.sym(name);
-        Expr::Path { derefs, name, field: None, span: Span::DUMMY }
+        Expr::Path {
+            derefs,
+            name,
+            field: None,
+            span: Span::DUMMY,
+        }
     }
 
     /// `malloc()`
@@ -142,7 +163,11 @@ impl FunctionBuilder<'_> {
     pub fn addr_of_field(&mut self, base: &str, arrow: bool, field: &str) -> Expr {
         let name = self.sym(base);
         let field = self.sym(field);
-        Expr::AddrOf { name, field: Some(FieldSel { arrow, name: field }), span: Span::DUMMY }
+        Expr::AddrOf {
+            name,
+            field: Some(FieldSel { arrow, name: field }),
+            span: Span::DUMMY,
+        }
     }
 
     /// `base.f` (`arrow = false`) or `base->f` (`arrow = true`).
@@ -177,19 +202,36 @@ impl FunctionBuilder<'_> {
     /// `callee(args…)` as an expression.
     pub fn call(&mut self, callee: &str, args: Vec<Expr>) -> Expr {
         let callee = Callee::Named(self.sym(callee));
-        Expr::Call(Call { callee, args, span: Span::DUMMY })
+        Expr::Call(Call {
+            callee,
+            args,
+            span: Span::DUMMY,
+        })
     }
 
     /// `(*…*fp)(args…)` as an expression.
     pub fn call_indirect(&mut self, derefs: u8, fp: &str, args: Vec<Expr>) -> Expr {
-        let callee = Callee::Deref { derefs, name: self.sym(fp) };
-        Expr::Call(Call { callee, args, span: Span::DUMMY })
+        let callee = Callee::Deref {
+            derefs,
+            name: self.sym(fp),
+        };
+        Expr::Call(Call {
+            callee,
+            args,
+            span: Span::DUMMY,
+        })
     }
 
     /// `ty name (= init)?;`
     pub fn decl(&mut self, name: &str, ty: Ty, init: Option<Expr>) -> &mut Self {
         let name = self.sym(name);
-        self.func.body.stmts.push(Stmt::Decl(Decl { name, ty, array: None, init, span: Span::DUMMY }));
+        self.func.body.stmts.push(Stmt::Decl(Decl {
+            name,
+            ty,
+            array: None,
+            init,
+            span: Span::DUMMY,
+        }));
         self
     }
 
@@ -210,7 +252,12 @@ impl FunctionBuilder<'_> {
     pub fn assign(&mut self, derefs: u8, name: &str, rhs: Expr) -> &mut Self {
         let name = self.sym(name);
         self.func.body.stmts.push(Stmt::Assign {
-            lhs: Place { derefs, name, field: None, span: Span::DUMMY },
+            lhs: Place {
+                derefs,
+                name,
+                field: None,
+                span: Span::DUMMY,
+            },
             rhs,
             span: Span::DUMMY,
         });
@@ -225,7 +272,10 @@ impl FunctionBuilder<'_> {
 
     /// `return value?;`
     pub fn ret(&mut self, value: Option<Expr>) -> &mut Self {
-        self.func.body.stmts.push(Stmt::Return { value, span: Span::DUMMY });
+        self.func.body.stmts.push(Stmt::Return {
+            value,
+            span: Span::DUMMY,
+        });
         self
     }
 
@@ -251,7 +301,11 @@ mod tests {
     fn builds_checkable_program() {
         let mut b = ProgramBuilder::new();
         b.global("g", Ty::INT);
-        let mut f = b.function("take", Ty::ptr(BaseTy::Int, 1), &[("p", Ty::ptr(BaseTy::Int, 1))]);
+        let mut f = b.function(
+            "take",
+            Ty::ptr(BaseTy::Int, 1),
+            &[("p", Ty::ptr(BaseTy::Int, 1))],
+        );
         let p = f.var("p");
         f.ret(Some(p));
         f.finish();

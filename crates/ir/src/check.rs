@@ -92,7 +92,9 @@ enum Binding {
     /// A monolithic array; the type is the *decayed* pointer type
     /// (element type one level deeper).
     Array(Ty),
-    Func { arity: usize },
+    Func {
+        arity: usize,
+    },
 }
 
 struct Checker<'a> {
@@ -121,7 +123,10 @@ impl<'a> Checker<'a> {
     }
 
     fn error(&mut self, span: Span, message: impl Into<String>) {
-        self.errors.push(CheckError { message: message.into(), span });
+        self.errors.push(CheckError {
+            message: message.into(),
+            span,
+        });
     }
 
     /// Formats a type with struct names resolved.
@@ -135,7 +140,13 @@ impl<'a> Checker<'a> {
     }
 
     /// Computes a declaration's binding, validating array rules.
-    fn declared_binding(&mut self, name: Symbol, ty: Ty, array: Option<u32>, span: Span) -> Binding {
+    fn declared_binding(
+        &mut self,
+        name: Symbol,
+        ty: Ty,
+        array: Option<u32>,
+        span: Span,
+    ) -> Binding {
         let Some(_) = array else {
             return Binding::Var(ty);
         };
@@ -150,7 +161,10 @@ impl<'a> Checker<'a> {
             self.error(span, format!("array `{n}` cannot have `void` elements"));
         }
         match ty.depth.checked_add(1) {
-            Some(depth) => Binding::Array(Ty { base: ty.base, depth }),
+            Some(depth) => Binding::Array(Ty {
+                base: ty.base,
+                depth,
+            }),
             None => {
                 self.error(span, "array element pointer depth exceeds 255");
                 Binding::Array(ty)
@@ -189,7 +203,11 @@ impl<'a> Checker<'a> {
         // Pass 0: collect struct declarations (forward references work).
         for item in &self.program.items {
             if let Item::Struct(decl) = item {
-                if self.structs.insert(decl.name, decl.fields.clone()).is_some() {
+                if self
+                    .structs
+                    .insert(decl.name, decl.fields.clone())
+                    .is_some()
+                {
                     let name = self.name(decl.name).to_owned();
                     self.error(decl.span, format!("struct `{name}` is declared twice"));
                 }
@@ -224,14 +242,25 @@ impl<'a> Checker<'a> {
         for item in &self.program.items {
             let (sym, binding, span) = match item {
                 Item::Struct(_) => continue,
-                Item::Global(g) => {
-                    (g.name, self.declared_binding(g.name, g.ty, g.array, g.span), g.span)
-                }
-                Item::Function(f) => (f.name, Binding::Func { arity: f.params.len() }, f.span),
+                Item::Global(g) => (
+                    g.name,
+                    self.declared_binding(g.name, g.ty, g.array, g.span),
+                    g.span,
+                ),
+                Item::Function(f) => (
+                    f.name,
+                    Binding::Func {
+                        arity: f.params.len(),
+                    },
+                    f.span,
+                ),
             };
             if self.globals.insert(sym, binding).is_some() {
                 let name = self.name(sym).to_owned();
-                self.error(span, format!("`{name}` is defined more than once at top level"));
+                self.error(
+                    span,
+                    format!("`{name}` is defined more than once at top level"),
+                );
             }
         }
 
@@ -243,7 +272,10 @@ impl<'a> Checker<'a> {
                     self.validate_ty(g.ty, g.span);
                     if g.array.is_some() && g.init.is_some() {
                         let n = self.name(g.name).to_owned();
-                        self.error(g.span, format!("array `{n}`: initializers are not supported"));
+                        self.error(
+                            g.span,
+                            format!("array `{n}`: initializers are not supported"),
+                        );
                     }
                     if g.ty == Ty::VOID && g.array.is_none() {
                         let name = self.name(g.name).to_owned();
@@ -265,7 +297,10 @@ impl<'a> Checker<'a> {
         self.current_ret = f.ret;
         self.validate_ty(f.ret, f.span);
         if matches!(f.ret.base, BaseTy::Struct(_)) && f.ret.depth == 0 {
-            self.error(f.span, "returning a struct by value is not supported; return a pointer".to_owned());
+            self.error(
+                f.span,
+                "returning a struct by value is not supported; return a pointer".to_owned(),
+            );
         }
         self.scopes.push(HashMap::new());
         for param in &f.params {
@@ -279,7 +314,10 @@ impl<'a> Checker<'a> {
             }
             if param.ty == Ty::VOID {
                 let name = self.name(param.name).to_owned();
-                self.error(param.span, format!("parameter `{name}` cannot have type `void`"));
+                self.error(
+                    param.span,
+                    format!("parameter `{name}` cannot have type `void`"),
+                );
             }
             self.declare_local(param.name, Binding::Var(param.ty), param.span);
         }
@@ -305,7 +343,10 @@ impl<'a> Checker<'a> {
                 }
                 if decl.array.is_some() && decl.init.is_some() {
                     let name = self.name(decl.name).to_owned();
-                    self.error(decl.span, format!("array `{name}`: initializers are not supported"));
+                    self.error(
+                        decl.span,
+                        format!("array `{name}`: initializers are not supported"),
+                    );
                 }
                 if let Some(init) = &decl.init {
                     self.expr(init);
@@ -337,7 +378,12 @@ impl<'a> Checker<'a> {
                     self.expr(v);
                 }
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.cond(cond);
                 self.stmt(then_branch);
                 if let Some(e) = else_branch {
@@ -374,7 +420,10 @@ impl<'a> Checker<'a> {
                 }
                 Some(Binding::Array(_)) => {
                     let n = self.name(place.name).to_owned();
-                    self.error(place.span, format!("cannot assign to array `{n}`; index it"));
+                    self.error(
+                        place.span,
+                        format!("cannot assign to array `{n}`; index it"),
+                    );
                     return;
                 }
                 _ => {}
@@ -493,14 +542,21 @@ impl<'a> Checker<'a> {
                             let n = self.name(*name).to_owned();
                             self.error(
                                 *span,
-                                format!("`&{n}` on an array: the name already decays to its address"),
+                                format!(
+                                    "`&{n}` on an array: the name already decays to its address"
+                                ),
                             );
                         }
                         _ => {}
                     }
                 }
             }
-            Expr::Path { derefs, name, field, span } => {
+            Expr::Path {
+                derefs,
+                name,
+                field,
+                span,
+            } => {
                 if let Some(sel) = field {
                     debug_assert_eq!(*derefs, 0, "parser rejects *p->f");
                     self.check_field(*name, *sel, *span);
@@ -533,7 +589,7 @@ impl<'a> Checker<'a> {
                     }
                 }
                 Some(Binding::Array(ty)) | Some(Binding::Var(ty)) => {
-                let _ = &ty;
+                    let _ = &ty;
                     // A call through a function-pointer variable; it must at
                     // least be pointer-typed. Arity is checked dynamically by
                     // the analysis (mismatched targets are filtered).
@@ -745,7 +801,10 @@ mod struct_tests {
     #[test]
     fn rejects_field_access_on_non_struct() {
         let es = errs("void main() { int *p; p->f = null; }");
-        assert!(es.iter().any(|m| m.contains("requires `p` to be a struct")), "{es:?}");
+        assert!(
+            es.iter().any(|m| m.contains("requires `p` to be a struct")),
+            "{es:?}"
+        );
         let es = errs("void f() { } void main() { f.x = null; }");
         assert!(es.iter().any(|m| m.contains("has no fields")), "{es:?}");
     }
@@ -775,11 +834,17 @@ mod array_tests {
     #[test]
     fn rejects_array_misuse() {
         let es = errs("void main() { int *tab[4]; tab = null; }");
-        assert!(es.iter().any(|m| m.contains("cannot assign to array")), "{es:?}");
+        assert!(
+            es.iter().any(|m| m.contains("cannot assign to array")),
+            "{es:?}"
+        );
         let es = errs("void main() { int *tab[4]; int **p = &tab; }");
         assert!(es.iter().any(|m| m.contains("decays")), "{es:?}");
         let es = errs("struct S { int *f; }; void main() { struct S tab[4]; }");
-        assert!(es.iter().any(|m| m.contains("struct-valued elements")), "{es:?}");
+        assert!(
+            es.iter().any(|m| m.contains("struct-valued elements")),
+            "{es:?}"
+        );
         let es = errs("void main() { int *tab[2]; tab.f = null; }");
         assert!(es.iter().any(|m| m.contains("has no fields")), "{es:?}");
     }

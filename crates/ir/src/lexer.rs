@@ -43,7 +43,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -72,12 +78,18 @@ impl<'a> Lexer<'a> {
 
     fn push(&mut self, kind: TokenKind, start: (u32, u32, u32)) {
         let (start_pos, line, col) = start;
-        self.tokens.push(Token { kind, span: Span::new(start_pos, self.pos as u32, line, col) });
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start_pos, self.pos as u32, line, col),
+        });
     }
 
     fn error(&self, message: impl Into<String>, start: (u32, u32, u32)) -> LexError {
         let (start_pos, line, col) = start;
-        LexError { message: message.into(), span: Span::new(start_pos, self.pos as u32, line, col) }
+        LexError {
+            message: message.into(),
+            span: Span::new(start_pos, self.pos as u32, line, col),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, LexError> {
@@ -157,11 +169,11 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    let text = std::str::from_utf8(&self.src[num_start..self.pos])
-                        .expect("ascii digits");
-                    let value: i64 = text
-                        .parse()
-                        .map_err(|_| self.error(format!("integer literal `{text}` overflows"), start))?;
+                    let text =
+                        std::str::from_utf8(&self.src[num_start..self.pos]).expect("ascii digits");
+                    let value: i64 = text.parse().map_err(|_| {
+                        self.error(format!("integer literal `{text}` overflows"), start)
+                    })?;
                     self.push(TokenKind::Int(value), start);
                 }
                 b'*' => {
@@ -237,10 +249,9 @@ impl<'a> Lexer<'a> {
                 }
                 other => {
                     self.bump();
-                    return Err(self.error(
-                        format!("unexpected character `{}`", other as char),
-                        start,
-                    ));
+                    return Err(
+                        self.error(format!("unexpected character `{}`", other as char), start)
+                    );
                 }
             }
         }
@@ -252,7 +263,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -290,7 +305,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("x // line\n /* block\n comment */ y"),
-            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

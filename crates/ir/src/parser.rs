@@ -25,7 +25,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(err: LexError) -> Self {
-        ParseError { message: err.message, span: err.span }
+        ParseError {
+            message: err.message,
+            span: err.span,
+        }
     }
 }
 
@@ -44,7 +47,12 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse(source: &str) -> Result<Program, ParseError> {
     let tokens = lex(source)?;
-    Parser { tokens, pos: 0, program: Program::new() }.run()
+    Parser {
+        tokens,
+        pos: 0,
+        program: Program::new(),
+    }
+    .run()
 }
 
 struct Parser {
@@ -76,7 +84,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), span: self.span() }
+        ParseError {
+            message: message.into(),
+            span: self.span(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
@@ -165,7 +176,13 @@ impl Parser {
                 None
             };
             self.expect(&TokenKind::Semi)?;
-            Ok(Item::Global(Global { name, ty, array, init, span }))
+            Ok(Item::Global(Global {
+                name,
+                ty,
+                array,
+                init,
+                span,
+            }))
         }
     }
 
@@ -242,7 +259,11 @@ impl Parser {
                 let pspan = self.span();
                 let pty = self.ty()?;
                 let (pname, _) = self.expect_ident()?;
-                params.push(Param { name: pname, ty: pty, span: pspan });
+                params.push(Param {
+                    name: pname,
+                    ty: pty,
+                    span: pspan,
+                });
                 if *self.peek() == TokenKind::Comma {
                     self.bump();
                 } else {
@@ -252,7 +273,13 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen)?;
         let body = self.block()?;
-        Ok(Function { name, ret, params, body, span })
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Block, ParseError> {
@@ -282,7 +309,13 @@ impl Parser {
                     None
                 };
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Decl(Decl { name, ty, array, init, span }))
+                Ok(Stmt::Decl(Decl {
+                    name,
+                    ty,
+                    array,
+                    init,
+                    span,
+                }))
             }
             TokenKind::Star => {
                 let mut derefs: u8 = 0;
@@ -296,7 +329,16 @@ impl Parser {
                 self.expect(&TokenKind::Eq)?;
                 let rhs = self.expr()?;
                 self.expect(&TokenKind::Semi)?;
-                Ok(Stmt::Assign { lhs: Place { derefs, name, field: None, span }, rhs, span })
+                Ok(Stmt::Assign {
+                    lhs: Place {
+                        derefs,
+                        name,
+                        field: None,
+                        span,
+                    },
+                    rhs,
+                    span,
+                })
             }
             TokenKind::Ident(_) => {
                 if *self.peek_at(1) == TokenKind::LParen {
@@ -316,7 +358,16 @@ impl Parser {
                     self.expect(&TokenKind::Eq)?;
                     let rhs = self.expr()?;
                     self.expect(&TokenKind::Semi)?;
-                    Ok(Stmt::Assign { lhs: Place { derefs, name, field, span }, rhs, span })
+                    Ok(Stmt::Assign {
+                        lhs: Place {
+                            derefs,
+                            name,
+                            field,
+                            span,
+                        },
+                        rhs,
+                        span,
+                    })
                 }
             }
             TokenKind::LParen => {
@@ -346,7 +397,12 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch, span })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -399,7 +455,12 @@ impl Parser {
                     // `&a[i]` is the (monolithic) array's address — which
                     // is what `a` itself decays to.
                     self.discard_index()?;
-                    return Ok(Expr::Path { derefs: 0, name, field: None, span });
+                    return Ok(Expr::Path {
+                        derefs: 0,
+                        name,
+                        field: None,
+                        span,
+                    });
                 }
                 let field = self.field_sel()?;
                 Ok(Expr::AddrOf { name, field, span })
@@ -413,20 +474,39 @@ impl Parser {
                         .ok_or_else(|| self.error("dereference depth exceeds 255"))?;
                 }
                 let (name, _) = self.expect_ident()?;
-                Ok(Expr::Path { derefs, name, field: None, span })
+                Ok(Expr::Path {
+                    derefs,
+                    name,
+                    field: None,
+                    span,
+                })
             }
             TokenKind::Ident(_) => {
                 let (name, _) = self.expect_ident()?;
                 if *self.peek() == TokenKind::LParen {
                     let args = self.args()?;
-                    Ok(Expr::Call(Call { callee: Callee::Named(name), args, span }))
+                    Ok(Expr::Call(Call {
+                        callee: Callee::Named(name),
+                        args,
+                        span,
+                    }))
                 } else if *self.peek() == TokenKind::LBracket {
                     // `a[i]` reads the monolithic array: `*a`.
                     self.discard_index()?;
-                    Ok(Expr::Path { derefs: 1, name, field: None, span })
+                    Ok(Expr::Path {
+                        derefs: 1,
+                        name,
+                        field: None,
+                        span,
+                    })
                 } else {
                     let field = self.field_sel()?;
-                    Ok(Expr::Path { derefs: 0, name, field, span })
+                    Ok(Expr::Path {
+                        derefs: 0,
+                        name,
+                        field,
+                        span,
+                    })
                 }
             }
             TokenKind::LParen => {
@@ -447,7 +527,11 @@ impl Parser {
                 let (name, _) = self.expect_ident()?;
                 self.expect(&TokenKind::RParen)?;
                 let args = self.args()?;
-                Ok(Expr::Call(Call { callee: Callee::Deref { derefs, name }, args, span }))
+                Ok(Expr::Call(Call {
+                    callee: Callee::Deref { derefs, name },
+                    args,
+                    span,
+                }))
             }
             TokenKind::KwMalloc => {
                 self.bump();
@@ -467,7 +551,10 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Int { value, span })
             }
-            other => Err(self.error(format!("expected an expression, found {}", other.describe()))),
+            other => Err(self.error(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -539,11 +626,17 @@ mod tests {
         let main = p.function("main").expect("main exists");
         // fp = id is a plain assignment from a Path naming a function.
         match &main.body.stmts[1] {
-            Stmt::Assign { rhs: Expr::Path { derefs: 0, .. }, .. } => {}
+            Stmt::Assign {
+                rhs: Expr::Path { derefs: 0, .. },
+                ..
+            } => {}
             other => panic!("expected fp = id, got {other:?}"),
         }
         match &main.body.stmts[3] {
-            Stmt::Assign { rhs: Expr::Call(call), .. } => {
+            Stmt::Assign {
+                rhs: Expr::Call(call),
+                ..
+            } => {
                 assert!(matches!(call.callee, Callee::Deref { derefs: 1, .. }));
             }
             other => panic!("expected indirect call, got {other:?}"),
@@ -575,7 +668,11 @@ mod tests {
     #[test]
     fn rejects_bare_parenthesized_expr() {
         let err = parse("void main() { int x = (y); }").expect_err("rejects");
-        assert!(err.message.contains("indirect calls"), "message: {}", err.message);
+        assert!(
+            err.message.contains("indirect calls"),
+            "message: {}",
+            err.message
+        );
     }
 
     #[test]
@@ -648,7 +745,9 @@ mod struct_tests {
         let main = p.function("main").expect("main exists");
         match &main.body.stmts[3] {
             Stmt::Decl(d) => match &d.init {
-                Some(Expr::AddrOf { field: Some(sel), .. }) => assert!(!sel.arrow),
+                Some(Expr::AddrOf {
+                    field: Some(sel), ..
+                }) => assert!(!sel.arrow),
                 other => panic!("expected &pr.b, got {other:?}"),
             },
             other => panic!("expected decl, got {other:?}"),
@@ -725,6 +824,9 @@ mod array_tests {
         assert!(parse("int *tab[];").is_err());
         assert!(parse("int *tab[0];").is_err());
         assert!(parse("void main() { int *t[2]; t[f()] = null; }").is_err());
-        assert!(parse("int *tab[4] = null;").is_ok(), "init rejected by checker, not parser");
+        assert!(
+            parse("int *tab[4] = null;").is_ok(),
+            "init rejected by checker, not parser"
+        );
     }
 }

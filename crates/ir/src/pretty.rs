@@ -21,7 +21,11 @@ use crate::ast::*;
 /// # Ok::<(), ddpa_ir::ParseError>(())
 /// ```
 pub fn pretty(program: &Program) -> String {
-    let mut printer = Printer { program, out: String::new(), indent: 0 };
+    let mut printer = Printer {
+        program,
+        out: String::new(),
+        indent: 0,
+    };
     for item in &program.items {
         printer.item(item);
     }
@@ -155,7 +159,12 @@ impl Printer<'_> {
                 }
                 self.out.push_str(";\n");
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.out.push_str("if (");
                 self.cond(cond);
                 self.out.push_str(") ");
@@ -213,7 +222,12 @@ impl Printer<'_> {
                 self.out.push_str(self.program.name(*name));
                 self.field_sel(field);
             }
-            Expr::Path { derefs, name, field, .. } => {
+            Expr::Path {
+                derefs,
+                name,
+                field,
+                ..
+            } => {
                 for _ in 0..*derefs {
                     self.out.push('*');
                 }

@@ -18,11 +18,21 @@ pub struct Span {
 
 impl Span {
     /// A span covering nothing, for synthesized nodes.
-    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+    pub const DUMMY: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
 
     /// Creates a span.
     pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 }
 

@@ -1,54 +1,93 @@
 //! Robustness properties of the MiniC frontend: the lexer/parser/checker
-//! must never panic, and error spans must stay within the input.
+//! must never panic, and error spans must stay within the input. Inputs
+//! are random strings over frontend-relevant alphabets, drawn from a
+//! seeded RNG so every run tests the same corpus.
 
-use proptest::prelude::*;
+use ddpa_support::rng::Rng;
 
 use ddpa_ir::lexer::lex;
 use ddpa_ir::parse;
 
-proptest! {
-    /// The lexer totalizes: any byte soup either lexes or reports a
-    /// located error — never panics.
-    #[test]
-    fn lexer_never_panics(input in "[ -~\n\t]{0,200}") {
+/// A random string of length `< max_len` over `alphabet`.
+fn soup(rng: &mut Rng, alphabet: &str, max_len: usize) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+/// Printable ASCII plus newline and tab, like proptest's `[ -~\n\t]`.
+fn printable() -> String {
+    let mut s: String = (b' '..=b'~').map(char::from).collect();
+    s.push('\n');
+    s.push('\t');
+    s
+}
+
+const CASES: usize = 256;
+
+/// The lexer totalizes: any byte soup either lexes or reports a
+/// located error — never panics.
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x1e8_0001);
+    let alphabet = printable();
+    for _ in 0..CASES {
+        let input = soup(&mut rng, &alphabet, 201);
         match lex(&input) {
             Ok(tokens) => {
-                prop_assert!(!tokens.is_empty());
-                prop_assert_eq!(
+                assert!(!tokens.is_empty());
+                assert_eq!(
                     &tokens.last().expect("eof token").kind,
                     &ddpa_ir::token::TokenKind::Eof
                 );
             }
             Err(e) => {
-                prop_assert!(e.span.start as usize <= input.len());
+                assert!(e.span.start as usize <= input.len());
             }
         }
     }
+}
 
-    /// The parser totalizes on arbitrary token-shaped soup.
-    #[test]
-    fn parser_never_panics(input in "[a-z0-9*&=;,(){}! \n]{0,200}") {
+/// The parser totalizes on arbitrary token-shaped soup.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x1e8_0002);
+    let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789*&=;,(){}! \n";
+    for _ in 0..CASES {
+        let input = soup(&mut rng, alphabet, 201);
         let _ = parse(&input);
     }
+}
 
-    /// Any successfully parsed program pretty-prints to something that
-    /// parses again to the same pretty form.
-    #[test]
-    fn accepted_inputs_roundtrip(input in "[a-z*&=;(){} ]{0,80}") {
+/// Any successfully parsed program pretty-prints to something that
+/// parses again to the same pretty form.
+#[test]
+fn accepted_inputs_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x1e8_0003);
+    let alphabet = "abcdefghijklmnopqrstuvwxyz*&=;(){} ";
+    for _ in 0..CASES {
+        let input = soup(&mut rng, alphabet, 81);
         if let Ok(program) = parse(&input) {
             let text1 = ddpa_ir::pretty(&program);
             let reparsed = parse(&text1).expect("pretty output must parse");
-            prop_assert_eq!(text1, ddpa_ir::pretty(&reparsed));
+            assert_eq!(text1, ddpa_ir::pretty(&reparsed));
         }
     }
+}
 
-    /// Checker never panics and reports spans within the input.
-    #[test]
-    fn checker_never_panics(input in "[a-z0-9*&=;,(){} \n]{0,200}") {
+/// Checker never panics and reports spans within the input.
+#[test]
+fn checker_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x1e8_0004);
+    let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789*&=;,(){} \n";
+    for _ in 0..CASES {
+        let input = soup(&mut rng, alphabet, 201);
         if let Ok(program) = parse(&input) {
             if let Err(errs) = ddpa_ir::check(&program) {
                 for e in errs.0 {
-                    prop_assert!(e.span.start as usize <= input.len());
+                    assert!(e.span.start as usize <= input.len());
                 }
             }
         }

@@ -1,0 +1,326 @@
+//! Minimal hand-rolled JSON: escaping, a value tree, and a validator.
+//!
+//! The workspace has no serde, so this module provides just enough JSON
+//! to export metrics: string escaping per RFC 8259, a [`JsonValue`] tree
+//! with a `Display` serializer, and [`validate_jsonl_line`], a strict
+//! little parser the CLI tests and CI smoke test use to prove that every
+//! emitted line really is one standalone JSON object.
+
+use std::fmt;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters as `\u00XX`; non-ASCII passes through as UTF-8,
+/// which RFC 8259 permits without escaping).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` escaped and wrapped in quotes.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// A JSON value tree. Objects keep insertion order (metric names are
+/// pre-sorted by the registry).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, counts).
+    U64(u64),
+    /// Floating point; non-finite values serialize as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::U64(n) => write!(f, "{n}"),
+            JsonValue::F64(x) if x.is_finite() => write!(f, "{x}"),
+            JsonValue::F64(_) => f.write_str("null"),
+            JsonValue::Str(s) => f.write_str(&escaped(s)),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", escaped(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Checks that `line` is exactly one JSON *object* (the JSONL contract):
+/// a strict recursive-descent parse with nothing but whitespace after the
+/// closing brace. Returns a description of the first violation.
+pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err(format!("line does not start with an object at byte {pos}"));
+    }
+    pos = parse_value(bytes, pos)?;
+    pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while matches!(b.get(i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        i += 1;
+    }
+    i
+}
+
+fn parse_value(b: &[u8], i: usize) -> Result<usize, String> {
+    let i = skip_ws(b, i);
+    match b.get(i) {
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => expect(b, i, "true"),
+        Some(b'f') => expect(b, i, "false"),
+        Some(b'n') => expect(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {i}")),
+        None => Err(format!("unexpected end of input at {i}")),
+    }
+}
+
+fn expect(b: &[u8], i: usize, word: &str) -> Result<usize, String> {
+    if b[i..].starts_with(word.as_bytes()) {
+        Ok(i + word.len())
+    } else {
+        Err(format!("expected `{word}` at byte {i}"))
+    }
+}
+
+fn parse_object(b: &[u8], mut i: usize) -> Result<usize, String> {
+    i += 1; // past '{'
+    i = skip_ws(b, i);
+    if b.get(i) == Some(&b'}') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = skip_ws(b, i);
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        i = parse_string(b, i)?;
+        i = skip_ws(b, i);
+        if b.get(i) != Some(&b':') {
+            return Err(format!("expected `:` at byte {i}"));
+        }
+        i = parse_value(b, i + 1)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err(format!("expected `,` or `}}` at byte {i}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], mut i: usize) -> Result<usize, String> {
+    i += 1; // past '['
+    i = skip_ws(b, i);
+    if b.get(i) == Some(&b']') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = parse_value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b']') => return Ok(i + 1),
+            _ => return Err(format!("expected `,` or `]` at byte {i}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], mut i: usize) -> Result<usize, String> {
+    i += 1; // past opening quote
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'"' => return Ok(i + 1),
+            b'\\' => match b.get(i + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                Some(b'u') => {
+                    let hex = b.get(i + 2..i + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {i}"));
+                    }
+                    i += 6;
+                }
+                _ => return Err(format!("bad escape at byte {i}")),
+            },
+            c if c < 0x20 => {
+                return Err(format!(
+                    "raw control character {c:#04x} in string at byte {i}"
+                ))
+            }
+            _ => i += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(b: &[u8], mut i: usize) -> Result<usize, String> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let digits = |b: &[u8], mut i: usize| {
+        let s = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        (i, i > s)
+    };
+    let (ni, any) = digits(b, i);
+    if !any {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    i = ni;
+    if b.get(i) == Some(&b'.') {
+        let (ni, any) = digits(b, i + 1);
+        if !any {
+            return Err(format!("malformed fraction at byte {i}"));
+        }
+        i = ni;
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let (ni, any) = digits(b, i);
+        if !any {
+            return Err(format!("malformed exponent at byte {i}"));
+        }
+        i = ni;
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_pathological_names() {
+        assert_eq!(escaped(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(escaped(r"back\slash"), r#""back\\slash""#);
+        assert_eq!(escaped("line\nbreak"), r#""line\nbreak""#);
+        assert_eq!(escaped("tab\there"), r#""tab\there""#);
+        assert_eq!(escaped("\u{01}"), "\"\\u0001\"");
+        // Non-ASCII (the analysis prints names like `x ∈ pts(y)`) passes
+        // through unescaped, as RFC 8259 allows.
+        assert_eq!(escaped("v ∈ pts"), "\"v ∈ pts\"");
+    }
+
+    #[test]
+    fn escaped_strings_validate() {
+        for name in [r#"a"b"#, r"c\d", "line\nbreak", "v ∈ pts", "\u{07}"] {
+            let line = format!("{{{}:{}}}", escaped("k"), escaped(name));
+            validate_jsonl_line(&line).unwrap_or_else(|e| panic!("{name:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn value_tree_serializes_and_validates() {
+        let v = JsonValue::Object(vec![
+            ("kind".to_owned(), JsonValue::str("counters")),
+            ("n".to_owned(), JsonValue::U64(3)),
+            ("rate".to_owned(), JsonValue::F64(0.5)),
+            ("nan".to_owned(), JsonValue::F64(f64::NAN)),
+            (
+                "items".to_owned(),
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
+        ]);
+        let line = v.to_string();
+        assert_eq!(
+            line,
+            r#"{"kind":"counters","n":3,"rate":0.5,"nan":null,"items":[true,null]}"#
+        );
+        validate_jsonl_line(&line).expect("valid");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_jsonl_line("").is_err());
+        assert!(
+            validate_jsonl_line("[1,2]").is_err(),
+            "top level must be an object"
+        );
+        assert!(validate_jsonl_line("{\"a\":1} trailing").is_err());
+        assert!(validate_jsonl_line("{\"a\":}").is_err());
+        assert!(validate_jsonl_line("{\"a\":1,}").is_err());
+        assert!(validate_jsonl_line("{\"a\":01e}").is_err());
+        assert!(validate_jsonl_line("{\"a\":\"unterminated}").is_err());
+        assert!(validate_jsonl_line("{\"a\":\"bad\\q\"}").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_numbers_and_nesting() {
+        for line in [
+            "{}",
+            "{ \"a\" : -1.5e-3 }",
+            "{\"a\":{\"b\":[{},{\"c\":null}]}}",
+            "{\"∈\":\"∈\"}",
+        ] {
+            validate_jsonl_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+}

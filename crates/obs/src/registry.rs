@@ -1,0 +1,185 @@
+//! Named monotonic counters and gauges.
+//!
+//! A [`Registry`] maps names to [`Counter`]/[`Gauge`] handles. Handles are
+//! `Arc<AtomicU64>` clones, so the hot path (`counter.inc()`) is one
+//! relaxed atomic add with no lock and no name lookup — callers resolve
+//! the handle once and keep it. The registry itself is behind a mutex and
+//! is only touched on registration and snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic event counter. Cloning shares the underlying cell.
+///
+/// Additions use wrapping arithmetic: past `u64::MAX` the counter wraps
+/// to zero rather than panicking or saturating (matching
+/// `AtomicU64::fetch_add`), which is the documented overflow behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter not registered anywhere (useful as a default).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (set, not accumulated).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+}
+
+/// A registry of named counters and gauges. Cloning is cheap and shares
+/// the name space.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created (at zero) on first use. Repeated
+    /// calls return handles to the same cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("registry poisoned");
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::default();
+                map.insert(name.to_owned(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("registry poisoned");
+        match map.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::default();
+                map.insert(name.to_owned(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// A name-sorted snapshot of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let map = self.inner.counters.lock().expect("registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// A name-sorted snapshot of every gauge.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        let map = self.inner.gauges.lock().expect("registry poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// The current value of counter `name` (0 if it was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let map = self.inner.counters.lock().expect("registry poisoned");
+        map.get(name).map_or(0, Counter::get)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("demand.fires");
+        let b = reg.counter("demand.fires");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.counter_value("demand.fires"), 3);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").add(4);
+        let snap = reg.counters();
+        assert_eq!(snap, vec![("alpha".to_owned(), 4), ("zeta".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let reg = Registry::new();
+        let g = reg.gauge("program.nodes");
+        g.set(10);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        assert_eq!(reg.gauges(), vec![("program.nodes".to_owned(), 7)]);
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let c = Counter::detached();
+        c.add(u64::MAX);
+        c.add(3);
+        // fetch_add wraps: MAX + 3 ≡ 2 (mod 2^64).
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let reg = Registry::new();
+        let c = reg.counter("hits");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

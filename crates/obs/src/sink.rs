@@ -1,0 +1,159 @@
+//! JSONL export: one JSON object per line.
+//!
+//! The schema (documented in `docs/OBSERVABILITY.md`) tags every line
+//! with a `"kind"` field:
+//!
+//! * `{"kind":"meta", ...}` — free-form run metadata;
+//! * `{"kind":"counter","name":...,"value":...}` — one per counter;
+//! * `{"kind":"gauge","name":...,"value":...}` — one per gauge;
+//! * `{"kind":"span","path":[...],"count":...,"total_ns":...,"self_ns":...}`
+//!   — one per profile-tree node, `path` being the root-to-node names;
+//! * `{"kind":"event", ...}` — ad-hoc engine events.
+
+use std::io::{self, Write};
+
+use crate::json::JsonValue;
+use crate::profile::{ProfileNode, Profiler};
+use crate::registry::Registry;
+
+/// Writes JSON objects to `w`, one per line.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    /// Writes one object line. `fields` must not contain newlines in keys
+    /// (values are escaped by construction).
+    pub fn emit(&mut self, kind: &str, fields: Vec<(String, JsonValue)>) -> io::Result<()> {
+        let mut all = vec![("kind".to_owned(), JsonValue::str(kind))];
+        all.extend(fields);
+        writeln!(self.w, "{}", JsonValue::Object(all))
+    }
+
+    /// One `counter` line per registered counter and one `gauge` line per
+    /// registered gauge, in name order.
+    pub fn emit_registry(&mut self, registry: &Registry) -> io::Result<()> {
+        for (name, value) in registry.counters() {
+            self.emit(
+                "counter",
+                vec![
+                    ("name".to_owned(), JsonValue::Str(name)),
+                    ("value".to_owned(), JsonValue::U64(value)),
+                ],
+            )?;
+        }
+        for (name, value) in registry.gauges() {
+            self.emit(
+                "gauge",
+                vec![
+                    ("name".to_owned(), JsonValue::Str(name)),
+                    ("value".to_owned(), JsonValue::U64(value)),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// One `span` line per profile-tree node, depth-first.
+    pub fn emit_profile(&mut self, profiler: &Profiler) -> io::Result<()> {
+        fn walk<W: Write>(
+            sink: &mut JsonlSink<W>,
+            path: &mut Vec<String>,
+            node: &ProfileNode,
+        ) -> io::Result<()> {
+            path.push(node.name.clone());
+            sink.emit(
+                "span",
+                vec![
+                    (
+                        "path".to_owned(),
+                        JsonValue::Array(path.iter().map(|p| JsonValue::str(p.clone())).collect()),
+                    ),
+                    ("count".to_owned(), JsonValue::U64(node.count)),
+                    (
+                        "total_ns".to_owned(),
+                        JsonValue::U64(node.total.as_nanos() as u64),
+                    ),
+                    (
+                        "self_ns".to_owned(),
+                        JsonValue::U64(node.self_time.as_nanos() as u64),
+                    ),
+                ],
+            )?;
+            for child in &node.children {
+                walk(sink, path, child)?;
+            }
+            path.pop();
+            Ok(())
+        }
+        let mut path = Vec::new();
+        for root in profiler.snapshot() {
+            walk(self, &mut path, &root)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_jsonl_line;
+
+    fn lines(buf: &[u8]) -> Vec<String> {
+        String::from_utf8(buf.to_vec())
+            .expect("utf8")
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn every_line_is_one_json_object() {
+        let registry = Registry::new();
+        registry.counter("demand.fires").add(12);
+        registry.counter(r#"odd "name" \ with ∈"#).inc();
+        registry.gauge("program.nodes").set(99);
+        let profiler = Profiler::new();
+        {
+            let _a = profiler.enter("solve");
+            let _b = profiler.enter("solve.wave");
+        }
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit("meta", vec![("tool".to_owned(), JsonValue::str("ddpa"))])
+            .expect("meta");
+        sink.emit_registry(&registry).expect("registry");
+        sink.emit_profile(&profiler).expect("profile");
+        let buf = sink.into_inner();
+
+        let lines = lines(&buf);
+        // meta + 2 counters + 1 gauge + 2 spans.
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            validate_jsonl_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(lines[0].contains("\"kind\":\"meta\""));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("demand.fires") && l.contains(":12")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"span\"") && l.contains("solve.wave")));
+    }
+}

@@ -33,7 +33,10 @@ pub struct SparseBitSet {
 impl SparseBitSet {
     /// Creates an empty set.
     pub const fn new() -> Self {
-        Self { words: Vec::new(), len: 0 }
+        Self {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Number of elements in the set.
@@ -222,7 +225,11 @@ impl SparseBitSet {
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { words: &self.words, pos: 0, current: self.words.first().map_or(0, |w| w.1) }
+        Iter {
+            words: &self.words,
+            pos: 0,
+            current: self.words.first().map_or(0, |w| w.1),
+        }
     }
 
     /// Removes all elements.

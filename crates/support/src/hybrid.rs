@@ -98,20 +98,18 @@ impl HybridSet {
                     }
                 }
             }
-            HybridSet::Large(bits) => {
-                match self {
-                    HybridSet::Large(mine) => {
-                        mine.union_with_delta(bits, delta);
-                    }
-                    HybridSet::Small(_) => {
-                        for v in bits.iter() {
-                            if self.insert(v) {
-                                delta.push(v);
-                            }
+            HybridSet::Large(bits) => match self {
+                HybridSet::Large(mine) => {
+                    mine.union_with_delta(bits, delta);
+                }
+                HybridSet::Small(_) => {
+                    for v in bits.iter() {
+                        if self.insert(v) {
+                            delta.push(v);
                         }
                     }
                 }
-            }
+            },
         }
         delta.len() > before
     }

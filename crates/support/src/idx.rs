@@ -119,12 +119,18 @@ pub struct IndexVec<I: Idx, T> {
 impl<I: Idx, T> IndexVec<I, T> {
     /// Creates an empty `IndexVec`.
     pub const fn new() -> Self {
-        Self { raw: Vec::new(), _marker: PhantomData }
+        Self {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty `IndexVec` with the given capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { raw: Vec::with_capacity(capacity), _marker: PhantomData }
+        Self {
+            raw: Vec::with_capacity(capacity),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an `IndexVec` holding `n` clones of `value`.
@@ -132,7 +138,10 @@ impl<I: Idx, T> IndexVec<I, T> {
     where
         T: Clone,
     {
-        Self { raw: vec![value; n], _marker: PhantomData }
+        Self {
+            raw: vec![value; n],
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements.
@@ -238,7 +247,10 @@ impl<I: Idx, T> IndexMut<I> for IndexVec<I, T> {
 
 impl<I: Idx, T> FromIterator<T> for IndexVec<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        Self { raw: Vec::from_iter(iter), _marker: PhantomData }
+        Self {
+            raw: Vec::from_iter(iter),
+            _marker: PhantomData,
+        }
     }
 }
 

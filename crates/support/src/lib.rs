@@ -6,6 +6,8 @@
 //! * [`idx`] — strongly typed `u32` index newtypes ([`define_index!`]) and
 //!   the dense [`IndexVec`] keyed by them;
 //! * [`intern`] — a string interner for symbol names;
+//! * [`rng`] — a seeded, dependency-free xoshiro256++ generator used by
+//!   the workload generators and property tests;
 //! * [`bitset`] — a sorted, chunked [`SparseBitSet`] over `u32` keys;
 //! * [`hybrid`] — [`HybridSet`], the points-to set representation (inline
 //!   sorted array for small sets, sparse bitset for large ones);
@@ -34,6 +36,7 @@ pub mod bitset;
 pub mod hybrid;
 pub mod idx;
 pub mod intern;
+pub mod rng;
 pub mod scc;
 pub mod stats;
 pub mod unionfind;
@@ -42,5 +45,6 @@ pub use bitset::SparseBitSet;
 pub use hybrid::HybridSet;
 pub use idx::{Idx, IndexVec};
 pub use intern::{Interner, Symbol};
+pub use rng::Rng;
 pub use stats::Summary;
 pub use unionfind::UnionFind;

@@ -1,0 +1,199 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The workspace builds with no external dependencies, so the workload
+//! generators and property tests use this hand-rolled generator instead of
+//! the `rand` crate. The algorithm is xoshiro256++ seeded through
+//! SplitMix64 — the same construction `rand`'s `SmallRng` family uses — so
+//! streams are well distributed, fast, and reproducible byte-for-byte from
+//! a `u64` seed on every platform.
+//!
+//! The API mirrors the subset of `rand` the workspace relies on:
+//! [`Rng::seed_from_u64`], [`Rng::gen_bool`], and [`Rng::gen_range`] over
+//! half-open and inclusive ranges of the common unsigned integer types.
+//!
+//! # Examples
+//!
+//! ```
+//! use ddpa_support::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let i = rng.gen_range(0..10usize);
+//! assert!(i < 10);
+//! let b = rng.gen_bool(0.5);
+//! let j = rng.gen_range(1..=6u8);
+//! assert!((1..=6).contains(&j));
+//! let _ = b;
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator from a single `u64` via SplitMix64, as
+    /// recommended by the xoshiro authors. The same seed always produces
+    /// the same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // Compare the top 53 bits against the scaled probability; 53 bits
+        // is exactly the f64 mantissa, so the comparison is unbiased.
+        let threshold = (p * (1u64 << 53) as f64) as u64;
+        (self.next_u64() >> 11) < threshold
+    }
+
+    /// A uniform value in `range`. Panics on an empty range, matching
+    /// `rand`'s behaviour.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, bound)` by Lemire's multiply-shift with
+    /// rejection (unbiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // `threshold` = 2^64 mod bound: low products under it are the
+        // biased tail and get rejected.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = (self.next_u64() as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform sample; panics if the range is empty.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut Rng) -> $ty {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $ty
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample(self, rng: &mut Rng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                start + rng.below(span + 1) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, usize, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5..17usize);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(0..=3u8);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits={hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn inclusive_full_u64_range_does_not_overflow() {
+        let mut rng = Rng::seed_from_u64(6);
+        let _ = rng.gen_range(0..=u64::MAX);
+    }
+}

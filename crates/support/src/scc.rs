@@ -79,7 +79,11 @@ pub fn tarjan(n: usize, mut successors: impl FnMut(u32, &mut Vec<u32>)) -> SccRe
         on_stack[start as usize] = true;
         scratch.clear();
         successors(start, &mut scratch);
-        frames.push(Frame { node: start, succs: std::mem::take(&mut scratch), pos: 0 });
+        frames.push(Frame {
+            node: start,
+            succs: std::mem::take(&mut scratch),
+            pos: 0,
+        });
 
         while let Some(frame) = frames.last_mut() {
             if frame.pos < frame.succs.len() {
@@ -94,7 +98,11 @@ pub fn tarjan(n: usize, mut successors: impl FnMut(u32, &mut Vec<u32>)) -> SccRe
                     on_stack[wi] = true;
                     scratch.clear();
                     successors(w, &mut scratch);
-                    frames.push(Frame { node: w, succs: std::mem::take(&mut scratch), pos: 0 });
+                    frames.push(Frame {
+                        node: w,
+                        succs: std::mem::take(&mut scratch),
+                        pos: 0,
+                    });
                 } else if on_stack[wi] {
                     let v = frame.node as usize;
                     lowlink[v] = lowlink[v].min(index[wi]);
@@ -172,8 +180,15 @@ mod tests {
     #[test]
     fn deep_chain_does_not_overflow() {
         let n = 200_000;
-        let edges: Vec<Vec<u32>> =
-            (0..n).map(|v| if v + 1 < n { vec![v as u32 + 1] } else { vec![] }).collect();
+        let edges: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                if v + 1 < n {
+                    vec![v as u32 + 1]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
         let r = scc_of(&edges);
         assert_eq!(r.count, n as u32);
     }

@@ -1,123 +1,166 @@
 //! Property tests: the set implementations must behave exactly like
-//! `BTreeSet<u32>` under every operation the analyses use.
+//! `BTreeSet<u32>` under every operation the analyses use. Inputs come
+//! from a seeded RNG, mixing small and large keys so both the inline and
+//! bitset representations get exercised.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
+use ddpa_support::rng::Rng;
 use ddpa_support::{HybridSet, SparseBitSet};
 
-fn values() -> impl Strategy<Value = Vec<u32>> {
-    // Mix small and large keys so both representations get exercised.
-    prop::collection::vec(
-        prop_oneof![0u32..64, 0u32..4096, prop::num::u32::ANY],
-        0..80,
-    )
+const CASES: usize = 256;
+
+/// A random key vector mixing magnitudes (small, medium, any u32).
+fn values(rng: &mut Rng) -> Vec<u32> {
+    let len = rng.gen_range(0..80usize);
+    (0..len)
+        .map(|_| match rng.gen_range(0..3u8) {
+            0 => rng.gen_range(0u32..64),
+            1 => rng.gen_range(0u32..4096),
+            _ => rng.gen_range(0u32..=u32::MAX),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn sparse_bitset_matches_btreeset(a in values(), b in values(), probe in values()) {
+#[test]
+fn sparse_bitset_matches_btreeset() {
+    let mut rng = Rng::seed_from_u64(0x5e7_0001);
+    for _ in 0..CASES {
+        let (a, b, probe) = (values(&mut rng), values(&mut rng), values(&mut rng));
         let mut sparse = SparseBitSet::new();
         let mut model: BTreeSet<u32> = BTreeSet::new();
         for &v in &a {
-            prop_assert_eq!(sparse.insert(v), model.insert(v));
+            assert_eq!(sparse.insert(v), model.insert(v));
         }
-        prop_assert_eq!(sparse.len(), model.len());
-        prop_assert_eq!(sparse.iter().collect::<Vec<_>>(),
-                        model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(sparse.len(), model.len());
+        assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
 
         let other: SparseBitSet = b.iter().copied().collect();
         let other_model: BTreeSet<u32> = b.iter().copied().collect();
-        prop_assert_eq!(sparse.intersects(&other),
-                        model.intersection(&other_model).next().is_some());
-        prop_assert_eq!(sparse.is_subset(&other), model.is_subset(&other_model));
+        assert_eq!(
+            sparse.intersects(&other),
+            model.intersection(&other_model).next().is_some()
+        );
+        assert_eq!(sparse.is_subset(&other), model.is_subset(&other_model));
 
         let mut delta = Vec::new();
         let changed = sparse.union_with_delta(&other, &mut delta);
-        let expected_delta: Vec<u32> =
-            other_model.difference(&model).copied().collect();
+        let expected_delta: Vec<u32> = other_model.difference(&model).copied().collect();
         let mut sorted_delta = delta.clone();
         sorted_delta.sort_unstable();
-        prop_assert_eq!(sorted_delta, expected_delta);
-        prop_assert_eq!(changed, !delta.is_empty());
+        assert_eq!(sorted_delta, expected_delta);
+        assert_eq!(changed, !delta.is_empty());
         model.extend(other_model.iter().copied());
-        prop_assert_eq!(sparse.iter().collect::<Vec<_>>(),
-                        model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
 
         for &v in &probe {
-            prop_assert_eq!(sparse.contains(v), model.contains(&v));
+            assert_eq!(sparse.contains(v), model.contains(&v));
         }
     }
+}
 
-    #[test]
-    fn sparse_bitset_remove_matches(a in values(), removals in values()) {
+#[test]
+fn sparse_bitset_remove_matches() {
+    let mut rng = Rng::seed_from_u64(0x5e7_0002);
+    for _ in 0..CASES {
+        let (a, removals) = (values(&mut rng), values(&mut rng));
         let mut sparse: SparseBitSet = a.iter().copied().collect();
         let mut model: BTreeSet<u32> = a.iter().copied().collect();
         for &v in &removals {
-            prop_assert_eq!(sparse.remove(v), model.remove(&v));
+            assert_eq!(sparse.remove(v), model.remove(&v));
         }
-        prop_assert_eq!(sparse.len(), model.len());
-        prop_assert_eq!(sparse.iter().collect::<Vec<_>>(),
-                        model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(sparse.len(), model.len());
+        assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
     }
+}
 
-    #[test]
-    fn hybrid_matches_btreeset(a in values(), b in values(), probe in values()) {
+#[test]
+fn hybrid_matches_btreeset() {
+    let mut rng = Rng::seed_from_u64(0x5e7_0003);
+    for _ in 0..CASES {
+        let (a, b, probe) = (values(&mut rng), values(&mut rng), values(&mut rng));
         let mut hybrid = HybridSet::new();
         let mut model: BTreeSet<u32> = BTreeSet::new();
         for &v in &a {
-            prop_assert_eq!(hybrid.insert(v), model.insert(v));
+            assert_eq!(hybrid.insert(v), model.insert(v));
         }
-        prop_assert_eq!(hybrid.len(), model.len());
-        prop_assert_eq!(hybrid.iter().collect::<Vec<_>>(),
-                        model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(hybrid.len(), model.len());
+        assert_eq!(
+            hybrid.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
 
         let other: HybridSet = b.iter().copied().collect();
         let other_model: BTreeSet<u32> = b.iter().copied().collect();
-        prop_assert_eq!(hybrid.intersects(&other),
-                        model.intersection(&other_model).next().is_some());
-        prop_assert_eq!(hybrid.is_subset(&other), model.is_subset(&other_model));
+        assert_eq!(
+            hybrid.intersects(&other),
+            model.intersection(&other_model).next().is_some()
+        );
+        assert_eq!(hybrid.is_subset(&other), model.is_subset(&other_model));
 
         let mut delta = Vec::new();
         hybrid.union_with_delta(&other, &mut delta);
         let mut expected: BTreeSet<u32> = model.clone();
         expected.extend(other_model);
-        prop_assert_eq!(hybrid.len(), expected.len());
-        prop_assert_eq!(hybrid.iter().collect::<Vec<_>>(),
-                        expected.iter().copied().collect::<Vec<_>>());
+        assert_eq!(hybrid.len(), expected.len());
+        assert_eq!(
+            hybrid.iter().collect::<Vec<_>>(),
+            expected.iter().copied().collect::<Vec<_>>()
+        );
         // Delta = exactly the new elements, in some order, no duplicates.
         let delta_set: BTreeSet<u32> = delta.iter().copied().collect();
-        prop_assert_eq!(delta_set.len(), delta.len(), "duplicate delta entries");
-        prop_assert_eq!(delta_set,
-                        expected.difference(&model).copied().collect::<BTreeSet<u32>>());
+        assert_eq!(delta_set.len(), delta.len(), "duplicate delta entries");
+        assert_eq!(
+            delta_set,
+            expected
+                .difference(&model)
+                .copied()
+                .collect::<BTreeSet<u32>>()
+        );
 
         for &v in &probe {
-            prop_assert_eq!(hybrid.contains(v), expected.contains(&v));
+            assert_eq!(hybrid.contains(v), expected.contains(&v));
         }
     }
+}
 
-    #[test]
-    fn hybrid_union_with_agrees_with_delta_variant(a in values(), b in values()) {
+#[test]
+fn hybrid_union_with_agrees_with_delta_variant() {
+    let mut rng = Rng::seed_from_u64(0x5e7_0004);
+    for _ in 0..CASES {
+        let (a, b) = (values(&mut rng), values(&mut rng));
         let mut h1: HybridSet = a.iter().copied().collect();
         let mut h2: HybridSet = a.iter().copied().collect();
         let other: HybridSet = b.iter().copied().collect();
         let changed1 = h1.union_with(&other);
         let mut delta = Vec::new();
         let changed2 = h2.union_with_delta(&other, &mut delta);
-        prop_assert_eq!(changed1, changed2);
-        prop_assert_eq!(h1.iter().collect::<Vec<_>>(), h2.iter().collect::<Vec<_>>());
+        assert_eq!(changed1, changed2);
+        assert_eq!(h1.iter().collect::<Vec<_>>(), h2.iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn hybrid_singleton_is_consistent(a in values()) {
+#[test]
+fn hybrid_singleton_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0x5e7_0005);
+    for _ in 0..CASES {
+        let a = values(&mut rng);
         let hybrid: HybridSet = a.iter().copied().collect();
         match hybrid.as_singleton() {
             Some(v) => {
-                prop_assert_eq!(hybrid.len(), 1);
-                prop_assert!(hybrid.contains(v));
+                assert_eq!(hybrid.len(), 1);
+                assert!(hybrid.contains(v));
             }
-            None => prop_assert_ne!(hybrid.len(), 1),
+            None => assert_ne!(hybrid.len(), 1),
         }
     }
 }

@@ -56,8 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The two chains must stay apart.
-    assert!(engine.may_alias(node("main::tipA"), node("main::cellA")).may_alias);
-    assert!(!engine.may_alias(node("main::tipA"), node("main::tipB")).may_alias);
+    assert!(
+        engine
+            .may_alias(node("main::tipA"), node("main::cellA"))
+            .may_alias
+    );
+    assert!(
+        !engine
+            .may_alias(node("main::tipA"), node("main::tipB"))
+            .may_alias
+    );
 
     // Dereference audit: flags the load through the uninitialized pointer.
     let audit = DerefAudit::run(&mut engine);

@@ -11,22 +11,19 @@ use ddpa::gen::{generate_random, RandomConfig};
 
 fn main() {
     let cp = generate_random(&RandomConfig::sized(7, 8_000));
-    let queries: Vec<_> = cp
-        .loads()
-        .iter()
-        .map(|l| l.ptr)
-        .take(300)
-        .collect();
+    let queries: Vec<_> = cp.loads().iter().map(|l| l.ptr).take(300).collect();
     println!(
         "workload: {} constraints, {} queries\n",
         cp.num_constraints(),
         queries.len()
     );
 
-    println!("{:>10}  {:>9}  {:>13}", "budget", "resolved", "avg work/query");
+    println!(
+        "{:>10}  {:>9}  {:>13}",
+        "budget", "resolved", "avg work/query"
+    );
     for budget in [10u64, 100, 1_000, 10_000, 100_000] {
-        let mut engine =
-            DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_budget(budget));
         let mut resolved = 0usize;
         let mut work = 0u64;
         for &q in &queries {
@@ -52,8 +49,7 @@ fn main() {
     match hard {
         None => println!("\n(no query needed more than 500 firings — nothing to resume)"),
         Some(q) => {
-            let mut engine =
-                DemandEngine::new(&cp, DemandConfig::default().with_budget(500));
+            let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_budget(500));
             let mut attempts = 0;
             loop {
                 attempts += 1;

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  callsite {cs:?} → {{{}}}", names.join(", "));
     }
 
-    assert!(demand_cg.same_as(&exhaustive_cg), "precision must be identical");
+    assert!(
+        demand_cg.same_as(&exhaustive_cg),
+        "precision must be identical"
+    );
     println!(
         "\nprecision identical to exhaustive ✓  \
          (demand {demand_time:?} vs exhaustive {exhaustive_time:?}, \
@@ -82,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|&f| cp.interner().resolve(cp.func(f).name))
         .collect();
-    println!("reachable functions: {}, dead: {{{}}}", reach.count(), dead.join(", "));
+    println!(
+        "reachable functions: {}, dead: {{{}}}",
+        reach.count(),
+        dead.join(", ")
+    );
     // cmd_open is installed in table0 but table0 is never invoked.
     assert_eq!(dead, vec!["cmd_open", "helper"]);
     Ok(())

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| panic!("no node named {name}"))
     };
     let names = |nodes: &[ddpa::constraints::NodeId]| {
-        nodes.iter().map(|&n| cp.display_node(n)).collect::<Vec<_>>().join(", ")
+        nodes
+            .iter()
+            .map(|&n| cp.display_node(n))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
 
     // Context-insensitive baseline: both id() results merge.
@@ -59,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Heap cloning: h1 and h2 get distinct allocation sites.
     let h1 = cs.pts_of(node("main::h1"));
     let h2 = cs.pts_of(node("main::h2"));
-    println!("  pts(h1) = {{{}}}   pts(h2) = {{{}}}", names(&h1), names(&h2));
+    println!(
+        "  pts(h1) = {{{}}}   pts(h2) = {{{}}}",
+        names(&h1),
+        names(&h2)
+    );
     // Projection folds the cloned sites back to the original, so compare
     // inside the cloned program where the sites stay distinct.
     let ci_total: usize = cp.node_ids().map(|n| ci.pts(n).len()).sum();

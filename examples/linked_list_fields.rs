@@ -46,12 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| panic!("no node named {name}"))
     };
     let names = |pts: &[ddpa::constraints::NodeId]| {
-        pts.iter().map(|&n| cp.display_node(n)).collect::<Vec<_>>().join(", ")
+        pts.iter()
+            .map(|&n| cp.display_node(n))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
 
     let got = engine.points_to(node("main::got"));
     let other = engine.points_to(node("main::other"));
-    println!("pts(got)   = {{{}}}   (walking the red list)", names(&got.pts));
+    println!(
+        "pts(got)   = {{{}}}   (walking the red list)",
+        names(&got.pts)
+    );
     println!("pts(other) = {{{}}}   (blue payload)", names(&other.pts));
 
     // Field-sensitivity keeps payloads of distinct objects distinct: the
@@ -63,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // red cell — inspect the heap object's field node directly.
     let head = engine.points_to(node("main::reds"));
     let head_obj = head.pts[0];
-    let next_field = cp.field_of(head_obj, 0).expect("typed allocation has fields");
+    let next_field = cp
+        .field_of(head_obj, 0)
+        .expect("typed allocation has fields");
     let next = engine.points_to(next_field);
     println!(
         "pts({}) = {{{}}}",

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|&n| cp.display_node(n) == name)
             .ok_or_else(|| format!("no node named {name}"))?;
         let answer = engine.points_to(node);
-        let targets: Vec<String> =
-            answer.pts.iter().map(|&t| cp.display_node(t)).collect();
+        let targets: Vec<String> = answer.pts.iter().map(|&t| cp.display_node(t)).collect();
         println!(
             "pts({name}) = {{{}}}   [work: {} rule firings{}]",
             targets.join(", "),

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, tests. Run from the repo root.
+# CI runs exactly this script (.github/workflows/ci.yml); keep it fast
+# and fully offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ddpa profile JSONL smoke test"
+# Every sample must profile cleanly and emit strict one-object-per-line
+# JSONL (validated by the jsonl-check hidden subcommand of the CLI, which
+# reuses the crates/obs validator).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for sample in samples/*; do
+    out="$tmp/$(basename "$sample").jsonl"
+    cargo run -q -p ddpa-cli -- profile "$sample" --json "$out" > /dev/null
+    cargo run -q -p ddpa-cli -- jsonl-check "$out"
+done
+
+echo "All checks passed."

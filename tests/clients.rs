@@ -28,7 +28,10 @@ const DISPATCHER: &str = r#"
     }
 "#;
 
-fn func_names(cp: &ddpa::constraints::ConstraintProgram, funcs: &[ddpa::constraints::FuncId]) -> Vec<String> {
+fn func_names(
+    cp: &ddpa::constraints::ConstraintProgram,
+    funcs: &[ddpa::constraints::FuncId],
+) -> Vec<String> {
     funcs
         .iter()
         .map(|&f| cp.interner().resolve(cp.func(f).name).to_owned())
@@ -114,10 +117,8 @@ fn parallel_driver_matches_sequential_on_suite() {
     let bench = ddpa::gen::suite().into_iter().nth(1).expect("syn-1k");
     let cp = bench.build();
     let queries: Vec<_> = cp.loads().iter().map(|l| l.ptr).take(100).collect();
-    let sequential =
-        ddpa::demand::points_to_parallel(&cp, &queries, 1, &DemandConfig::default());
-    let parallel =
-        ddpa::demand::points_to_parallel(&cp, &queries, 4, &DemandConfig::default());
+    let sequential = ddpa::demand::points_to_parallel(&cp, &queries, 1, &DemandConfig::default());
+    let parallel = ddpa::demand::points_to_parallel(&cp, &queries, 4, &DemandConfig::default());
     for (s, p) in sequential.iter().zip(&parallel) {
         assert_eq!(s.pts, p.pts);
         assert_eq!(s.complete, p.complete);

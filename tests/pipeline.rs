@@ -154,7 +154,10 @@ fn all_solvers_agree_on_corpus() {
         let cp = compile(name, src);
         let oracle = naive::solve(&cp);
 
-        for config in [SolverConfig::default(), SolverConfig::without_cycle_elimination()] {
+        for config in [
+            SolverConfig::default(),
+            SolverConfig::without_cycle_elimination(),
+        ] {
             let (got, _) = worklist::solve(&cp, &config);
             if let Err(node) = got.same_as(&oracle, &cp) {
                 panic!(
@@ -172,7 +175,11 @@ fn all_solvers_agree_on_corpus() {
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         for node in cp.node_ids() {
             let got = engine.points_to(node);
-            assert!(got.complete, "{name}: pts({}) unresolved", cp.display_node(node));
+            assert!(
+                got.complete,
+                "{name}: pts({}) unresolved",
+                cp.display_node(node)
+            );
             assert_eq!(
                 got.pts,
                 oracle.pts_nodes(node),
@@ -242,8 +249,11 @@ fn textual_constraint_roundtrip_preserves_solutions() {
         let pts_by_name = |cp: &ConstraintProgram, sol: &ddpa::anders::Solution| {
             let mut map = std::collections::BTreeMap::new();
             for n in cp.node_ids() {
-                let mut targets: Vec<String> =
-                    sol.pts_nodes(n).iter().map(|&t| cp.display_node(t)).collect();
+                let mut targets: Vec<String> = sol
+                    .pts_nodes(n)
+                    .iter()
+                    .map(|&t| cp.display_node(t))
+                    .collect();
                 targets.sort();
                 map.insert(cp.display_node(n), targets);
             }
@@ -263,8 +273,7 @@ fn generated_suite_demand_equals_exhaustive_on_callgraph() {
     for bench in ddpa::gen::suite().into_iter().take(2) {
         let cp = bench.build();
         let solution = ddpa::anders::solve(&cp);
-        let exhaustive =
-            ddpa::clients::CallGraph::from_exhaustive(&cp, &solution);
+        let exhaustive = ddpa::clients::CallGraph::from_exhaustive(&cp, &solution);
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         let (demand, stats) = ddpa::clients::CallGraph::from_demand(&mut engine);
         assert!(demand.same_as(&exhaustive), "{}", bench.name);
@@ -322,7 +331,11 @@ fn generated_minic_demand_equals_oracle_on_all_nodes() {
         let mut engine = DemandEngine::new(&cp, DemandConfig::default());
         for node in cp.node_ids() {
             let got = engine.points_to(node);
-            assert!(got.complete, "seed {seed}: {} unresolved", cp.display_node(node));
+            assert!(
+                got.complete,
+                "seed {seed}: {} unresolved",
+                cp.display_node(node)
+            );
             assert_eq!(
                 got.pts,
                 oracle.pts_nodes(node),
@@ -341,7 +354,10 @@ fn monolithic_arrays_behave_like_single_objects() {
          void main() { int *tab[4]; tab[0] = &g; tab[3] = &h; int *x = tab[1]; }",
     );
     let mut engine = DemandEngine::new(&cp, DemandConfig::default());
-    let x = cp.node_ids().find(|&n| cp.display_node(n) == "main::x").expect("x");
+    let x = cp
+        .node_ids()
+        .find(|&n| cp.display_node(n) == "main::x")
+        .expect("x");
     let r = engine.points_to(x);
     let names: Vec<String> = r.pts.iter().map(|&n| cp.display_node(n)).collect();
     // Monolithic: reading any element sees every stored address.
@@ -380,10 +396,16 @@ fn array_decay_through_calls() {
          void main() { int *tab[2]; take(tab); take(&tab[0]); int *y = tab[0]; }",
     );
     let oracle = naive::solve(&cp);
-    let y = cp.node_ids().find(|&n| cp.display_node(n) == "main::y").expect("y");
+    let y = cp
+        .node_ids()
+        .find(|&n| cp.display_node(n) == "main::y")
+        .expect("y");
     let mut engine = DemandEngine::new(&cp, DemandConfig::default());
     assert_eq!(engine.points_to(y).pts, oracle.pts_nodes(y));
-    let names: Vec<String> =
-        oracle.pts_nodes(y).iter().map(|&n| cp.display_node(n)).collect();
+    let names: Vec<String> = oracle
+        .pts_nodes(y)
+        .iter()
+        .map(|&n| cp.display_node(n))
+        .collect();
     assert_eq!(names, vec!["g"]);
 }

@@ -1,45 +1,55 @@
 //! Property tests across crate boundaries: pretty-printer/parser
 //! roundtrips and analysis-preserving constraint-text roundtrips, on
-//! generator output.
-
-use proptest::prelude::*;
+//! generator output. Cases are drawn from a seeded RNG so each run
+//! exercises the same inputs deterministically.
 
 use ddpa::gen::{generate_minic, generate_random, MiniCConfig, RandomConfig};
+use ddpa::support::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// pretty ∘ parse is a fixpoint on generated MiniC programs.
-    #[test]
-    fn minic_pretty_parse_fixpoint(seed in 0u64..5000, funcs in 4usize..24) {
+/// pretty ∘ parse is a fixpoint on generated MiniC programs.
+#[test]
+fn minic_pretty_parse_fixpoint() {
+    let mut rng = Rng::seed_from_u64(0x0ddb_a5e1);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..5000);
+        let funcs = rng.gen_range(4usize..24);
         let program = generate_minic(&MiniCConfig::sized(seed, funcs));
         let text1 = ddpa::ir::pretty(&program);
         let reparsed = ddpa::ir::parse(&text1).expect("pretty output parses");
         ddpa::ir::check(&reparsed).expect("pretty output checks");
         let text2 = ddpa::ir::pretty(&reparsed);
-        prop_assert_eq!(text1, text2);
+        assert_eq!(text1, text2, "seed {seed} funcs {funcs}");
     }
+}
 
-    /// Lowering the reparsed program gives the same constraint counts.
-    #[test]
-    fn minic_roundtrip_preserves_constraint_counts(seed in 0u64..5000) {
+/// Lowering the reparsed program gives the same constraint counts.
+#[test]
+fn minic_roundtrip_preserves_constraint_counts() {
+    let mut rng = Rng::seed_from_u64(0x0ddb_a5e2);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..5000);
         let program = generate_minic(&MiniCConfig::sized(seed, 12));
         let cp1 = ddpa::constraints::lower(&program).expect("lowers");
         let reparsed = ddpa::ir::parse(&ddpa::ir::pretty(&program)).expect("parses");
         let cp2 = ddpa::constraints::lower(&reparsed).expect("lowers");
-        prop_assert_eq!(cp1.num_constraints(), cp2.num_constraints());
-        prop_assert_eq!(cp1.callsites().len(), cp2.callsites().len());
-        prop_assert_eq!(cp1.num_nodes(), cp2.num_nodes());
+        assert_eq!(cp1.num_constraints(), cp2.num_constraints(), "seed {seed}");
+        assert_eq!(cp1.callsites().len(), cp2.callsites().len(), "seed {seed}");
+        assert_eq!(cp1.num_nodes(), cp2.num_nodes(), "seed {seed}");
     }
+}
 
-    /// Constraint-text roundtrips preserve whole solutions on random
-    /// workloads.
-    #[test]
-    fn constraint_text_roundtrip_preserves_solutions(seed in 0u64..5000) {
+/// Constraint-text roundtrips preserve whole solutions on random
+/// workloads.
+#[test]
+fn constraint_text_roundtrip_preserves_solutions() {
+    let mut rng = Rng::seed_from_u64(0x0ddb_a5e3);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0u64..5000);
         let cp = generate_random(&RandomConfig::sized(seed, 300));
         let printed = ddpa::constraints::print_constraints(&cp);
-        let reparsed =
-            ddpa::constraints::parse_constraints(&printed).expect("reparses");
+        let reparsed = ddpa::constraints::parse_constraints(&printed).expect("reparses");
 
         let sol1 = ddpa::anders::naive::solve(&cp);
         let sol2 = ddpa::anders::naive::solve(&reparsed);
@@ -47,8 +57,11 @@ proptest! {
                          sol: &ddpa::anders::Solution| {
             let mut map = std::collections::BTreeMap::new();
             for n in cp.node_ids() {
-                let mut t: Vec<String> =
-                    sol.pts_nodes(n).iter().map(|&x| cp.display_node(x)).collect();
+                let mut t: Vec<String> = sol
+                    .pts_nodes(n)
+                    .iter()
+                    .map(|&x| cp.display_node(x))
+                    .collect();
                 t.sort();
                 map.insert(cp.display_node(n), t);
             }
@@ -60,14 +73,13 @@ proptest! {
         // absent after the roundtrip must have had an empty answer.
         for (name, targets) in &before {
             match after.get(name) {
-                Some(t) => prop_assert_eq!(t, targets, "pts({}) differs", name),
-                None => prop_assert!(
+                Some(t) => assert_eq!(t, targets, "seed {seed}: pts({name}) differs"),
+                None => assert!(
                     targets.is_empty(),
-                    "unreferenced node {} lost a non-empty set",
-                    name
+                    "seed {seed}: unreferenced node {name} lost a non-empty set"
                 ),
             }
         }
-        prop_assert!(after.keys().all(|k| before.contains_key(k)));
+        assert!(after.keys().all(|k| before.contains_key(k)));
     }
 }
