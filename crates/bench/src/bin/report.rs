@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the evaluation as Markdown.
 //!
 //! ```text
-//! report [--quick|--full] [t1 t2 t3 t4 f1 f2 f3 a2 ...]
+//! report [--quick|--full] [t1 t2 t3 t4 t5 f1 f2 f3 a2 ...]
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` (default) uses
@@ -54,6 +54,9 @@ fn main() {
     }
     if want("t4") {
         t4(&quick);
+    }
+    if want("t5") {
+        t5(&quick);
     }
     if want("f1") {
         f1(&quick);
@@ -226,6 +229,44 @@ fn t4(benches: &[Benchmark]) {
                 "speedup",
                 "work cached",
                 "work uncached"
+            ],
+            &rows
+        )
+    );
+}
+
+fn t5(benches: &[Benchmark]) {
+    println!("## T5 — Server throughput (ddpa-serve over loopback, ≤200 queries)\n");
+    let qps = |r: &T5Row, t: Duration| format!("{:.0}", r.qps(t));
+    let rows: Vec<Vec<String>> = run_t5(benches, 200)
+        .into_iter()
+        .map(|r| {
+            let warm_speedup =
+                r.time_batch_cold.as_secs_f64() / r.time_batch_warm.as_secs_f64().max(1e-9);
+            vec![
+                r.name.to_owned(),
+                count(r.queries),
+                qps(&r, r.time_batch_cold),
+                qps(&r, r.time_batch_warm),
+                qps(&r, r.time_batch_parallel),
+                qps(&r, r.time_sequential),
+                ratio(warm_speedup),
+                count(r.cache_hits as usize),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program",
+                "queries",
+                "batch cold q/s",
+                "batch warm q/s",
+                "batch parallel q/s",
+                "sequential q/s",
+                "warm speedup",
+                "cache hits"
             ],
             &rows
         )

@@ -1,4 +1,4 @@
-//! Runners for every experiment (tables T1–T4, figures F1–F3, ablation A2).
+//! Runners for every experiment (tables T1–T5, figures F1–F3, ablation A2).
 
 use std::time::{Duration, Instant};
 
@@ -485,6 +485,119 @@ pub fn run_a3(benches: &[Benchmark], ks: &[usize]) -> Vec<A3Row> {
 }
 
 // ---------------------------------------------------------------------
+// T5: server throughput (ddpa-serve over loopback TCP)
+// ---------------------------------------------------------------------
+
+/// One row of the server-throughput table.
+#[derive(Clone, Debug)]
+pub struct T5Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Queries per measured run.
+    pub queries: usize,
+    /// One batch request against a cold session (empty memo table).
+    pub time_batch_cold: Duration,
+    /// The identical batch repeated against the now-warm session.
+    pub time_batch_warm: Duration,
+    /// The batch fanned out over the server's worker pool (private
+    /// per-worker engines, no shared warm cache).
+    pub time_batch_parallel: Duration,
+    /// One request round-trip per query on the warm session.
+    pub time_sequential: Duration,
+    /// `server.cache_hits.<session>` after the warm batch.
+    pub cache_hits: u64,
+}
+
+impl T5Row {
+    /// Queries per second for a measured duration.
+    pub fn qps(&self, time: Duration) -> f64 {
+        self.queries as f64 / time.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Regenerates table T5: query throughput of `ddpa-serve` over loopback
+/// TCP, batch vs sequential round-trips, cold vs warm session caches.
+///
+/// Each benchmark gets a fresh in-process server on `127.0.0.1:0`; the
+/// program travels over the wire as canonical constraint text, queries
+/// are points-to over (up to) `max_queries` dereferenced pointers.
+pub fn run_t5(benches: &[Benchmark], max_queries: usize) -> Vec<T5Row> {
+    use ddpa_serve::proto::{build, QuerySpec};
+
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let text = ddpa_constraints::print_constraints(&cp);
+            let specs: Vec<QuerySpec> = deref_queries(&cp)
+                .into_iter()
+                .take(max_queries)
+                .map(|n| QuerySpec::PointsTo {
+                    name: cp.display_node(n),
+                })
+                .collect();
+
+            let obs = Obs::new();
+            let mut config = ddpa_serve::ServeConfig::default();
+            config.max_batch = specs.len().max(config.max_batch);
+            let server = ddpa_serve::Server::bind("127.0.0.1:0", config, obs.clone())
+                .expect("bind loopback");
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run());
+
+            let mut client = ddpa_serve::Client::connect(addr).expect("connect");
+            client
+                .expect_ok(&build::open(b.name, &text, false, None))
+                .expect("open session");
+
+            // timeout_ms=0 disables the wall-clock deadline: T5 measures
+            // raw throughput, not timeout behaviour.
+            let batch = build::batch(b.name, &specs, false, None, Some(0));
+            let start = Instant::now();
+            client.expect_ok(&batch).expect("cold batch");
+            let time_batch_cold = start.elapsed();
+
+            let start = Instant::now();
+            client.expect_ok(&batch).expect("warm batch");
+            let time_batch_warm = start.elapsed();
+            let cache_hits = obs
+                .registry
+                .counter_value(&format!("server.cache_hits.{}", b.name));
+
+            let parallel = build::batch(b.name, &specs, true, None, Some(0));
+            let start = Instant::now();
+            client.expect_ok(&parallel).expect("parallel batch");
+            let time_batch_parallel = start.elapsed();
+
+            let start = Instant::now();
+            for spec in &specs {
+                client
+                    .expect_ok(&build::query(b.name, spec, None, Some(0)))
+                    .expect("sequential query");
+            }
+            let time_sequential = start.elapsed();
+
+            handle.shutdown();
+            thread
+                .join()
+                .expect("server thread")
+                .expect("clean shutdown");
+
+            T5Row {
+                name: b.name,
+                queries: specs.len(),
+                time_batch_cold,
+                time_batch_warm,
+                time_batch_parallel,
+                time_sequential,
+                cache_hits,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // A2: parallel query driver scaling
 // ---------------------------------------------------------------------
 
@@ -581,6 +694,19 @@ mod tests {
     fn t4_caching_reduces_work() {
         let rows = run_t4(&tiny(), 100);
         assert!(rows[0].work_cached <= rows[0].work_uncached);
+    }
+
+    #[test]
+    fn t5_server_throughput_warm_beats_cold_on_work() {
+        let rows = run_t5(&tiny(), 50);
+        let r = &rows[0];
+        assert_eq!(r.name, "syn-1k");
+        assert!(r.queries > 0 && r.queries <= 50);
+        assert!(
+            r.cache_hits > 0,
+            "the repeated batch must hit the warm session cache: {r:?}"
+        );
+        assert!(r.qps(r.time_batch_warm) > 0.0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! ddpa stackret  <file> [--budget N]         stack-return (dangling pointer) lint
 //! ddpa profile   <file> [--json <path>]      run both analyses, report metrics + spans
 //! ddpa gen       [--size N] [--seed S] [--minic]   emit a generated workload
+//! ddpa serve     --addr HOST:PORT [--threads N]    persistent demand-query server
+//! ddpa client    --addr HOST:PORT <op> [args…]     talk to a running server
 //! ```
 //!
 //! `solve`, `query`, `callgraph`, `audit` and `stackret` additionally take
@@ -71,6 +73,18 @@ commands:
   profile   <file> [--json <path>]      run both analyses, report metrics + spans
   jsonl-check <file>                    validate a JSONL metrics export
   gen       [--size N] [--seed S] [--minic]  emit a generated workload
+  serve     --addr HOST:PORT            persistent demand-query server
+            [--threads N] [--budget N] [--timeout-ms T]
+            [--port-file <path>] [--stdin-shutdown] [--metrics-out <path>]
+  client    --addr HOST:PORT <op>       one request against a running server:
+            ping | stats | shutdown | close <session>
+            open <session> <file> [--budget N]
+            add <session> <file>
+            query <session> <names...> [--ptb] [--parallel]
+                  [--budget N] [--timeout-ms T]
+            alias <session> <a> <b>
+            targets <session> <site>
+            (multi-name query sends one batch; see docs/SERVER.md)
 
 solve/query/callgraph/audit/stackret also take:
   --profile             print the span profile tree after the command
@@ -92,6 +106,12 @@ struct Options {
     profile: bool,
     metrics_out: Option<String>,
     json: Option<String>,
+    addr: Option<String>,
+    threads: Option<usize>,
+    timeout_ms: Option<u64>,
+    parallel: bool,
+    stdin_shutdown: bool,
+    port_file: Option<String>,
     positional: Vec<String>,
 }
 
@@ -135,6 +155,26 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--minic" => opts.minic = Some(true),
             "--constraints" => opts.minic = Some(false),
+            "--addr" => {
+                let v = iter.next().ok_or_else(|| err("--addr needs host:port"))?;
+                opts.addr = Some(v.clone());
+            }
+            "--threads" => {
+                let v = iter.next().ok_or_else(|| err("--threads needs a value"))?;
+                opts.threads = Some(v.parse().map_err(|_| err(format!("bad threads `{v}`")))?);
+            }
+            "--timeout-ms" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--timeout-ms needs a value"))?;
+                opts.timeout_ms = Some(v.parse().map_err(|_| err(format!("bad timeout `{v}`")))?);
+            }
+            "--parallel" => opts.parallel = true,
+            "--stdin-shutdown" => opts.stdin_shutdown = true,
+            "--port-file" => {
+                let v = iter.next().ok_or_else(|| err("--port-file needs a path"))?;
+                opts.port_file = Some(v.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(err(format!("unknown option `{other}`")));
             }
@@ -462,6 +502,63 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 write!(out, "{}", ddpa::constraints::print_constraints(&cp))?;
             }
         }
+        "serve" => {
+            let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7077");
+            let mut config = ddpa::serve::ServeConfig::default();
+            if let Some(t) = opts.threads {
+                config.threads = t.max(1);
+            }
+            config.default_budget = opts.budget;
+            if let Some(t) = opts.timeout_ms {
+                config.default_timeout_ms = t;
+            }
+            let server = ddpa::serve::Server::bind(addr, config, obs.clone())
+                .map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
+            let local = server.local_addr();
+            if let Some(pf) = opts.port_file.as_deref() {
+                std::fs::write(pf, local.to_string())
+                    .map_err(|e| err(format!("cannot write `{pf}`: {e}")))?;
+            }
+            writeln!(out, "ddpa-serve listening on {local}")?;
+            out.flush()?;
+            if opts.stdin_shutdown {
+                // Supervisor-friendly stop signal without OS signal
+                // handling: closing our stdin (EOF) shuts the server
+                // down gracefully.
+                let handle = server.handle();
+                std::thread::spawn(move || {
+                    let mut sink = Vec::new();
+                    let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+                    handle.shutdown();
+                });
+            }
+            server.run()?;
+            writeln!(out, "ddpa-serve stopped")?;
+        }
+        "client" => {
+            let addr = opts
+                .addr
+                .as_deref()
+                .ok_or_else(|| err("client needs --addr HOST:PORT"))?;
+            let request = client_request(&opts)?;
+            let mut client = ddpa::serve::Client::connect(addr)
+                .map_err(|e| err(format!("cannot connect to `{addr}`: {e}")))?;
+            let response = client.request(&request)?;
+            writeln!(out, "{response}")?;
+            if response.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+                let code = response
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unknown");
+                let message = response
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("");
+                return Err(err(format!("server error {code}: {message}")));
+            }
+        }
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
         }
@@ -480,6 +577,107 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         )?;
     }
     Ok(())
+}
+
+/// Builds the wire request for a `ddpa client` invocation.
+fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
+    use ddpa::serve::proto::{build, QuerySpec};
+    let pos = &opts.positional;
+    let op = pos
+        .first()
+        .ok_or_else(|| err("client needs an operation (ping, open, query, ...)"))?;
+    let session = |i: usize| -> Result<&str, CliError> {
+        pos.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| err(format!("client {op} needs a session name")))
+    };
+    let file_text = |i: usize| -> Result<(String, bool), CliError> {
+        let path = pos
+            .get(i)
+            .ok_or_else(|| err(format!("client {op} needs a program file")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+        let minic = opts
+            .minic
+            .unwrap_or_else(|| path.ends_with(".c") || path.ends_with(".mc"));
+        Ok((text, minic))
+    };
+    match op.as_str() {
+        "ping" => Ok(build::ping()),
+        "stats" => Ok(build::stats()),
+        "shutdown" => Ok(build::shutdown()),
+        "close" => Ok(build::close(session(1)?)),
+        "open" => {
+            let (text, minic) = file_text(2)?;
+            Ok(build::open(session(1)?, &text, minic, opts.budget))
+        }
+        "add" => {
+            let (text, _) = file_text(2)?;
+            Ok(build::add_constraints(session(1)?, &text))
+        }
+        "query" => {
+            let names = &pos[2.min(pos.len())..];
+            if names.is_empty() {
+                return Err(err("client query needs at least one location name"));
+            }
+            let spec_of = |name: &str| {
+                if opts.ptb {
+                    QuerySpec::PointedToBy { name: name.into() }
+                } else {
+                    QuerySpec::PointsTo { name: name.into() }
+                }
+            };
+            if names.len() == 1 && !opts.parallel {
+                Ok(build::query(
+                    session(1)?,
+                    &spec_of(&names[0]),
+                    opts.budget,
+                    opts.timeout_ms,
+                ))
+            } else {
+                let specs: Vec<QuerySpec> = names.iter().map(|n| spec_of(n)).collect();
+                Ok(build::batch(
+                    session(1)?,
+                    &specs,
+                    opts.parallel,
+                    opts.budget,
+                    opts.timeout_ms,
+                ))
+            }
+        }
+        "alias" => {
+            let (a, b) = (
+                pos.get(2)
+                    .ok_or_else(|| err("client alias needs <a> <b>"))?,
+                pos.get(3)
+                    .ok_or_else(|| err("client alias needs <a> <b>"))?,
+            );
+            Ok(build::query(
+                session(1)?,
+                &QuerySpec::MayAlias {
+                    a: a.clone(),
+                    b: b.clone(),
+                },
+                opts.budget,
+                opts.timeout_ms,
+            ))
+        }
+        "targets" => {
+            let site = pos
+                .get(2)
+                .ok_or_else(|| err("client targets needs a call-site index"))?;
+            let site: u64 = site
+                .parse()
+                .map_err(|_| err(format!("bad call-site index `{site}`")))?;
+            Ok(build::query(
+                session(1)?,
+                &QuerySpec::CallTargets { site },
+                opts.budget,
+                opts.timeout_ms,
+            ))
+        }
+        other => Err(err(format!("unknown client operation `{other}`"))),
+    }
 }
 
 /// Distinct pointers dereferenced by loads and stores — the demand query
@@ -757,6 +955,100 @@ mod tests {
         let b = bad.to_str().expect("utf8 path");
         let err = run_to_string(&["jsonl-check", b]).expect_err("invalid line rejected");
         assert!(err.to_string().contains(":2:"), "got: {err}");
+    }
+
+    /// Starts `ddpa serve` on an ephemeral port in a background thread
+    /// and returns the address it bound plus the thread handle.
+    fn start_serve(tag: &str) -> (String, std::thread::JoinHandle<Result<(), CliError>>) {
+        let port_file = write_temp(&format!("{tag}.port"), "");
+        std::fs::remove_file(&port_file).expect("clear stale port file");
+        let pf = port_file.to_str().expect("utf8 path").to_string();
+        let pf_thread = pf.clone();
+        let thread = std::thread::spawn(move || {
+            let args: Vec<String> = ["serve", "--addr", "127.0.0.1:0", "--port-file", &pf_thread]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let mut out = Vec::new();
+            run(&args, &mut out)
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if text.parse::<std::net::SocketAddr>().is_ok() {
+                    break text;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server did not write its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        (addr, thread)
+    }
+
+    #[test]
+    fn serve_and_client_end_to_end() {
+        let (addr, server) = start_serve("t15");
+        let cons = write_temp("t15.cons", "p = &o\nq = p\nr = q\n");
+        let c = cons.to_str().expect("utf8 path");
+
+        let out = run_to_string(&["client", "--addr", &addr, "ping"]).expect("ping");
+        assert!(out.contains("\"ok\":true"), "got: {out}");
+
+        let out = run_to_string(&["client", "--addr", &addr, "open", "s", c]).expect("open");
+        assert!(out.contains("\"ok\":true"), "got: {out}");
+
+        // Single query.
+        let out = run_to_string(&["client", "--addr", &addr, "query", "s", "r"]).expect("query");
+        assert!(out.contains("\"pts\":[\"o\"]"), "got: {out}");
+
+        // Multi-name query becomes one batch.
+        let out = run_to_string(&["client", "--addr", &addr, "query", "s", "p", "q", "r"])
+            .expect("batch");
+        assert!(out.contains("\"results\":["), "got: {out}");
+        assert_eq!(out.matches("\"pts\":[\"o\"]").count(), 3, "got: {out}");
+
+        // May-alias and incremental edit.
+        let out =
+            run_to_string(&["client", "--addr", &addr, "alias", "s", "p", "q"]).expect("alias");
+        assert!(out.contains("\"may_alias\":true"), "got: {out}");
+        let extra = write_temp("t15-extra.cons", "p = &o2\n");
+        let e = extra.to_str().expect("utf8 path");
+        let out = run_to_string(&["client", "--addr", &addr, "add", "s", e]).expect("add");
+        assert!(out.contains("\"generation\":1"), "got: {out}");
+        let out = run_to_string(&["client", "--addr", &addr, "query", "s", "r"]).expect("re-query");
+        assert!(
+            out.contains("\"o2\""),
+            "no stale answer after edit, got: {out}"
+        );
+
+        // Server-side errors surface as nonzero exits with the code.
+        let e = run_to_string(&["client", "--addr", &addr, "query", "s", "ghost"])
+            .expect_err("unknown name");
+        assert!(e.to_string().contains("no-node"), "got: {e}");
+
+        let out = run_to_string(&["client", "--addr", &addr, "stats"]).expect("stats");
+        assert!(out.contains("\"sessions\""), "got: {out}");
+
+        let out = run_to_string(&["client", "--addr", &addr, "shutdown"]).expect("shutdown");
+        assert!(out.contains("\"ok\":true"), "got: {out}");
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    }
+
+    #[test]
+    fn client_requires_addr_and_valid_op() {
+        assert!(run_to_string(&["client", "ping"]).is_err());
+        let e = run_to_string(&["client", "--addr", "127.0.0.1:1", "frobnicate"])
+            .expect_err("unknown op");
+        assert!(
+            e.to_string().contains("unknown client operation"),
+            "got: {e}"
+        );
     }
 
     #[test]

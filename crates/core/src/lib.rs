@@ -70,6 +70,9 @@ pub use ddpa_support as support;
 /// Metrics, span profiling and JSONL export (re-export of `ddpa-obs`).
 pub use ddpa_obs as obs;
 
+/// Persistent demand-query server and client (re-export of `ddpa-serve`).
+pub use ddpa_serve as serve;
+
 /// Convenience: parse MiniC source, check it, and lower to constraints.
 ///
 /// # Errors

@@ -90,6 +90,7 @@ pub struct DemandEngine<'p> {
     obs: Obs,
     counters: EngineCounters,
     provenance: HashMap<(Goal, u32), Origin>,
+    generation: u64,
 }
 
 /// Pre-resolved counter handles — the hot path never does a name lookup.
@@ -142,6 +143,7 @@ impl<'p> DemandEngine<'p> {
             obs,
             counters,
             provenance: HashMap::new(),
+            generation: 0,
         }
     }
 
@@ -197,6 +199,36 @@ impl<'p> DemandEngine<'p> {
         self.index.clear();
         self.queue.clear();
         self.provenance.clear();
+    }
+
+    /// The invalidation generation: starts at 0 and increments on every
+    /// [`DemandEngine::invalidate`] / [`DemandEngine::reload`]. Answers
+    /// computed under one generation must not be mixed with answers from
+    /// another — long-lived hosts (the `ddpa-serve` sessions) stamp every
+    /// response with this value.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidates every tabled goal and bumps the generation.
+    ///
+    /// Use after the underlying program changed semantically (e.g. via
+    /// [`DemandEngine::reload`]): completed memo entries from the old
+    /// program would otherwise be served as stale cache hits.
+    pub fn invalidate(&mut self) {
+        self.clear();
+        self.generation += 1;
+    }
+
+    /// Swaps in an updated constraint program and invalidates all memoized
+    /// state, so the next query deduces against `cp` from scratch.
+    ///
+    /// This is the incremental-edit hook: grow the program (append
+    /// constraints, rebuild) and reload — queries issued afterwards see
+    /// the new edges and never a stale memo.
+    pub fn reload(&mut self, cp: &'p ConstraintProgram) {
+        self.cp = cp;
+        self.invalidate();
     }
 
     /// Computes `pts(node)` on demand.
@@ -859,6 +891,61 @@ mod tests {
         assert!(first.work > 0);
         assert_eq!(first.work, second.work);
         assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn reload_after_adding_constraints_sees_new_edge() {
+        // The "incremental edit" scenario ddpa-serve drives: answer a
+        // query, append a constraint, reload, and the same query must see
+        // the new edge instead of the stale memoized answer.
+        let before = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
+        let after =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\np = &o2\n").expect("parses");
+        let mut engine = DemandEngine::new(&before, DemandConfig::default());
+        assert_eq!(engine.generation(), 0);
+
+        let r1 = engine.points_to(node(&before, "q"));
+        assert!(r1.complete);
+        assert_eq!(names(&before, &r1.pts), vec!["o"]);
+        assert!(engine.tabled_goals() > 0);
+
+        engine.reload(&after);
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.tabled_goals(), 0, "memo table dropped");
+
+        let r2 = engine.points_to(node(&after, "q"));
+        assert!(r2.complete);
+        assert_eq!(
+            names(&after, &r2.pts),
+            vec!["o", "o2"],
+            "the added p = &o2 edge is visible, not the stale memo"
+        );
+        assert!(r2.work > 0, "answer was re-deduced, not cache-served");
+    }
+
+    #[test]
+    fn invalidate_bumps_generation_and_redoes_work() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let q = node(&cp, "q");
+        let first = engine.points_to(q);
+        assert!(first.work > 0);
+        let cached = engine.points_to(q);
+        assert_eq!(cached.work, 0);
+
+        engine.invalidate();
+        assert_eq!(engine.generation(), 1);
+        let redone = engine.points_to(q);
+        assert_eq!(redone.pts, first.pts, "same answer after invalidation");
+        assert_eq!(redone.work, first.work, "fully re-deduced");
+        assert_eq!(
+            engine.stats().cache_hits,
+            1,
+            "only the pre-invalidation repeat hit the cache"
+        );
+
+        engine.invalidate();
+        assert_eq!(engine.generation(), 2);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod goal;
 pub mod ladder;
 pub mod parallel;
+pub mod pool;
 pub mod query;
 pub mod stats;
 pub mod trace;
@@ -54,7 +55,8 @@ pub use budget::Budget;
 pub use config::DemandConfig;
 pub use engine::DemandEngine;
 pub use ladder::BudgetLadder;
-pub use parallel::points_to_parallel;
+pub use parallel::{points_to_on_pool, points_to_parallel};
+pub use pool::ThreadPool;
 pub use query::{AliasResult, CallTargets, QueryResult};
 pub use stats::EngineStats;
 pub use trace::{Explanation, Origin, TraceStep};

@@ -7,6 +7,11 @@
 //! dynamically. Results are deterministic and identical to the sequential
 //! engine's; only the *work* differs, because workers do not share caches
 //! (see `EXPERIMENTS.md` for the caching/parallelism trade-off).
+//!
+//! Workers run on a [`ThreadPool`]: [`points_to_parallel`] spins up a
+//! private pool per call (the historical behaviour), while long-lived
+//! hosts like `ddpa-serve` keep one pool alive and fan batches out through
+//! [`points_to_on_pool`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -14,6 +19,7 @@ use ddpa_constraints::{ConstraintProgram, NodeId};
 
 use crate::config::DemandConfig;
 use crate::engine::DemandEngine;
+use crate::pool::ThreadPool;
 use crate::query::QueryResult;
 
 /// Answers `queries` in parallel on `threads` workers.
@@ -22,7 +28,7 @@ use crate::query::QueryResult;
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero or a worker thread panics.
+/// Panics if `threads` is zero or a worker job panics.
 ///
 /// # Examples
 ///
@@ -46,6 +52,25 @@ pub fn points_to_parallel(
         let mut engine = DemandEngine::new(cp, config.clone());
         return queries.iter().map(|&q| engine.points_to(q)).collect();
     }
+    let pool = ThreadPool::new(threads);
+    points_to_on_pool(cp, queries, &pool, config)
+}
+
+/// Answers `queries` in parallel on an existing [`ThreadPool`].
+///
+/// Identical to [`points_to_parallel`] but reuses the caller's workers —
+/// one private engine per worker job, queries claimed dynamically. The
+/// call blocks until the whole batch is answered.
+pub fn points_to_on_pool(
+    cp: &ConstraintProgram,
+    queries: &[NodeId],
+    pool: &ThreadPool,
+    config: &DemandConfig,
+) -> Vec<QueryResult> {
+    if queries.len() <= 1 || pool.threads() == 1 {
+        let mut engine = DemandEngine::new(cp, config.clone());
+        return queries.iter().map(|&q| engine.points_to(q)).collect();
+    }
 
     let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
     let next = AtomicUsize::new(0);
@@ -61,28 +86,27 @@ pub fn points_to_parallel(
     let slots = &slots;
     let next = &next;
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let config = config.clone();
-            scope.spawn(move || {
-                let mut engine = DemandEngine::new(cp, config);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let answer = engine.points_to(queries[i]);
-                    // SAFETY: index i was claimed exclusively by this
-                    // worker via the atomic counter; each slot outlives
-                    // the scope and is written at most once.
-                    let slot: SlotPtr = slots[i];
-                    unsafe {
-                        *slot.0 = Some(answer);
-                    }
+    let workers = pool.threads().min(queries.len());
+    pool.scoped((0..workers).map(|_| {
+        let config = config.clone();
+        Box::new(move || {
+            let mut engine = DemandEngine::new(cp, config);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
                 }
-            });
-        }
-    });
+                let answer = engine.points_to(queries[i]);
+                // SAFETY: index i was claimed exclusively by this worker
+                // via the atomic counter; each slot outlives the scoped
+                // batch and is written at most once.
+                let slot: SlotPtr = slots[i];
+                unsafe {
+                    *slot.0 = Some(answer);
+                }
+            }
+        }) as Box<dyn FnOnce() + Send + '_>
+    }));
 
     results
         .into_iter()
@@ -148,6 +172,21 @@ mod tests {
         let parallel = points_to_parallel(&cp, &queries, 3, &config);
         for (s, p) in sequential.iter().zip(&parallel) {
             assert_eq!(s.pts, p.pts);
+        }
+    }
+
+    #[test]
+    fn shared_pool_answers_repeated_batches() {
+        let cp = chain_program(48);
+        let queries: Vec<_> = cp.node_ids().collect();
+        let config = DemandConfig::default();
+        let sequential = points_to_parallel(&cp, &queries, 1, &config);
+        let pool = ThreadPool::new(4);
+        for _ in 0..3 {
+            let batch = points_to_on_pool(&cp, &queries, &pool, &config);
+            for (s, p) in sequential.iter().zip(&batch) {
+                assert_eq!(s.pts, p.pts);
+            }
         }
     }
 }

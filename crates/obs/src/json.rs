@@ -1,10 +1,12 @@
-//! Minimal hand-rolled JSON: escaping, a value tree, and a validator.
+//! Minimal hand-rolled JSON: escaping, a value tree, a reader, and a
+//! validator.
 //!
 //! The workspace has no serde, so this module provides just enough JSON
-//! to export metrics: string escaping per RFC 8259, a [`JsonValue`] tree
-//! with a `Display` serializer, and [`validate_jsonl_line`], a strict
-//! little parser the CLI tests and CI smoke test use to prove that every
-//! emitted line really is one standalone JSON object.
+//! for metrics export and the `ddpa-serve` wire protocol: string escaping
+//! per RFC 8259, a [`JsonValue`] tree with a `Display` serializer, a
+//! strict recursive-descent reader ([`parse_json`]) producing that tree,
+//! and [`validate_jsonl_line`], which the CLI tests and CI smoke test use
+//! to prove that every emitted line really is one standalone JSON object.
 
 use std::fmt;
 
@@ -63,6 +65,56 @@ impl JsonValue {
     pub fn str(s: impl Into<String>) -> Self {
         JsonValue::Str(s.into())
     }
+
+    /// Looks up `key` in an object (first match); `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The unsigned-integer payload. Integral non-negative floats (the
+    /// reader only produces `F64` for fractional or huge numbers) are not
+    /// converted — wire fields that mean counts must arrive as integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for JsonValue {
@@ -98,159 +150,287 @@ impl fmt::Display for JsonValue {
     }
 }
 
+/// Parses `s` as exactly one JSON value (strict: nothing but whitespace
+/// may follow). Errors carry the byte offset of the first violation.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        src: s,
+        b: s.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    Ok(v)
+}
+
 /// Checks that `line` is exactly one JSON *object* (the JSONL contract):
 /// a strict recursive-descent parse with nothing but whitespace after the
 /// closing brace. Returns a description of the first violation.
 pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
-    let bytes = line.as_bytes();
-    let mut pos = skip_ws(bytes, 0);
-    if bytes.get(pos) != Some(&b'{') {
-        return Err(format!("line does not start with an object at byte {pos}"));
+    let mut p = Parser {
+        src: line,
+        b: line.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    if p.b.get(p.i) != Some(&b'{') {
+        return Err(format!(
+            "line does not start with an object at byte {}",
+            p.i
+        ));
     }
-    pos = parse_value(bytes, pos)?;
-    pos = skip_ws(bytes, pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
+    p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing content at byte {}", p.i));
     }
     Ok(())
 }
 
-fn skip_ws(b: &[u8], mut i: usize) -> usize {
-    while matches!(b.get(i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-        i += 1;
-    }
-    i
+/// Nesting depth cap: deeper input is rejected rather than risking a
+/// stack overflow on adversarial wire data.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'s> {
+    src: &'s str,
+    b: &'s [u8],
+    i: usize,
+    depth: usize,
 }
 
-fn parse_value(b: &[u8], i: usize) -> Result<usize, String> {
-    let i = skip_ws(b, i);
-    match b.get(i) {
-        Some(b'{') => parse_object(b, i),
-        Some(b'[') => parse_array(b, i),
-        Some(b'"') => parse_string(b, i),
-        Some(b't') => expect(b, i, "true"),
-        Some(b'f') => expect(b, i, "false"),
-        Some(b'n') => expect(b, i, "null"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
-        Some(c) => Err(format!("unexpected byte {c:#04x} at {i}")),
-        None => Err(format!("unexpected end of input at {i}")),
-    }
-}
-
-fn expect(b: &[u8], i: usize, word: &str) -> Result<usize, String> {
-    if b[i..].starts_with(word.as_bytes()) {
-        Ok(i + word.len())
-    } else {
-        Err(format!("expected `{word}` at byte {i}"))
-    }
-}
-
-fn parse_object(b: &[u8], mut i: usize) -> Result<usize, String> {
-    i += 1; // past '{'
-    i = skip_ws(b, i);
-    if b.get(i) == Some(&b'}') {
-        return Ok(i + 1);
-    }
-    loop {
-        i = skip_ws(b, i);
-        if b.get(i) != Some(&b'"') {
-            return Err(format!("expected object key at byte {i}"));
-        }
-        i = parse_string(b, i)?;
-        i = skip_ws(b, i);
-        if b.get(i) != Some(&b':') {
-            return Err(format!("expected `:` at byte {i}"));
-        }
-        i = parse_value(b, i + 1)?;
-        i = skip_ws(b, i);
-        match b.get(i) {
-            Some(b',') => i += 1,
-            Some(b'}') => return Ok(i + 1),
-            _ => return Err(format!("expected `,` or `}}` at byte {i}")),
+impl<'s> Parser<'s> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
         }
     }
-}
 
-fn parse_array(b: &[u8], mut i: usize) -> Result<usize, String> {
-    i += 1; // past '['
-    i = skip_ws(b, i);
-    if b.get(i) == Some(&b']') {
-        return Ok(i + 1);
-    }
-    loop {
-        i = parse_value(b, i)?;
-        i = skip_ws(b, i);
-        match b.get(i) {
-            Some(b',') => i += 1,
-            Some(b']') => return Ok(i + 1),
-            _ => return Err(format!("expected `,` or `]` at byte {i}")),
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.expect("true", JsonValue::Bool(true)),
+            Some(b'f') => self.expect("false", JsonValue::Bool(false)),
+            Some(b'n') => self.expect("null", JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(c) => Err(format!("unexpected byte {c:#04x} at {}", self.i)),
+            None => Err(format!("unexpected end of input at {}", self.i)),
         }
     }
-}
 
-fn parse_string(b: &[u8], mut i: usize) -> Result<usize, String> {
-    i += 1; // past opening quote
-    while let Some(&c) = b.get(i) {
-        match c {
-            b'"' => return Ok(i + 1),
-            b'\\' => match b.get(i + 1) {
-                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
-                Some(b'u') => {
-                    let hex = b.get(i + 2..i + 6).ok_or("truncated \\u escape")?;
-                    if !hex.iter().all(u8::is_ascii_hexdigit) {
-                        return Err(format!("bad \\u escape at byte {i}"));
-                    }
-                    i += 6;
-                }
-                _ => return Err(format!("bad escape at byte {i}")),
-            },
-            c if c < 0x20 => {
-                return Err(format!(
-                    "raw control character {c:#04x} in string at byte {i}"
-                ))
+    fn expect(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.i))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.i
+            ));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.enter()?;
+        self.i += 1; // past '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b'"') {
+                return Err(format!("expected object key at byte {}", self.i));
             }
-            _ => i += 1,
+            let key = self.string()?;
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(format!("expected `:` at byte {}", self.i));
+            }
+            self.i += 1;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
         }
     }
-    Err("unterminated string".to_owned())
-}
 
-fn parse_number(b: &[u8], mut i: usize) -> Result<usize, String> {
-    let start = i;
-    if b.get(i) == Some(&b'-') {
-        i += 1;
-    }
-    let digits = |b: &[u8], mut i: usize| {
-        let s = i;
-        while b.get(i).is_some_and(u8::is_ascii_digit) {
-            i += 1;
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.enter()?;
+        self.i += 1; // past '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
         }
-        (i, i > s)
-    };
-    let (ni, any) = digits(b, i);
-    if !any {
-        return Err(format!("malformed number at byte {start}"));
-    }
-    i = ni;
-    if b.get(i) == Some(&b'.') {
-        let (ni, any) = digits(b, i + 1);
-        if !any {
-            return Err(format!("malformed fraction at byte {i}"));
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
         }
-        i = ni;
     }
-    if matches!(b.get(i), Some(b'e' | b'E')) {
-        i += 1;
-        if matches!(b.get(i), Some(b'+' | b'-')) {
-            i += 1;
+
+    fn string(&mut self) -> Result<String, String> {
+        self.i += 1; // past opening quote
+        let mut out = String::new();
+        let mut run = self.i; // start of the current escape-free run
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    out.push_str(&self.src[run..self.i]);
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.src[run..self.i]);
+                    match self.b.get(self.i + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hi = self.hex4(self.i + 2)?;
+                            self.i += 6;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a low surrogate must follow.
+                                if self.b.get(self.i..self.i + 2) != Some(br"\u") {
+                                    return Err(format!(
+                                        "unpaired surrogate at byte {}",
+                                        self.i - 6
+                                    ));
+                                }
+                                let lo = self.hex4(self.i + 2)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!(
+                                        "unpaired surrogate at byte {}",
+                                        self.i - 6
+                                    ));
+                                }
+                                self.i += 6;
+                                let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(scalar).expect("valid surrogate pair")
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(format!("unpaired surrogate at byte {}", self.i - 6));
+                            } else {
+                                char::from_u32(hi).expect("BMP scalar")
+                            };
+                            out.push(c);
+                            run = self.i;
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 2;
+                    run = self.i;
+                }
+                Some(&c) if c < 0x20 => {
+                    return Err(format!(
+                        "raw control character {c:#04x} in string at byte {}",
+                        self.i
+                    ))
+                }
+                Some(_) => self.i += 1,
+                None => return Err("unterminated string".to_owned()),
+            }
         }
-        let (ni, any) = digits(b, i);
-        if !any {
-            return Err(format!("malformed exponent at byte {i}"));
-        }
-        i = ni;
     }
-    Ok(i)
+
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self
+            .b
+            .get(at..at + 4)
+            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(format!("bad \\u escape at byte {}", at.saturating_sub(2)));
+        }
+        u32::from_str_radix(&self.src[at..at + 4], 16)
+            .map_err(|_| format!("bad \\u escape at byte {at}"))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        let mut integral = true;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        if !self.digits() {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            integral = false;
+            self.i += 1;
+            if !self.digits() {
+                return Err(format!("malformed fraction at byte {}", self.i));
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            integral = false;
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !self.digits() {
+                return Err(format!("malformed exponent at byte {}", self.i));
+            }
+        }
+        let text = &self.src[start..self.i];
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("malformed number at byte {start}"))
+    }
+
+    fn digits(&mut self) -> bool {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        self.i > start
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +502,73 @@ mod tests {
         ] {
             validate_jsonl_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
+    }
+
+    #[test]
+    fn reader_round_trips_writer_output() {
+        let v = JsonValue::Object(vec![
+            ("op".to_owned(), JsonValue::str("query")),
+            ("name".to_owned(), JsonValue::str("v ∈ \"pts\"\n")),
+            ("budget".to_owned(), JsonValue::U64(u64::MAX)),
+            ("rate".to_owned(), JsonValue::F64(-1.5e-3)),
+            (
+                "flags".to_owned(),
+                JsonValue::Array(vec![JsonValue::Bool(false), JsonValue::Null]),
+            ),
+            ("empty".to_owned(), JsonValue::Object(vec![])),
+        ]);
+        let parsed = parse_json(&v.to_string()).expect("round-trip parses");
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn reader_decodes_escapes_and_surrogates() {
+        let v = parse_json(r#"{"k":"a\nb\t\u0041\ud83d\ude00\\"}"#).expect("parses");
+        assert_eq!(v.get("k").and_then(JsonValue::as_str), Some("a\nb\tA😀\\"));
+        assert!(parse_json(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse_json(r#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(parse_json(r#""\ud83dx""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn reader_number_variants() {
+        assert_eq!(parse_json("0"), Ok(JsonValue::U64(0)));
+        assert_eq!(
+            parse_json("18446744073709551615"),
+            Ok(JsonValue::U64(u64::MAX))
+        );
+        assert_eq!(parse_json("-3"), Ok(JsonValue::F64(-3.0)));
+        assert_eq!(parse_json("2.5"), Ok(JsonValue::F64(2.5)));
+        assert_eq!(parse_json("1e3"), Ok(JsonValue::F64(1000.0)));
+        // Past u64 range, integers degrade to floats rather than failing.
+        assert!(matches!(
+            parse_json("98446744073709551615"),
+            Ok(JsonValue::F64(_))
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_trailing_and_deep_nesting() {
+        assert!(parse_json("{} {}").is_err());
+        assert!(parse_json("").is_err());
+        let deep = format!("{}{}", "[".repeat(200), "]".repeat(200));
+        let e = parse_json(&deep).expect_err("too deep");
+        assert!(e.contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn accessors_select_fields() {
+        let v = parse_json(r#"{"s":"x","n":7,"b":true,"a":[1],"o":{"k":null}}"#).expect("parses");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(v.get("o").and_then(|o| o.get("k")).is_some());
+        assert!(v.get("missing").is_none());
+        assert!(JsonValue::Null.get("x").is_none());
+        assert_eq!(v.as_object().map(<[_]>::len), Some(5));
     }
 }

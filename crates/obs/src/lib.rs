@@ -44,7 +44,7 @@ pub mod profile;
 pub mod registry;
 pub mod sink;
 
-pub use json::{escape_into, escaped, validate_jsonl_line, JsonValue};
+pub use json::{escape_into, escaped, parse_json, validate_jsonl_line, JsonValue};
 pub use profile::{ProfileNode, Profiler, SpanGuard};
 pub use registry::{Counter, Gauge, Registry};
 pub use sink::JsonlSink;

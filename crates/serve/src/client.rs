@@ -1,0 +1,89 @@
+//! A blocking line-protocol client for `ddpa-serve`.
+//!
+//! One request line out, one response line back. Used by the `ddpa
+//! client` CLI subcommand, the benchmark harness, and the end-to-end
+//! tests; request bodies come from [`crate::proto::build`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ddpa_obs::JsonValue;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One request line per round-trip: Nagle + delayed ACK would add
+        // tens of milliseconds of latency to every query.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw line and reads one raw response line (newlines
+    /// stripped). Useful for protocol tests that send malformed input.
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Reads one response line without sending anything (for servers
+    /// that push a response unprompted, e.g. the busy rejection).
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request value and decodes the JSON response.
+    pub fn request(&mut self, req: &JsonValue) -> std::io::Result<JsonValue> {
+        let line = self.roundtrip_line(&req.to_string())?;
+        ddpa_obs::parse_json(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request and fails unless the response has `"ok": true`.
+    pub fn expect_ok(&mut self, req: &JsonValue) -> std::io::Result<JsonValue> {
+        let v = self.request(req)?;
+        if v.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+            return Ok(v);
+        }
+        let code = v
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown");
+        let message = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        Err(std::io::Error::other(format!(
+            "server error {code}: {message}"
+        )))
+    }
+}

@@ -1,0 +1,534 @@
+//! The `ddpa-serve` wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Parsing reuses the hand-rolled reader in
+//! [`ddpa_obs::parse_json`], so the whole protocol stays inside the
+//! workspace's zero-dependency envelope.
+//!
+//! Successful responses carry `"ok": true` plus operation-specific
+//! fields; failures carry `"ok": false` and an `"error"` object with a
+//! stable [`ErrorCode`] and a human-readable message. The grammar is
+//! documented in `docs/SERVER.md`.
+
+use ddpa_obs::JsonValue;
+
+/// A single query against a session, as it appears on the wire either
+/// inside `{"op":"query",...}` or as an element of a batch's `"queries"`
+/// array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// `{"kind":"points-to","name":"main::p"}` — what may `name` point to?
+    PointsTo { name: String },
+    /// `{"kind":"pointed-to-by","name":"obj"}` — which pointers may point
+    /// to `name`?
+    PointedToBy { name: String },
+    /// `{"kind":"may-alias","a":"p","b":"q"}` — may the two pointers
+    /// alias?
+    MayAlias { a: String, b: String },
+    /// `{"kind":"call-targets","site":3}` — which functions may indirect
+    /// call site number 3 invoke?
+    CallTargets { site: u64 },
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server-wide counters and per-session statistics.
+    Stats,
+    /// Graceful server shutdown.
+    Shutdown,
+    /// Create a session from program text.
+    Open {
+        session: String,
+        program: String,
+        /// `true` when `program` is MiniC source rather than constraint
+        /// text.
+        minic: bool,
+        /// Default deduction budget for queries on this session.
+        budget: Option<u64>,
+    },
+    /// Drop a session.
+    Close { session: String },
+    /// Append constraint text to a live session, invalidating its memo
+    /// table and bumping its generation.
+    AddConstraints { session: String, program: String },
+    /// One query against a session.
+    Query {
+        session: String,
+        spec: QuerySpec,
+        budget: Option<u64>,
+        timeout_ms: Option<u64>,
+    },
+    /// Many queries against a session, answered in order.
+    Batch {
+        session: String,
+        specs: Vec<QuerySpec>,
+        /// Fan the batch over the server's worker pool (private engines,
+        /// no shared warm cache) instead of the session's warm engine.
+        parallel: bool,
+        budget: Option<u64>,
+        timeout_ms: Option<u64>,
+    },
+}
+
+/// Stable machine-readable error codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The JSON was well-formed but not a valid request.
+    BadRequest,
+    /// The line exceeded the server's `max_line_bytes`.
+    Oversized,
+    /// Unknown `"op"` value.
+    UnknownOp,
+    /// The named session does not exist.
+    NoSession,
+    /// `open` for a session name that already exists.
+    SessionExists,
+    /// A query named a node the session's program does not contain.
+    NoNode,
+    /// Program text failed to parse/lower.
+    BadProgram,
+    /// The server is saturated (in-flight or connection limit).
+    Busy,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::NoSession => "no-session",
+            ErrorCode::SessionExists => "session-exists",
+            ErrorCode::NoNode => "no-node",
+            ErrorCode::BadProgram => "bad-program",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A protocol-level failure: code plus human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtoError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl ProtoError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error as a response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        error_response(self.code, &self.message).to_string()
+    }
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Builds a `{"ok":false,"error":{...}}` response value.
+pub fn error_response(code: ErrorCode, message: &str) -> JsonValue {
+    obj(vec![
+        ("ok", JsonValue::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", JsonValue::str(code.as_str())),
+                ("message", JsonValue::str(message)),
+            ]),
+        ),
+    ])
+}
+
+/// Builds a `{"ok":true,"op":op,...fields}` response value.
+pub fn ok_response(op: &str, fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    let mut all = vec![("ok", JsonValue::Bool(true)), ("op", JsonValue::str(op))];
+    all.extend(fields);
+    obj(all)
+}
+
+fn bad(message: impl Into<String>) -> ProtoError {
+    ProtoError::new(ErrorCode::BadRequest, message)
+}
+
+fn need_str(v: &JsonValue, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing or non-string field {key:?}")))
+}
+
+fn opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn opt_bool(v: &JsonValue, key: &str) -> Result<Option<bool>, ProtoError> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(f) => f
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+/// Parses one query spec object (the `"kind"`-discriminated shape used by
+/// both `query` and `batch`).
+pub fn parse_spec(v: &JsonValue) -> Result<QuerySpec, ProtoError> {
+    let kind = need_str(v, "kind")?;
+    match kind.as_str() {
+        "points-to" => Ok(QuerySpec::PointsTo {
+            name: need_str(v, "name")?,
+        }),
+        "pointed-to-by" => Ok(QuerySpec::PointedToBy {
+            name: need_str(v, "name")?,
+        }),
+        "may-alias" => Ok(QuerySpec::MayAlias {
+            a: need_str(v, "a")?,
+            b: need_str(v, "b")?,
+        }),
+        "call-targets" => {
+            let site = opt_u64(v, "site")?
+                .ok_or_else(|| bad("call-targets needs a \"site\" index"))?;
+            Ok(QuerySpec::CallTargets { site })
+        }
+        other => Err(bad(format!(
+            "unknown query kind {other:?} (expected points-to, pointed-to-by, may-alias, or call-targets)"
+        ))),
+    }
+}
+
+/// Parses a request line that has already been decoded from JSON.
+pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
+    if v.as_object().is_none() {
+        return Err(bad("request must be a JSON object"));
+    }
+    let op = need_str(v, "op").map_err(|_| bad("request needs a string \"op\" field"))?;
+    match op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "open" => {
+            let format = match v.get("format").and_then(JsonValue::as_str) {
+                None | Some("constraints") => false,
+                Some("minic") => true,
+                Some(other) => {
+                    return Err(bad(format!(
+                        "unknown format {other:?} (expected constraints or minic)"
+                    )))
+                }
+            };
+            Ok(Request::Open {
+                session: need_str(v, "session")?,
+                program: need_str(v, "program")?,
+                minic: format,
+                budget: opt_u64(v, "budget")?,
+            })
+        }
+        "close" => Ok(Request::Close {
+            session: need_str(v, "session")?,
+        }),
+        "add-constraints" => Ok(Request::AddConstraints {
+            session: need_str(v, "session")?,
+            program: need_str(v, "program")?,
+        }),
+        "query" => Ok(Request::Query {
+            session: need_str(v, "session")?,
+            spec: parse_spec(v)?,
+            budget: opt_u64(v, "budget")?,
+            timeout_ms: opt_u64(v, "timeout_ms")?,
+        }),
+        "batch" => {
+            let queries = v
+                .get("queries")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| bad("batch needs a \"queries\" array"))?;
+            let specs = queries.iter().map(parse_spec).collect::<Result<_, _>>()?;
+            Ok(Request::Batch {
+                session: need_str(v, "session")?,
+                specs,
+                parallel: opt_bool(v, "parallel")?.unwrap_or(false),
+                budget: opt_u64(v, "budget")?,
+                timeout_ms: opt_u64(v, "timeout_ms")?,
+            })
+        }
+        other => Err(ProtoError::new(
+            ErrorCode::UnknownOp,
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+/// Request builders shared by [`crate::Client`], the CLI, and tests.
+///
+/// Each returns the [`JsonValue`] that, serialized onto one line, forms
+/// the corresponding request.
+pub mod build {
+    use super::{obj, JsonValue, QuerySpec};
+
+    pub fn ping() -> JsonValue {
+        obj(vec![("op", JsonValue::str("ping"))])
+    }
+
+    pub fn stats() -> JsonValue {
+        obj(vec![("op", JsonValue::str("stats"))])
+    }
+
+    pub fn shutdown() -> JsonValue {
+        obj(vec![("op", JsonValue::str("shutdown"))])
+    }
+
+    pub fn open(session: &str, program: &str, minic: bool, budget: Option<u64>) -> JsonValue {
+        let mut fields = vec![
+            ("op", JsonValue::str("open")),
+            ("session", JsonValue::str(session)),
+            ("program", JsonValue::str(program)),
+            (
+                "format",
+                JsonValue::str(if minic { "minic" } else { "constraints" }),
+            ),
+        ];
+        if let Some(b) = budget {
+            fields.push(("budget", JsonValue::U64(b)));
+        }
+        obj(fields)
+    }
+
+    pub fn close(session: &str) -> JsonValue {
+        obj(vec![
+            ("op", JsonValue::str("close")),
+            ("session", JsonValue::str(session)),
+        ])
+    }
+
+    pub fn add_constraints(session: &str, program: &str) -> JsonValue {
+        obj(vec![
+            ("op", JsonValue::str("add-constraints")),
+            ("session", JsonValue::str(session)),
+            ("program", JsonValue::str(program)),
+        ])
+    }
+
+    /// The `"kind"`-discriminated fields of one query spec.
+    pub fn spec_fields(spec: &QuerySpec) -> Vec<(&'static str, JsonValue)> {
+        match spec {
+            QuerySpec::PointsTo { name } => vec![
+                ("kind", JsonValue::str("points-to")),
+                ("name", JsonValue::str(name.as_str())),
+            ],
+            QuerySpec::PointedToBy { name } => vec![
+                ("kind", JsonValue::str("pointed-to-by")),
+                ("name", JsonValue::str(name.as_str())),
+            ],
+            QuerySpec::MayAlias { a, b } => vec![
+                ("kind", JsonValue::str("may-alias")),
+                ("a", JsonValue::str(a.as_str())),
+                ("b", JsonValue::str(b.as_str())),
+            ],
+            QuerySpec::CallTargets { site } => vec![
+                ("kind", JsonValue::str("call-targets")),
+                ("site", JsonValue::U64(*site)),
+            ],
+        }
+    }
+
+    pub fn query(
+        session: &str,
+        spec: &QuerySpec,
+        budget: Option<u64>,
+        timeout_ms: Option<u64>,
+    ) -> JsonValue {
+        let mut fields = vec![
+            ("op", JsonValue::str("query")),
+            ("session", JsonValue::str(session)),
+        ];
+        fields.extend(spec_fields(spec));
+        if let Some(b) = budget {
+            fields.push(("budget", JsonValue::U64(b)));
+        }
+        if let Some(t) = timeout_ms {
+            fields.push(("timeout_ms", JsonValue::U64(t)));
+        }
+        obj(fields)
+    }
+
+    pub fn batch(
+        session: &str,
+        specs: &[QuerySpec],
+        parallel: bool,
+        budget: Option<u64>,
+        timeout_ms: Option<u64>,
+    ) -> JsonValue {
+        let queries = specs
+            .iter()
+            .map(|s| obj(spec_fields(s)))
+            .collect::<Vec<_>>();
+        let mut fields = vec![
+            ("op", JsonValue::str("batch")),
+            ("session", JsonValue::str(session)),
+            ("queries", JsonValue::Array(queries)),
+        ];
+        if parallel {
+            fields.push(("parallel", JsonValue::Bool(true)));
+        }
+        if let Some(b) = budget {
+            fields.push(("budget", JsonValue::U64(b)));
+        }
+        if let Some(t) = timeout_ms {
+            fields.push(("timeout_ms", JsonValue::U64(t)));
+        }
+        obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpa_obs::parse_json;
+
+    fn round_trip(v: &JsonValue) -> Request {
+        let line = v.to_string();
+        let reparsed = parse_json(&line).expect("builder output is valid JSON");
+        parse_request(&reparsed).expect("builder output is a valid request")
+    }
+
+    #[test]
+    fn builders_round_trip_through_parser() {
+        assert_eq!(round_trip(&build::ping()), Request::Ping);
+        assert_eq!(round_trip(&build::stats()), Request::Stats);
+        assert_eq!(round_trip(&build::shutdown()), Request::Shutdown);
+        assert_eq!(
+            round_trip(&build::open("s", "p = &o\n", false, Some(100))),
+            Request::Open {
+                session: "s".into(),
+                program: "p = &o\n".into(),
+                minic: false,
+                budget: Some(100),
+            }
+        );
+        assert_eq!(
+            round_trip(&build::close("s")),
+            Request::Close {
+                session: "s".into()
+            }
+        );
+        assert_eq!(
+            round_trip(&build::add_constraints("s", "q = p\n")),
+            Request::AddConstraints {
+                session: "s".into(),
+                program: "q = p\n".into(),
+            }
+        );
+        let specs = vec![
+            QuerySpec::PointsTo { name: "p".into() },
+            QuerySpec::PointedToBy { name: "o".into() },
+            QuerySpec::MayAlias {
+                a: "p".into(),
+                b: "q".into(),
+            },
+            QuerySpec::CallTargets { site: 2 },
+        ];
+        for spec in &specs {
+            assert_eq!(
+                round_trip(&build::query("s", spec, None, Some(50))),
+                Request::Query {
+                    session: "s".into(),
+                    spec: spec.clone(),
+                    budget: None,
+                    timeout_ms: Some(50),
+                }
+            );
+        }
+        assert_eq!(
+            round_trip(&build::batch("s", &specs, true, Some(9), None)),
+            Request::Batch {
+                session: "s".into(),
+                specs,
+                parallel: true,
+                budget: Some(9),
+                timeout_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let cases = [
+            ("[1,2]", "must be a JSON object"),
+            ("{}", "needs a string \"op\""),
+            ("{\"op\":7}", "needs a string \"op\""),
+            ("{\"op\":\"open\",\"session\":\"s\"}", "program"),
+            (
+                "{\"op\":\"query\",\"session\":\"s\",\"kind\":\"frobnicate\"}",
+                "unknown query kind",
+            ),
+            (
+                "{\"op\":\"query\",\"session\":\"s\",\"kind\":\"may-alias\",\"a\":\"p\"}",
+                "\"b\"",
+            ),
+            (
+                "{\"op\":\"batch\",\"session\":\"s\"}",
+                "\"queries\" array",
+            ),
+            (
+                "{\"op\":\"query\",\"session\":\"s\",\"kind\":\"points-to\",\"name\":\"p\",\"budget\":-1}",
+                "non-negative integer",
+            ),
+        ];
+        for (line, needle) in cases {
+            let v = parse_json(line).expect("test input is valid JSON");
+            let err = parse_request(&v).expect_err(line);
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+            assert!(
+                err.message.contains(needle),
+                "{line}: {} should mention {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_op_gets_its_own_code() {
+        let v = parse_json("{\"op\":\"frobnicate\"}").expect("valid JSON");
+        let err = parse_request(&v).expect_err("unknown op");
+        assert_eq!(err.code, ErrorCode::UnknownOp);
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let line = error_response(ErrorCode::NoSession, "no session \"x\"").to_string();
+        let v = parse_json(&line).expect("error response is valid JSON");
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(false));
+        let e = v.get("error").expect("has error object");
+        assert_eq!(
+            e.get("code").and_then(JsonValue::as_str),
+            Some("no-session")
+        );
+    }
+}

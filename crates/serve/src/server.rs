@@ -1,0 +1,824 @@
+//! The TCP server: accept loop, bounded line reader, request dispatch.
+//!
+//! Threading model: one OS thread per connection (bounded by
+//! [`ServeConfig::max_connections`]), plus a shared [`ThreadPool`] that
+//! parallel batches fan out over. Sessions live in a server-wide map;
+//! each session is wrapped in its own mutex so queries on different
+//! sessions proceed concurrently while queries on one session serialize
+//! against its single warm engine.
+//!
+//! Robustness:
+//!
+//! * per-request deduction budgets and wall-clock timeouts (budget
+//!   slicing, see [`crate::session`]);
+//! * bounded line reads — an oversized request is rejected with an
+//!   `oversized` error and the connection resynchronizes at the next
+//!   newline without ever buffering more than `max_line_bytes`;
+//! * malformed JSON and truncated frames get error responses, not
+//!   connection drops (truncated frames close after responding, since
+//!   EOF already ended the stream);
+//! * a bounded in-flight gate sheds load with `busy` errors instead of
+//!   queueing unboundedly;
+//! * clean shutdown on a `shutdown` request or [`ServerHandle::shutdown`]
+//!   — the accept loop is woken by a self-connection, connection threads
+//!   notice within one read-timeout tick, and all threads are joined.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ddpa_demand::ThreadPool;
+use ddpa_obs::{Counter, JsonValue, Obs};
+
+use crate::proto::{error_response, ok_response, parse_request, ErrorCode, ProtoError, Request};
+use crate::session::{QueryAnswer, ResolvedSpec, Session};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the shared pool for parallel batches.
+    pub threads: usize,
+    /// Default per-query deduction budget (`None` = unlimited).
+    pub default_budget: Option<u64>,
+    /// Default per-request wall-clock timeout in milliseconds (0 = none);
+    /// requests may override with `"timeout_ms"`.
+    pub default_timeout_ms: u64,
+    /// Longest accepted request line in bytes.
+    pub max_line_bytes: usize,
+    /// Requests allowed to execute concurrently before `busy` shedding.
+    pub max_inflight: usize,
+    /// Concurrent connections before new ones are rejected with `busy`.
+    pub max_connections: usize,
+    /// Most queries accepted in one batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8);
+        ServeConfig {
+            threads,
+            default_budget: None,
+            default_timeout_ms: 10_000,
+            max_line_bytes: 4 << 20,
+            max_inflight: 64,
+            max_connections: 64,
+            max_batch: 4096,
+        }
+    }
+}
+
+/// Pre-resolved counter handles for the hot request path.
+struct ServerCounters {
+    requests: Counter,
+    errors: Counter,
+    timeouts: Counter,
+    busy: Counter,
+    connections: Counter,
+    sessions_opened: Counter,
+    sessions_closed: Counter,
+    invalidations: Counter,
+    batch_queries: Counter,
+}
+
+impl ServerCounters {
+    fn new(obs: &Obs) -> Self {
+        ServerCounters {
+            requests: obs.counter("server.requests"),
+            errors: obs.counter("server.errors"),
+            timeouts: obs.counter("server.timeouts"),
+            busy: obs.counter("server.busy_rejections"),
+            connections: obs.counter("server.connections"),
+            sessions_opened: obs.counter("server.sessions_opened"),
+            sessions_closed: obs.counter("server.sessions_closed"),
+            invalidations: obs.counter("server.invalidations"),
+            batch_queries: obs.counter("server.batch_queries"),
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    obs: Obs,
+    counters: ServerCounters,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    pool: ThreadPool,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    open_connections: AtomicUsize,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop: a throwaway connection unblocks
+        // `TcpListener::accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A cloneable handle for stopping a running server from another thread
+/// (a signal-watcher, a test, the CLI's stdin-EOF watcher).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Requests a graceful shutdown; idempotent.
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+}
+
+/// A bound, not-yet-running demand-query server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+        obs: Obs,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let counters = ServerCounters::new(&obs);
+        let pool = ThreadPool::new(config.threads.max(1));
+        let state = Arc::new(ServerState {
+            config,
+            counters,
+            obs,
+            sessions: Mutex::new(HashMap::new()),
+            pool,
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            open_connections: AtomicUsize::new(0),
+            addr: local,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until shutdown; joins every connection thread
+    /// before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.state.shutting_down() {
+                break;
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.state.shutting_down() {
+                        break;
+                    }
+                    return Err(e);
+                }
+            };
+            if self.state.shutting_down() {
+                break;
+            }
+            // Line-at-a-time protocol: disable Nagle so single-query
+            // round-trips are not throttled by delayed ACKs.
+            let _ = stream.set_nodelay(true);
+            threads.retain(|t| !t.is_finished());
+            let open = self.state.open_connections.load(Ordering::SeqCst);
+            if open >= self.state.config.max_connections {
+                self.state.counters.busy.inc();
+                let mut stream = stream;
+                let line = error_response(ErrorCode::Busy, "connection limit reached").to_string();
+                let _ = stream.write_all(line.as_bytes());
+                let _ = stream.write_all(b"\n");
+                continue;
+            }
+            self.state.open_connections.fetch_add(1, Ordering::SeqCst);
+            self.state.counters.connections.inc();
+            let state = Arc::clone(&self.state);
+            match std::thread::Builder::new()
+                .name("ddpa-serve-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_connection(&state, stream);
+                    state.open_connections.fetch_sub(1, Ordering::SeqCst);
+                }) {
+                Ok(t) => threads.push(t),
+                Err(_) => {
+                    self.state.open_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+}
+
+/// What the bounded reader produced for one frame.
+enum Frame {
+    /// A complete newline-terminated line (without the newline).
+    Line(Vec<u8>),
+    /// The line exceeded `max_line_bytes`; nothing has been buffered
+    /// beyond the cap and the stream still needs resynchronizing.
+    Oversized,
+    /// Bytes followed by EOF with no newline.
+    Truncated,
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+/// Reads one newline-terminated frame, never buffering more than
+/// `max + 1` bytes, waking every [`READ_TICK`] to honour shutdown.
+fn read_frame(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    state: &ServerState,
+) -> std::io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if state.shutting_down() {
+            return Ok(Frame::Shutdown);
+        }
+        let room = (max + 1).saturating_sub(buf.len());
+        if room == 0 {
+            return Ok(Frame::Oversized);
+        }
+        match reader
+            .by_ref()
+            .take(room as u64)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(0) => {
+                return Ok(if buf.is_empty() {
+                    Frame::Eof
+                } else {
+                    Frame::Truncated
+                });
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    if buf.len() > max {
+                        return Ok(Frame::Oversized);
+                    }
+                    return Ok(Frame::Line(buf));
+                }
+                // No newline yet: either the cap is hit (next iteration
+                // reports Oversized) or the socket ran dry mid-line and
+                // the next read continues the frame.
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Discards bytes until the next newline so an oversized frame does not
+/// poison the frames behind it.
+fn resync_to_newline(
+    reader: &mut BufReader<TcpStream>,
+    state: &ServerState,
+) -> std::io::Result<bool> {
+    loop {
+        if state.shutting_down() {
+            return Ok(false);
+        }
+        // Inspect buffered bytes so nothing past the newline is
+        // discarded; fill_buf + consume gives exact control.
+        let step = match reader.fill_buf() {
+            Ok([]) => return Ok(false), // EOF while resyncing
+            Ok(bytes) => match bytes.iter().position(|&b| b == b'\n') {
+                Some(pos) => (pos + 1, true),
+                None => (bytes.len(), false),
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let (n, found_newline) = step;
+        reader.consume(n);
+        if found_newline {
+            return Ok(true);
+        }
+    }
+}
+
+/// Whether the connection should stay open after a response.
+enum After {
+    Continue,
+    Close,
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        match read_frame(&mut reader, state.config.max_line_bytes, state)? {
+            Frame::Line(bytes) => {
+                let (response, after) = match String::from_utf8(bytes) {
+                    Ok(line) if line.trim().is_empty() => continue,
+                    Ok(line) => handle_line(state, &line),
+                    Err(_) => (
+                        fail(state, ErrorCode::BadJson, "request line is not UTF-8"),
+                        After::Continue,
+                    ),
+                };
+                write_line(&mut writer, &response)?;
+                if matches!(after, After::Close) {
+                    return Ok(());
+                }
+            }
+            Frame::Oversized => {
+                state.counters.requests.inc();
+                let msg = format!(
+                    "request line exceeds max_line_bytes ({})",
+                    state.config.max_line_bytes
+                );
+                write_line(&mut writer, &fail(state, ErrorCode::Oversized, &msg))?;
+                if !resync_to_newline(&mut reader, state)? {
+                    return Ok(());
+                }
+            }
+            Frame::Truncated => {
+                state.counters.requests.inc();
+                let resp = fail(
+                    state,
+                    ErrorCode::BadRequest,
+                    "truncated frame: stream ended before newline",
+                );
+                // Best-effort: the peer half-closed its write side but
+                // may still be reading.
+                let _ = write_line(&mut writer, &resp);
+                return Ok(());
+            }
+            Frame::Eof => return Ok(()),
+            Frame::Shutdown => {
+                let _ = write_line(
+                    &mut writer,
+                    &error_response(ErrorCode::ShuttingDown, "server is shutting down").to_string(),
+                );
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Records an error and renders its response line.
+fn fail(state: &ServerState, code: ErrorCode, message: &str) -> String {
+    state.counters.errors.inc();
+    error_response(code, message).to_string()
+}
+
+/// Handles one request line; returns the response line and whether the
+/// connection should close afterwards.
+fn handle_line(state: &ServerState, line: &str) -> (String, After) {
+    state.counters.requests.inc();
+    let _span = state.obs.span("server.request");
+
+    if state.shutting_down() {
+        return (
+            fail(state, ErrorCode::ShuttingDown, "server is shutting down"),
+            After::Close,
+        );
+    }
+
+    let value = match ddpa_obs::parse_json(line) {
+        Ok(v) => v,
+        Err(e) => return (fail(state, ErrorCode::BadJson, &e), After::Continue),
+    };
+    let request = match parse_request(&value) {
+        Ok(r) => r,
+        Err(e) => {
+            state.counters.errors.inc();
+            return (e.to_line(), After::Continue);
+        }
+    };
+
+    // Backpressure: bound the number of requests executing at once.
+    let slot = state.inflight.fetch_add(1, Ordering::SeqCst);
+    struct InflightGuard<'a>(&'a AtomicUsize);
+    impl Drop for InflightGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _guard = InflightGuard(&state.inflight);
+    if slot >= state.config.max_inflight {
+        state.counters.busy.inc();
+        return (
+            fail(
+                state,
+                ErrorCode::Busy,
+                "server is saturated; retry after in-flight requests drain",
+            ),
+            After::Continue,
+        );
+    }
+
+    match dispatch(state, request) {
+        Ok((response, after)) => (response.to_string(), after),
+        Err(e) => {
+            state.counters.errors.inc();
+            (e.to_line(), After::Continue)
+        }
+    }
+}
+
+fn get_session(state: &ServerState, name: &str) -> Result<Arc<Mutex<Session>>, ProtoError> {
+    state
+        .sessions
+        .lock()
+        .expect("session map poisoned")
+        .get(name)
+        .cloned()
+        .ok_or_else(|| ProtoError::new(ErrorCode::NoSession, format!("no session {name:?}")))
+}
+
+fn lock_session(session: &Arc<Mutex<Session>>) -> std::sync::MutexGuard<'_, Session> {
+    session.lock().expect("session poisoned")
+}
+
+/// Computes the request deadline from the explicit or default timeout.
+fn deadline_for(state: &ServerState, timeout_ms: Option<u64>) -> Option<Instant> {
+    let ms = timeout_ms.unwrap_or(state.config.default_timeout_ms);
+    if ms == 0 {
+        None
+    } else {
+        Some(Instant::now() + Duration::from_millis(ms))
+    }
+}
+
+/// Adds the session's cache-hit delta to its `server.cache_hits.<name>`
+/// counter and bumps `server.timeouts` if the answer timed out.
+fn record_query_obs(state: &ServerState, session_name: &str, hits_delta: u64, timeouts: u64) {
+    if hits_delta > 0 {
+        state
+            .obs
+            .counter(&format!("server.cache_hits.{session_name}"))
+            .add(hits_delta);
+    }
+    if timeouts > 0 {
+        state.counters.timeouts.add(timeouts);
+    }
+}
+
+fn render_answer(answer: &QueryAnswer, generation: u64) -> JsonValue {
+    let names_json = |names: &[String]| {
+        JsonValue::Array(names.iter().map(|n| JsonValue::str(n.as_str())).collect())
+    };
+    let fields = match answer {
+        QueryAnswer::Set {
+            names,
+            complete,
+            work,
+            timed_out,
+        } => vec![
+            ("pts".to_string(), names_json(names)),
+            ("complete".to_string(), JsonValue::Bool(*complete)),
+            ("work".to_string(), JsonValue::U64(*work)),
+            ("timed_out".to_string(), JsonValue::Bool(*timed_out)),
+        ],
+        QueryAnswer::Alias {
+            may_alias,
+            resolved,
+            work,
+            timed_out,
+        } => vec![
+            ("may_alias".to_string(), JsonValue::Bool(*may_alias)),
+            ("resolved".to_string(), JsonValue::Bool(*resolved)),
+            ("work".to_string(), JsonValue::U64(*work)),
+            ("timed_out".to_string(), JsonValue::Bool(*timed_out)),
+        ],
+        QueryAnswer::Targets {
+            names,
+            resolved,
+            work,
+            timed_out,
+        } => vec![
+            ("targets".to_string(), names_json(names)),
+            ("resolved".to_string(), JsonValue::Bool(*resolved)),
+            ("work".to_string(), JsonValue::U64(*work)),
+            ("timed_out".to_string(), JsonValue::Bool(*timed_out)),
+        ],
+    };
+    let mut fields = fields;
+    fields.push(("generation".to_string(), JsonValue::U64(generation)));
+    JsonValue::Object(fields)
+}
+
+fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After), ProtoError> {
+    match request {
+        Request::Ping => Ok((ok_response("ping", vec![]), After::Continue)),
+        Request::Shutdown => {
+            state.trigger_shutdown();
+            Ok((ok_response("shutdown", vec![]), After::Close))
+        }
+        Request::Stats => Ok((stats_response(state), After::Continue)),
+        Request::Open {
+            session,
+            program,
+            minic,
+            budget,
+        } => {
+            let _span = state.obs.span("server.request.open");
+            let new = Session::open(&program, minic, budget)?;
+            let (nodes, constraints) = (new.program().num_nodes(), new.program().num_constraints());
+            let mut sessions = state.sessions.lock().expect("session map poisoned");
+            if sessions.contains_key(&session) {
+                return Err(ProtoError::new(
+                    ErrorCode::SessionExists,
+                    format!("session {session:?} already exists"),
+                ));
+            }
+            sessions.insert(session.clone(), Arc::new(Mutex::new(new)));
+            drop(sessions);
+            state.counters.sessions_opened.inc();
+            Ok((
+                ok_response(
+                    "open",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("nodes", JsonValue::U64(nodes as u64)),
+                        ("constraints", JsonValue::U64(constraints as u64)),
+                        ("generation", JsonValue::U64(0)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
+        Request::Close { session } => {
+            let removed = state
+                .sessions
+                .lock()
+                .expect("session map poisoned")
+                .remove(&session);
+            if removed.is_none() {
+                return Err(ProtoError::new(
+                    ErrorCode::NoSession,
+                    format!("no session {session:?}"),
+                ));
+            }
+            state.counters.sessions_closed.inc();
+            Ok((
+                ok_response("close", vec![("session", JsonValue::str(session.as_str()))]),
+                After::Continue,
+            ))
+        }
+        Request::AddConstraints { session, program } => {
+            let _span = state.obs.span("server.request.add-constraints");
+            let handle = get_session(state, &session)?;
+            let mut s = lock_session(&handle);
+            s.add_constraints(&program)?;
+            state.counters.invalidations.inc();
+            let response = ok_response(
+                "add-constraints",
+                vec![
+                    ("session", JsonValue::str(session.as_str())),
+                    ("nodes", JsonValue::U64(s.program().num_nodes() as u64)),
+                    (
+                        "constraints",
+                        JsonValue::U64(s.program().num_constraints() as u64),
+                    ),
+                    ("generation", JsonValue::U64(s.generation())),
+                ],
+            );
+            Ok((response, After::Continue))
+        }
+        Request::Query {
+            session,
+            spec,
+            budget,
+            timeout_ms,
+        } => {
+            let _span = state.obs.span("server.request.query");
+            let handle = get_session(state, &session)?;
+            let deadline = deadline_for(state, timeout_ms);
+            let mut s = lock_session(&handle);
+            let resolved = s.resolve(&spec)?;
+            let before = s.engine_stats().cache_hits;
+            let answer = s.query(resolved, budget, deadline);
+            let hits = s.engine_stats().cache_hits - before;
+            let generation = s.generation();
+            drop(s);
+            record_query_obs(state, &session, hits, answer.timed_out() as u64);
+            Ok((
+                ok_response(
+                    "query",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("result", render_answer(&answer, generation)),
+                        ("generation", JsonValue::U64(generation)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
+        Request::Batch {
+            session,
+            specs,
+            parallel,
+            budget,
+            timeout_ms,
+        } => {
+            let _span = state.obs.span("server.request.batch");
+            if specs.len() > state.config.max_batch {
+                return Err(ProtoError::new(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "batch of {} queries exceeds max_batch ({})",
+                        specs.len(),
+                        state.config.max_batch
+                    ),
+                ));
+            }
+            let handle = get_session(state, &session)?;
+            let deadline = deadline_for(state, timeout_ms);
+            state.counters.batch_queries.add(specs.len() as u64);
+
+            // Resolve all names up front so per-spec failures become
+            // inline error entries instead of poisoning the batch.
+            let mut s = lock_session(&handle);
+            let resolved: Vec<Result<ResolvedSpec, ProtoError>> =
+                specs.iter().map(|spec| s.resolve(spec)).collect();
+            let generation = s.generation();
+
+            let mut timeouts = 0u64;
+            let mut hits = 0u64;
+            let results: Vec<JsonValue> = if parallel {
+                let ok_specs: Vec<ResolvedSpec> = resolved
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok().copied())
+                    .collect();
+                let answers = s.query_batch_parallel(&ok_specs, budget, deadline, &state.pool);
+                drop(s);
+                let mut answers = answers.into_iter();
+                resolved
+                    .iter()
+                    .map(|r| match r {
+                        Ok(_) => {
+                            let a = answers.next().expect("one answer per resolved spec");
+                            timeouts += a.timed_out() as u64;
+                            render_answer(&a, generation)
+                        }
+                        Err(e) => error_response(e.code, &e.message),
+                    })
+                    .collect()
+            } else {
+                let rendered = resolved
+                    .iter()
+                    .map(|r| match r {
+                        Ok(spec) => {
+                            let before = s.engine_stats().cache_hits;
+                            let a = s.query(*spec, budget, deadline);
+                            hits += s.engine_stats().cache_hits - before;
+                            timeouts += a.timed_out() as u64;
+                            render_answer(&a, generation)
+                        }
+                        Err(e) => error_response(e.code, &e.message),
+                    })
+                    .collect();
+                drop(s);
+                rendered
+            };
+            record_query_obs(state, &session, hits, timeouts);
+            Ok((
+                ok_response(
+                    "batch",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("results", JsonValue::Array(results)),
+                        ("generation", JsonValue::U64(generation)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
+    }
+}
+
+fn stats_response(state: &ServerState) -> JsonValue {
+    let sessions = state.sessions.lock().expect("session map poisoned");
+    let mut per_session: Vec<(String, JsonValue)> = sessions
+        .iter()
+        .map(|(name, handle)| {
+            let s = lock_session(handle);
+            let stats = s.engine_stats();
+            (
+                name.clone(),
+                JsonValue::Object(vec![
+                    (
+                        "nodes".to_string(),
+                        JsonValue::U64(s.program().num_nodes() as u64),
+                    ),
+                    (
+                        "constraints".to_string(),
+                        JsonValue::U64(s.program().num_constraints() as u64),
+                    ),
+                    ("generation".to_string(), JsonValue::U64(s.generation())),
+                    (
+                        "tabled_goals".to_string(),
+                        JsonValue::U64(s.tabled_goals() as u64),
+                    ),
+                    ("queries".to_string(), JsonValue::U64(stats.queries)),
+                    ("cache_hits".to_string(), JsonValue::U64(stats.cache_hits)),
+                    ("work".to_string(), JsonValue::U64(stats.work)),
+                ]),
+            )
+        })
+        .collect();
+    per_session.sort_by(|a, b| a.0.cmp(&b.0));
+    drop(sessions);
+    let c = &state.counters;
+    let counters = JsonValue::Object(vec![
+        ("requests".to_string(), JsonValue::U64(c.requests.get())),
+        ("errors".to_string(), JsonValue::U64(c.errors.get())),
+        ("timeouts".to_string(), JsonValue::U64(c.timeouts.get())),
+        ("busy_rejections".to_string(), JsonValue::U64(c.busy.get())),
+        (
+            "connections".to_string(),
+            JsonValue::U64(c.connections.get()),
+        ),
+        (
+            "sessions_opened".to_string(),
+            JsonValue::U64(c.sessions_opened.get()),
+        ),
+        (
+            "sessions_closed".to_string(),
+            JsonValue::U64(c.sessions_closed.get()),
+        ),
+        (
+            "invalidations".to_string(),
+            JsonValue::U64(c.invalidations.get()),
+        ),
+        (
+            "batch_queries".to_string(),
+            JsonValue::U64(c.batch_queries.get()),
+        ),
+    ]);
+    ok_response(
+        "stats",
+        vec![
+            ("sessions", JsonValue::Object(per_session)),
+            ("counters", counters),
+            ("threads", JsonValue::U64(state.config.threads as u64)),
+        ],
+    )
+}

@@ -1,0 +1,643 @@
+//! A server session: one loaded [`ConstraintProgram`] plus a warm
+//! [`DemandEngine`] whose memo table persists across requests.
+//!
+//! # Incremental edits
+//!
+//! The engine borrows the program (`DemandEngine<'p>`), so an
+//! `add-constraints` edit cannot mutate the program in place. Instead the
+//! session keeps the program's canonical constraint text, re-parses the
+//! combined text into a *new* heap allocation, repoints the engine with
+//! [`DemandEngine::reload`] (which drops every tabled goal and bumps the
+//! generation counter), and only then frees the old program. Responses
+//! are stamped with the generation so clients can detect which answers
+//! predate an edit.
+//!
+//! # Timeouts
+//!
+//! The engine has no clock; it has *budgets*, and an out-of-budget query
+//! resumes exactly where it stopped on the next call. Wall-clock
+//! timeouts are therefore implemented by [`drive`]: run the query in
+//! fixed budget slices and check the deadline between slices. This
+//! requires memoization (the session engine always caches), otherwise a
+//! new slice would restart from scratch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use ddpa_constraints::{CallSiteId, ConstraintProgram, NodeId};
+use ddpa_demand::{DemandConfig, DemandEngine, EngineStats, ThreadPool};
+
+use crate::proto::{ErrorCode, ProtoError, QuerySpec};
+
+/// Budget granularity for deadline-sliced queries: big enough that the
+/// per-slice bookkeeping is noise, small enough that a timeout is
+/// honoured within a few milliseconds of deduction.
+const SLICE: u64 = 8192;
+
+/// A query spec with its names resolved against a session's program.
+#[derive(Clone, Copy, Debug)]
+pub enum ResolvedSpec {
+    PointsTo(NodeId),
+    PointedToBy(NodeId),
+    MayAlias(NodeId, NodeId),
+    CallTargets(CallSiteId),
+}
+
+/// The answer to one query, ready for rendering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// `points-to` / `pointed-to-by`: a set of node display names.
+    Set {
+        names: Vec<String>,
+        complete: bool,
+        work: u64,
+        timed_out: bool,
+    },
+    /// `may-alias`.
+    Alias {
+        may_alias: bool,
+        resolved: bool,
+        work: u64,
+        timed_out: bool,
+    },
+    /// `call-targets`: a set of function names.
+    Targets {
+        names: Vec<String>,
+        resolved: bool,
+        work: u64,
+        timed_out: bool,
+    },
+}
+
+impl QueryAnswer {
+    /// Whether the deadline expired before the answer was exact.
+    pub fn timed_out(&self) -> bool {
+        match self {
+            QueryAnswer::Set { timed_out, .. }
+            | QueryAnswer::Alias { timed_out, .. }
+            | QueryAnswer::Targets { timed_out, .. } => *timed_out,
+        }
+    }
+}
+
+/// Outcome of [`drive`]: the stepped answer plus totals.
+struct Driven<R> {
+    answer: R,
+    complete: bool,
+    work: u64,
+    timed_out: bool,
+}
+
+/// Runs `step` (one engine query call) to completion, budget exhaustion,
+/// or deadline expiry, whichever comes first.
+///
+/// With neither budget nor deadline this is a single unlimited call.
+/// Otherwise the query runs in [`SLICE`]-sized budget instalments; the
+/// engine's resumption guarantee means each instalment continues where
+/// the previous one stopped, so slicing changes nothing but the points
+/// at which the clock is checked.
+fn drive<R>(
+    engine: &mut DemandEngine<'_>,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+    mut step: impl FnMut(&mut DemandEngine<'_>) -> (R, bool, u64),
+) -> Driven<R> {
+    if budget.is_none() && deadline.is_none() {
+        engine.set_budget(None);
+        let (answer, complete, work) = step(engine);
+        return Driven {
+            answer,
+            complete,
+            work,
+            timed_out: false,
+        };
+    }
+    debug_assert!(
+        engine.config().caching,
+        "deadline slicing needs memoization to make progress across slices"
+    );
+    let mut total = 0u64;
+    let mut remaining = budget;
+    loop {
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        // An already-expired deadline still runs one zero-budget step:
+        // that serves memoized answers (and partial sets) without doing
+        // new deduction.
+        let slice = if expired {
+            0
+        } else {
+            remaining.map_or(SLICE, |r| r.min(SLICE))
+        };
+        engine.set_budget(Some(slice));
+        let (answer, complete, work) = step(engine);
+        total += work;
+        if let Some(rem) = &mut remaining {
+            *rem = rem.saturating_sub(work);
+        }
+        let exhausted = remaining == Some(0);
+        // `work == 0` without completion means the slice could not make
+        // progress; bail rather than spin (cannot happen with a positive
+        // slice, but guards against a hang if that invariant breaks).
+        if complete || exhausted || expired || work == 0 {
+            engine.set_budget(None);
+            return Driven {
+                answer,
+                complete,
+                work: total,
+                timed_out: expired && !complete,
+            };
+        }
+    }
+}
+
+/// Runs one resolved query on `engine`, honouring budget and deadline.
+fn run_resolved(
+    engine: &mut DemandEngine<'_>,
+    cp: &ConstraintProgram,
+    spec: ResolvedSpec,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+) -> QueryAnswer {
+    let node_names =
+        |nodes: &[NodeId]| -> Vec<String> { nodes.iter().map(|&n| cp.display_node(n)).collect() };
+    match spec {
+        ResolvedSpec::PointsTo(n) => {
+            let d = drive(engine, budget, deadline, |e| {
+                let r = e.points_to(n);
+                let (c, w) = (r.complete, r.work);
+                (r, c, w)
+            });
+            QueryAnswer::Set {
+                names: node_names(&d.answer.pts),
+                complete: d.complete,
+                work: d.work,
+                timed_out: d.timed_out,
+            }
+        }
+        ResolvedSpec::PointedToBy(n) => {
+            let d = drive(engine, budget, deadline, |e| {
+                let r = e.pointed_to_by(n);
+                let (c, w) = (r.complete, r.work);
+                (r, c, w)
+            });
+            QueryAnswer::Set {
+                names: node_names(&d.answer.pts),
+                complete: d.complete,
+                work: d.work,
+                timed_out: d.timed_out,
+            }
+        }
+        ResolvedSpec::MayAlias(a, b) => {
+            let d = drive(engine, budget, deadline, |e| {
+                let r = e.may_alias(a, b);
+                let (c, w) = (r.resolved, r.work);
+                (r, c, w)
+            });
+            QueryAnswer::Alias {
+                may_alias: d.answer.may_alias,
+                resolved: d.complete,
+                work: d.work,
+                timed_out: d.timed_out,
+            }
+        }
+        ResolvedSpec::CallTargets(cs) => {
+            let d = drive(engine, budget, deadline, |e| {
+                let r = e.call_targets(cs);
+                let (c, w) = (r.resolved, r.work);
+                (r, c, w)
+            });
+            let names = d
+                .answer
+                .targets
+                .iter()
+                .map(|&f| cp.interner().resolve(cp.func(f).name).to_string())
+                .collect();
+            QueryAnswer::Targets {
+                names,
+                resolved: d.complete,
+                work: d.work,
+                timed_out: d.timed_out,
+            }
+        }
+    }
+}
+
+/// One loaded program with a warm demand engine.
+///
+/// `engine` borrows `program` through a `'static` lifetime obtained from
+/// the stable `Box` allocation; see the field-level SAFETY notes.
+pub struct Session {
+    /// Declared *before* `program` so it drops first: the engine's
+    /// `&'static ConstraintProgram` must never outlive the box it points
+    /// into.
+    engine: DemandEngine<'static>,
+    /// The owning allocation behind the engine's borrow. Only replaced
+    /// via [`Session::add_constraints`], which repoints the engine before
+    /// freeing the old box.
+    program: Box<ConstraintProgram>,
+    /// Canonical constraint text of `program`; `add-constraints` appends
+    /// to this and re-parses.
+    source: String,
+    /// Display-name → node index for query resolution.
+    names: HashMap<String, NodeId>,
+    /// Default deduction budget for queries on this session.
+    default_budget: Option<u64>,
+}
+
+// Compile-time proof that sessions may move between connection threads:
+// the engine holds `&'static ConstraintProgram`, which is `Send` because
+// `ConstraintProgram` is `Sync` (it is plain immutable data; the parallel
+// driver already shares it across workers).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("nodes", &self.program.num_nodes())
+            .field("constraints", &self.program.num_constraints())
+            .field("generation", &self.engine.generation())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Parses `text` (constraint text, or MiniC when `minic`) and opens a
+    /// session over it.
+    pub fn open(text: &str, minic: bool, default_budget: Option<u64>) -> Result<Self, ProtoError> {
+        let cp = parse_program(text, minic)?;
+        // Canonicalize through the printer so `add_constraints` can
+        // append plain constraint lines even to MiniC-born sessions.
+        let source = ddpa_constraints::print_constraints(&cp);
+        let program = Box::new(cp);
+        // SAFETY: the box's heap allocation is stable; the reference is
+        // only held by `self.engine`, which drops before `self.program`
+        // (field order) and is repointed before any box replacement.
+        let cp_ref: &'static ConstraintProgram =
+            unsafe { &*(program.as_ref() as *const ConstraintProgram) };
+        let engine = DemandEngine::new(cp_ref, DemandConfig::default());
+        let names = index_names(&program);
+        Ok(Session {
+            engine,
+            program,
+            source,
+            names,
+            default_budget,
+        })
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &ConstraintProgram {
+        &self.program
+    }
+
+    /// The canonical constraint text of the loaded program.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Invalidation generation: bumped by every [`Session::add_constraints`].
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// The session's default deduction budget.
+    pub fn default_budget(&self) -> Option<u64> {
+        self.default_budget
+    }
+
+    /// Snapshot of the warm engine's counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Number of memoized subgoals currently tabled.
+    pub fn tabled_goals(&self) -> usize {
+        self.engine.tabled_goals()
+    }
+
+    /// Appends constraint text to the session's program.
+    ///
+    /// Re-parses the combined source, atomically swaps the engine onto
+    /// the new program, and invalidates every tabled goal (generation
+    /// bump). On parse error the session is unchanged.
+    pub fn add_constraints(&mut self, extra: &str) -> Result<(), ProtoError> {
+        let mut combined = self.source.clone();
+        if !combined.is_empty() && !combined.ends_with('\n') {
+            combined.push('\n');
+        }
+        combined.push_str(extra);
+        let cp = parse_program(&combined, false)?;
+        let source = ddpa_constraints::print_constraints(&cp);
+        let program = Box::new(cp);
+        // SAFETY: same argument as in `open`; ordering matters — the
+        // engine is repointed at the new box *before* the old box drops.
+        let cp_ref: &'static ConstraintProgram =
+            unsafe { &*(program.as_ref() as *const ConstraintProgram) };
+        self.engine.reload(cp_ref);
+        self.names = index_names(&program);
+        self.source = source;
+        let _old = std::mem::replace(&mut self.program, program);
+        Ok(())
+    }
+
+    /// Resolves a spec's names/indices against the loaded program.
+    pub fn resolve(&self, spec: &QuerySpec) -> Result<ResolvedSpec, ProtoError> {
+        let node = |name: &str| -> Result<NodeId, ProtoError> {
+            self.names.get(name).copied().ok_or_else(|| {
+                ProtoError::new(ErrorCode::NoNode, format!("no node named {name:?}"))
+            })
+        };
+        match spec {
+            QuerySpec::PointsTo { name } => Ok(ResolvedSpec::PointsTo(node(name)?)),
+            QuerySpec::PointedToBy { name } => Ok(ResolvedSpec::PointedToBy(node(name)?)),
+            QuerySpec::MayAlias { a, b } => Ok(ResolvedSpec::MayAlias(node(a)?, node(b)?)),
+            QuerySpec::CallTargets { site } => {
+                let sites = self.program.callsites().len();
+                if *site >= sites as u64 {
+                    return Err(ProtoError::new(
+                        ErrorCode::NoNode,
+                        format!("call site {site} out of range (program has {sites})"),
+                    ));
+                }
+                Ok(ResolvedSpec::CallTargets(CallSiteId::from_u32(
+                    *site as u32,
+                )))
+            }
+        }
+    }
+
+    /// Answers one query on the session's warm engine.
+    ///
+    /// `budget` overrides the session default; `deadline` bounds
+    /// wall-clock time via budget slicing.
+    pub fn query(
+        &mut self,
+        spec: ResolvedSpec,
+        budget: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> QueryAnswer {
+        let budget = budget.or(self.default_budget);
+        // SAFETY-free re-borrow dance: `run_resolved` needs the engine
+        // (`&mut`) and the program (`&`) at once; the engine's own copy
+        // of the program reference is handed out to avoid aliasing
+        // `self.program` while `self.engine` is mutably borrowed.
+        let cp = self.engine.program();
+        run_resolved(&mut self.engine, cp, spec, budget, deadline)
+    }
+
+    /// Answers a batch by fanning out over `pool` with one private engine
+    /// per worker (the parallel-driver claim protocol generalized to
+    /// mixed query kinds).
+    ///
+    /// Answers are identical to the warm path; only the *work* differs,
+    /// since workers do not share the session's memo table.
+    pub fn query_batch_parallel(
+        &self,
+        specs: &[ResolvedSpec],
+        budget: Option<u64>,
+        deadline: Option<Instant>,
+        pool: &ThreadPool,
+    ) -> Vec<QueryAnswer> {
+        let budget = budget.or(self.default_budget);
+        let cp: &ConstraintProgram = &self.program;
+        if specs.len() <= 1 || pool.threads() == 1 {
+            let mut engine = DemandEngine::new(cp, DemandConfig::default());
+            return specs
+                .iter()
+                .map(|&s| run_resolved(&mut engine, cp, s, budget, deadline))
+                .collect();
+        }
+
+        let mut results: Vec<Option<QueryAnswer>> = vec![None; specs.len()];
+        let next = AtomicUsize::new(0);
+
+        #[derive(Clone, Copy)]
+        struct SlotPtr(*mut Option<QueryAnswer>);
+        unsafe impl Send for SlotPtr {}
+        unsafe impl Sync for SlotPtr {}
+        let slots: Vec<SlotPtr> = results.iter_mut().map(|r| SlotPtr(r as *mut _)).collect();
+        let slots = &slots;
+        let next = &next;
+
+        let workers = pool.threads().min(specs.len());
+        pool.scoped((0..workers).map(|_| {
+            Box::new(move || {
+                let mut engine = DemandEngine::new(cp, DemandConfig::default());
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let answer = run_resolved(&mut engine, cp, specs[i], budget, deadline);
+                    // SAFETY: index i was claimed exclusively via the
+                    // atomic counter; each slot outlives the scoped batch
+                    // and is written at most once.
+                    let slot: SlotPtr = slots[i];
+                    unsafe {
+                        *slot.0 = Some(answer);
+                    }
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        }));
+
+        results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
+    }
+}
+
+fn parse_program(text: &str, minic: bool) -> Result<ConstraintProgram, ProtoError> {
+    let bad = |e: String| ProtoError::new(ErrorCode::BadProgram, e);
+    if minic {
+        let ast = ddpa_ir::parse(text).map_err(|e| bad(e.to_string()))?;
+        ddpa_constraints::lower(&ast).map_err(|e| bad(e.to_string()))
+    } else {
+        ddpa_constraints::parse_constraints(text).map_err(|e| bad(e.to_string()))
+    }
+}
+
+fn index_names(cp: &ConstraintProgram) -> HashMap<String, NodeId> {
+    cp.node_ids().map(|n| (cp.display_node(n), n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_names(answer: &QueryAnswer) -> Vec<String> {
+        match answer {
+            QueryAnswer::Set { names, .. } => names.clone(),
+            other => panic!("expected a set answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_query_and_edit() {
+        let mut s = Session::open("p = &o\nq = p\n", false, None).expect("valid program");
+        let spec = s
+            .resolve(&QuerySpec::PointsTo { name: "q".into() })
+            .expect("q exists");
+        let a = s.query(spec, None, None);
+        assert_eq!(set_names(&a), vec!["o"]);
+        assert_eq!(s.generation(), 0);
+
+        s.add_constraints("p = &o2\n").expect("valid edit");
+        assert_eq!(s.generation(), 1);
+        // Names were re-indexed against the new program; re-resolve.
+        let spec = s
+            .resolve(&QuerySpec::PointsTo { name: "q".into() })
+            .expect("q still exists");
+        let a = s.query(spec, None, None);
+        assert_eq!(set_names(&a), vec!["o", "o2"], "no stale memo after edit");
+    }
+
+    #[test]
+    fn bad_edit_leaves_session_unchanged() {
+        let mut s = Session::open("p = &o\n", false, None).expect("valid program");
+        let err = s
+            .add_constraints("this is not a constraint")
+            .expect_err("parse error");
+        assert_eq!(err.code, ErrorCode::BadProgram);
+        assert_eq!(s.generation(), 0);
+        let spec = s
+            .resolve(&QuerySpec::PointsTo { name: "p".into() })
+            .expect("p still resolvable");
+        assert_eq!(set_names(&s.query(spec, None, None)), vec!["o"]);
+    }
+
+    #[test]
+    fn minic_sessions_canonicalize_and_accept_edits() {
+        let mut s = Session::open(
+            "int g; void main() { int *p = &g; int *q = p; }",
+            true,
+            None,
+        )
+        .expect("valid MiniC");
+        let spec = s
+            .resolve(&QuerySpec::PointsTo {
+                name: "main::q".into(),
+            })
+            .expect("main::q exists");
+        assert_eq!(set_names(&s.query(spec, None, None)), vec!["g"]);
+        // MiniC sessions accept *constraint-text* edits thanks to
+        // canonicalization through the printer.
+        s.add_constraints("main::q = &g\n")
+            .expect("constraint edit on MiniC session");
+        assert_eq!(s.generation(), 1);
+    }
+
+    #[test]
+    fn resolve_reports_missing_names_and_sites() {
+        let s = Session::open("p = &o\n", false, None).expect("valid program");
+        let err = s
+            .resolve(&QuerySpec::PointsTo {
+                name: "ghost".into(),
+            })
+            .expect_err("no such node");
+        assert_eq!(err.code, ErrorCode::NoNode);
+        let err = s
+            .resolve(&QuerySpec::CallTargets { site: 0 })
+            .expect_err("no call sites");
+        assert_eq!(err.code, ErrorCode::NoNode);
+    }
+
+    #[test]
+    fn may_alias_and_deadline_paths() {
+        let mut s = Session::open("p = &o\nq = p\nr = &u\n", false, None).expect("valid");
+        let alias = s
+            .resolve(&QuerySpec::MayAlias {
+                a: "p".into(),
+                b: "q".into(),
+            })
+            .expect("resolvable");
+        match s.query(alias, None, None) {
+            QueryAnswer::Alias {
+                may_alias,
+                resolved,
+                ..
+            } => {
+                assert!(may_alias);
+                assert!(resolved);
+            }
+            other => panic!("expected alias answer, got {other:?}"),
+        }
+        // An already-expired deadline still serves the (now memoized)
+        // answer, and does not report a timeout for complete answers.
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let spec = s
+            .resolve(&QuerySpec::PointsTo { name: "q".into() })
+            .expect("resolvable");
+        let a = s.query(spec, None, Some(past));
+        assert_eq!(set_names(&a), vec!["o"]);
+        assert!(!a.timed_out(), "memoized answers beat expired deadlines");
+        // A cold query under an expired deadline reports the timeout.
+        let mut cold = Session::open("p = &o\nq = p\n", false, None).expect("valid");
+        let spec = cold
+            .resolve(&QuerySpec::PointsTo { name: "q".into() })
+            .expect("resolvable");
+        let a = cold.query(spec, None, Some(past));
+        assert!(a.timed_out(), "cold query under expired deadline times out");
+    }
+
+    #[test]
+    fn budget_slicing_resumes_to_completion() {
+        // A long copy chain: tiny budgets must still converge because
+        // drive() keeps resuming while the deadline allows.
+        let mut text = String::from("v0 = &obj\n");
+        for i in 1..200 {
+            text.push_str(&format!("v{} = v{}\n", i, i - 1));
+        }
+        let mut s = Session::open(&text, false, None).expect("valid chain");
+        let spec = s
+            .resolve(&QuerySpec::PointsTo {
+                name: "v199".into(),
+            })
+            .expect("resolvable");
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        let a = s.query(spec, None, Some(deadline));
+        assert_eq!(set_names(&a), vec!["obj"]);
+        assert!(!a.timed_out());
+        // And an explicit budget is still honoured under slicing: a
+        // 3-unit budget cannot resolve a 200-copy chain in one request.
+        let mut cold = Session::open(&text, false, None).expect("valid chain");
+        let spec = cold
+            .resolve(&QuerySpec::PointsTo {
+                name: "v199".into(),
+            })
+            .expect("resolvable");
+        match cold.query(spec, Some(3), Some(deadline)) {
+            QueryAnswer::Set { complete, .. } => assert!(!complete, "tiny budget stays partial"),
+            other => panic!("expected set answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_warm_engine() {
+        let mut text = String::new();
+        for i in 0..20 {
+            text.push_str(&format!("p{i} = &o{i}\n"));
+            text.push_str(&format!("q{i} = p{i}\n"));
+        }
+        let mut s = Session::open(&text, false, None).expect("valid");
+        let specs: Vec<ResolvedSpec> = (0..20)
+            .map(|i| {
+                s.resolve(&QuerySpec::PointsTo {
+                    name: format!("q{i}"),
+                })
+                .expect("resolvable")
+            })
+            .collect();
+        let warm: Vec<QueryAnswer> = specs.iter().map(|&x| s.query(x, None, None)).collect();
+        let pool = ThreadPool::new(4);
+        let fanned = s.query_batch_parallel(&specs, None, None, &pool);
+        assert_eq!(warm.len(), fanned.len());
+        for (w, f) in warm.iter().zip(&fanned) {
+            assert_eq!(set_names(w), set_names(f), "parallel answers identical");
+        }
+    }
+}

@@ -26,4 +26,31 @@ for sample in samples/*; do
     cargo run -q -p ddpa-cli -- jsonl-check "$out"
 done
 
+echo "==> ddpa-serve smoke test"
+# Start a server on an ephemeral port, run a batch through the client,
+# shut it down cleanly, and validate the exported metrics JSONL.
+portfile="$tmp/serve-port"
+srv_metrics="$tmp/serve-metrics.jsonl"
+cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
+    --port-file "$portfile" --metrics-out "$srv_metrics" \
+    > "$tmp/serve.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$portfile" ] && break
+    sleep 0.1
+done
+[ -s "$portfile" ] || { echo "server never wrote $portfile" >&2; exit 1; }
+addr="$(cat "$portfile")"
+client() { cargo run -q -p ddpa-cli -- client --addr "$addr" "$@" > /dev/null; }
+client ping
+client open smoke samples/list.mc
+client query smoke main::got data        # a batch over the wire
+client query smoke main::got data        # warm repeat: served from the memo table
+client stats
+client shutdown
+wait "$srv_pid"
+cargo run -q -p ddpa-cli -- jsonl-check "$srv_metrics"
+grep -q 'server.cache_hits' "$srv_metrics" \
+    || { echo "metrics missing server.cache_hits" >&2; exit 1; }
+
 echo "All checks passed."
