@@ -1,26 +1,58 @@
 //! Regenerates every table and figure of the evaluation as Markdown.
 //!
 //! ```text
-//! report [--quick|--full] [t1 t2 t3 t4 t5 f1 f2 f3 a2 ...]
+//! report [--quick|--full] [--json-out <path>] [t1 t2 t3 t4 t5 t6 f1 f2 f3 a2 ...]
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` (default) uses
 //! the small-suite prefix; `--full` runs the complete suite (minutes).
+//! `--json-out <path>` additionally writes a machine-readable summary —
+//! per-table medians of the headline metrics — as one JSON object.
 
 use std::time::Duration;
 
 use ddpa_bench::render::{count, dur, pct, ratio, table};
 use ddpa_bench::*;
 use ddpa_gen::Benchmark;
+use ddpa_obs::JsonValue;
+
+/// Median of a sample (upper middle for even sizes); 0 when empty.
+fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    v[v.len() / 2]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let wanted: Vec<&str> = args
+    let json_out: Option<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+        .position(|a| a == "--json-out")
+        .map(|i| args.get(i + 1).expect("--json-out needs a path").clone());
+    let mut skip_next = false;
+    let mut wanted: Vec<&str> = Vec::new();
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--json-out" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            wanted.push(a.as_str());
+        }
+    }
     let want = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
     let benches: Vec<Benchmark> = if full {
@@ -43,41 +75,50 @@ fn main() {
             .join(", ")
     );
 
-    if want("t1") {
-        t1(&benches);
-    }
-    if want("t2") {
-        t2(&benches);
-    }
-    if want("t3") {
-        t3(&benches);
-    }
-    if want("t4") {
-        t4(&quick);
-    }
-    if want("t5") {
-        t5(&quick);
-    }
-    if want("f1") {
-        f1(&quick);
-    }
-    if want("f2") {
-        f2(&quick);
-    }
-    if want("f3") {
-        f3(&quick);
-    }
-    if want("a2") {
-        a2(&quick);
-    }
-    if want("a3") {
-        a3(&quick);
+    let mut summary: Vec<(String, JsonValue)> = Vec::new();
+    let mut run = |id: &str, section: &mut dyn FnMut() -> JsonValue| {
+        if want(id) {
+            summary.push((id.to_owned(), section()));
+        }
+    };
+    run("t1", &mut || t1(&benches));
+    run("t2", &mut || t2(&benches));
+    run("t3", &mut || t3(&benches));
+    run("t4", &mut || t4(&quick));
+    run("t5", &mut || t5(&quick));
+    run("t6", &mut || t6());
+    run("f1", &mut || f1(&quick));
+    run("f2", &mut || f2(&quick));
+    run("f3", &mut || f3(&quick));
+    run("a2", &mut || a2(&quick));
+    run("a3", &mut || a3(&quick));
+
+    if let Some(path) = json_out {
+        let doc = obj(vec![
+            ("suite", JsonValue::str(if full { "full" } else { "quick" })),
+            ("tables", JsonValue::Object(summary)),
+        ]);
+        std::fs::write(&path, format!("{doc}\n")).expect("write --json-out file");
+        eprintln!("wrote {path}");
     }
 }
 
-fn t1(benches: &[Benchmark]) {
+fn t1(benches: &[Benchmark]) -> JsonValue {
     println!("## T1 — Benchmark characteristics\n");
-    let rows: Vec<Vec<String>> = run_t1(benches)
+    let data = run_t1(benches);
+    let med = obj(vec![
+        (
+            "nodes",
+            JsonValue::F64(median(data.iter().map(|r| r.stats.nodes as f64).collect())),
+        ),
+        (
+            "assignments",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.stats.assignments() as f64).collect(),
+            )),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -114,11 +155,29 @@ fn t1(benches: &[Benchmark]) {
             &rows
         )
     );
+    med
 }
 
-fn t2(benches: &[Benchmark]) {
+fn t2(benches: &[Benchmark]) -> JsonValue {
     println!("## T2 — Exhaustive (whole-program) analysis times; A1 — cycle-collapsing ablation\n");
-    let rows: Vec<Vec<String>> = run_t2(benches)
+    let data = run_t2(benches);
+    let med = obj(vec![
+        (
+            "solve_ms",
+            JsonValue::F64(median(data.iter().map(|r| ms(r.time)).collect())),
+        ),
+        (
+            "solve_no_cycles_ms",
+            JsonValue::F64(median(data.iter().map(|r| ms(r.time_no_cycles)).collect())),
+        ),
+        (
+            "propagations",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.stats.propagations as f64).collect(),
+            )),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -147,11 +206,27 @@ fn t2(benches: &[Benchmark]) {
             &rows
         )
     );
+    med
 }
 
-fn t3(benches: &[Benchmark]) {
+fn t3(benches: &[Benchmark]) -> JsonValue {
     println!("## T3 — Demand-driven indirect-call resolution vs exhaustive (budget ∞)\n");
-    let rows: Vec<Vec<String>> = run_t3(benches, None)
+    let data = run_t3(benches, None);
+    let med = obj(vec![
+        (
+            "speedup",
+            JsonValue::F64(median(data.iter().map(|r| r.speedup).collect())),
+        ),
+        (
+            "fires_per_query",
+            JsonValue::F64(median(data.iter().map(|r| r.fires_per_query).collect())),
+        ),
+        (
+            "precision_identical",
+            JsonValue::Bool(data.iter().all(|r| r.precision_identical)),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -199,11 +274,25 @@ fn t3(benches: &[Benchmark]) {
             &rows
         )
     );
+    med
 }
 
-fn t4(benches: &[Benchmark]) {
+fn t4(benches: &[Benchmark]) -> JsonValue {
     println!("## T4 — Caching (memoization) ablation, ≤500 dereference queries\n");
-    let rows: Vec<Vec<String>> = run_t4(benches, 500)
+    let data = run_t4(benches, 500);
+    let med = obj(vec![
+        (
+            "work_cached",
+            JsonValue::F64(median(data.iter().map(|r| r.work_cached as f64).collect())),
+        ),
+        (
+            "work_uncached",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.work_uncached as f64).collect(),
+            )),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             let speedup = r.time_uncached.as_secs_f64() / r.time_cached.as_secs_f64().max(1e-9);
@@ -233,12 +322,26 @@ fn t4(benches: &[Benchmark]) {
             &rows
         )
     );
+    med
 }
 
-fn t5(benches: &[Benchmark]) {
+fn t5(benches: &[Benchmark]) -> JsonValue {
     println!("## T5 — Server throughput (ddpa-serve over loopback, ≤200 queries)\n");
     let qps = |r: &T5Row, t: Duration| format!("{:.0}", r.qps(t));
-    let rows: Vec<Vec<String>> = run_t5(benches, 200)
+    let data = run_t5(benches, 200);
+    let med = obj(vec![
+        (
+            "warm_qps",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.qps(r.time_batch_warm)).collect(),
+            )),
+        ),
+        (
+            "cache_hits",
+            JsonValue::F64(median(data.iter().map(|r| r.cache_hits as f64).collect())),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             let warm_speedup =
@@ -271,11 +374,102 @@ fn t5(benches: &[Benchmark]) {
             &rows
         )
     );
+    med
 }
 
-fn f1(benches: &[Benchmark]) {
+fn t6() -> JsonValue {
+    println!("## T6 — Online cycle collapsing (demand engine, cyclic suite)\n");
+    let data = run_t6(&[4, 6, 8]);
+    let med = obj(vec![
+        (
+            "work_on",
+            JsonValue::F64(median(data.iter().map(|r| r.work_on as f64).collect())),
+        ),
+        (
+            "work_off",
+            JsonValue::F64(median(data.iter().map(|r| r.work_off as f64).collect())),
+        ),
+        (
+            "work_reduction",
+            JsonValue::F64(median(data.iter().map(|r| r.work_reduction()).collect())),
+        ),
+        (
+            "fires_on",
+            JsonValue::F64(median(data.iter().map(|r| r.fires_on as f64).collect())),
+        ),
+        (
+            "fires_off",
+            JsonValue::F64(median(data.iter().map(|r| r.fires_off as f64).collect())),
+        ),
+        (
+            "cycles_collapsed",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.cycles_collapsed as f64).collect(),
+            )),
+        ),
+        (
+            "merged_goals",
+            JsonValue::F64(median(data.iter().map(|r| r.merged_goals as f64).collect())),
+        ),
+        (
+            "identical",
+            JsonValue::Bool(data.iter().all(|r| r.identical)),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                count(r.queries),
+                count(r.work_on as usize),
+                count(r.work_off as usize),
+                ratio(r.work_reduction()),
+                count(r.fires_on as usize),
+                count(r.fires_off as usize),
+                dur(r.time_on),
+                dur(r.time_off),
+                count(r.cycles_collapsed as usize),
+                count(r.merged_goals as usize),
+                if r.identical {
+                    "identical ✓".into()
+                } else {
+                    "DIFFERS ✗".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program",
+                "queries",
+                "work (on)",
+                "work (off)",
+                "reduction",
+                "fires (on)",
+                "fires (off)",
+                "time (on)",
+                "time (off)",
+                "cycles",
+                "merged goals",
+                "answers"
+            ],
+            &rows
+        )
+    );
+    med
+}
+
+fn f1(benches: &[Benchmark]) -> JsonValue {
     println!("## F1 — Per-query cost distribution (rule firings, ≤1000 queries, no cache)\n");
-    let rows: Vec<Vec<String>> = run_f1(benches, 1000)
+    let data = run_f1(benches, 1000);
+    let med = obj(vec![(
+        "p50_work",
+        JsonValue::F64(median(data.iter().map(|r| r.work.p50 as f64).collect())),
+    )]);
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -297,12 +491,18 @@ fn f1(benches: &[Benchmark]) {
             &rows
         )
     );
+    med
 }
 
-fn f2(benches: &[Benchmark]) {
+fn f2(benches: &[Benchmark]) -> JsonValue {
     println!("## F2 — Cumulative demand time vs #queries (crossover against exhaustive)\n");
     let ks = [1usize, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
-    for row in run_f2(benches, &ks) {
+    let data = run_f2(benches, &ks);
+    let med = obj(vec![(
+        "exhaustive_ms",
+        JsonValue::F64(median(data.iter().map(|r| ms(r.exhaustive_time)).collect())),
+    )]);
+    for row in data {
         println!(
             "### {} (exhaustive = {})\n",
             row.name,
@@ -326,12 +526,22 @@ fn f2(benches: &[Benchmark]) {
             None => println!("no crossover within the sampled range\n"),
         }
     }
+    med
 }
 
-fn f3(benches: &[Benchmark]) {
+fn f3(benches: &[Benchmark]) -> JsonValue {
     println!("## F3 — Queries resolved within budget (≤500 queries per program)\n");
     let budgets = [10u64, 100, 1_000, 10_000, 100_000, 1_000_000];
-    for row in run_f3(benches, &budgets, 500) {
+    let data = run_f3(benches, &budgets, 500);
+    let med = obj(vec![(
+        "max_budget_resolved",
+        JsonValue::F64(median(
+            data.iter()
+                .filter_map(|r| r.points.last().map(|p| p.resolved))
+                .collect(),
+        )),
+    )]);
+    for row in data {
         println!("### {}\n", row.name);
         let rows: Vec<Vec<String>> = row
             .points
@@ -349,11 +559,17 @@ fn f3(benches: &[Benchmark]) {
             table(&["budget", "resolved", "avg work/query"], &rows)
         );
     }
+    med
 }
 
-fn a3(benches: &[Benchmark]) {
+fn a3(benches: &[Benchmark]) -> JsonValue {
     println!("## A3 — Context-sensitivity (k-call-string cloning) ablation\n");
-    for row in run_a3(benches, &[0, 1, 2]) {
+    let data = run_a3(benches, &[0, 1, 2]);
+    let med = obj(vec![(
+        "ci_total_pts",
+        JsonValue::F64(median(data.iter().map(|r| r.ci_total_pts as f64).collect())),
+    )]);
+    for row in data {
         println!(
             "### {} (context-insensitive Σ|pts| = {})\n",
             row.name,
@@ -393,12 +609,22 @@ fn a3(benches: &[Benchmark]) {
             )
         );
     }
+    med
 }
 
-fn a2(benches: &[Benchmark]) {
+fn a2(benches: &[Benchmark]) -> JsonValue {
     println!("## A2 — Parallel query driver scaling (≤2000 queries per program)\n");
     let threads = [1usize, 2, 4, 8];
-    for row in run_a2(benches, &threads, 2000) {
+    let data = run_a2(benches, &threads, 2000);
+    let med = obj(vec![(
+        "max_threads_speedup",
+        JsonValue::F64(median(
+            data.iter()
+                .filter_map(|r| r.points.last().map(|&(_, _, s)| s))
+                .collect(),
+        )),
+    )]);
+    for row in data {
         println!("### {}\n", row.name);
         let rows: Vec<Vec<String>> = row
             .points
@@ -407,6 +633,7 @@ fn a2(benches: &[Benchmark]) {
             .collect();
         println!("{}", table(&["threads", "time", "speedup"], &rows));
     }
+    med
 }
 
 // Silence the unused-import lint when only some sections are requested.

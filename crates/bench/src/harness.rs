@@ -598,6 +598,90 @@ pub fn run_t5(benches: &[Benchmark], max_queries: usize) -> Vec<T5Row> {
 }
 
 // ---------------------------------------------------------------------
+// T6: online cycle collapsing on cycle-dominated programs
+// ---------------------------------------------------------------------
+
+/// One row of the cycle-collapsing table.
+#[derive(Clone, Debug)]
+pub struct T6Row {
+    /// Workload name (`cyc-<scale>`).
+    pub name: String,
+    /// Pointer-variable queries issued (the copy-flow demand set).
+    pub queries: usize,
+    /// Total work units with collapsing on (default config).
+    pub work_on: u64,
+    /// Total work units with collapsing off.
+    pub work_off: u64,
+    /// Total rule firings with collapsing on.
+    pub fires_on: u64,
+    /// Total rule firings with collapsing off.
+    pub fires_off: u64,
+    /// Wall time with collapsing on.
+    pub time_on: Duration,
+    /// Wall time with collapsing off.
+    pub time_off: Duration,
+    /// SCC passes run by the collapsing engine.
+    pub cycle_runs: u64,
+    /// Copy cycles collapsed.
+    pub cycles_collapsed: u64,
+    /// Goals merged away into representatives.
+    pub merged_goals: u64,
+    /// Every query answer bit-identical between the two configurations.
+    pub identical: bool,
+}
+
+impl T6Row {
+    /// `work_off / work_on` — the headline reduction factor.
+    pub fn work_reduction(&self) -> f64 {
+        self.work_off as f64 / self.work_on.max(1) as f64
+    }
+}
+
+/// Regenerates table T6: demand work with online cycle collapsing on vs
+/// off, over the cycle-dominated generated suite ([`ddpa_gen::cyclic`]).
+///
+/// Queries cover the pointer variables (ring members, tails) — the copy
+/// flow the optimization targets; querying the address-taken objects
+/// would measure the `ptb` judgment, which has no per-goal duplication
+/// for collapsing to remove.
+pub fn run_t6(scales: &[usize]) -> Vec<T6Row> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let cp = ddpa_gen::generate_cyclic(&ddpa_gen::CyclicConfig::sized(42, scale));
+            let queries: Vec<NodeId> = cp
+                .node_ids()
+                .filter(|&n| !cp.display_node(n).contains("obj"))
+                .collect();
+            let answer = |config: DemandConfig| {
+                let mut engine = DemandEngine::new(&cp, config);
+                let start = Instant::now();
+                let answers: Vec<Vec<NodeId>> =
+                    queries.iter().map(|&q| engine.points_to(q).pts).collect();
+                (answers, start.elapsed(), engine.stats())
+            };
+            let (ans_on, time_on, on) = answer(DemandConfig::default());
+            let (ans_off, time_off, off) =
+                answer(DemandConfig::default().without_cycle_collapsing());
+            T6Row {
+                name: format!("cyc-{scale}"),
+                queries: queries.len(),
+                work_on: on.work,
+                work_off: off.work,
+                fires_on: on.fires,
+                fires_off: off.fires,
+                time_on,
+                time_off,
+                cycle_runs: on.cycle_runs,
+                cycles_collapsed: on.cycles_collapsed,
+                merged_goals: on.merged_goals,
+                identical: ans_on == ans_off,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // A2: parallel query driver scaling
 // ---------------------------------------------------------------------
 
@@ -707,6 +791,20 @@ mod tests {
             "the repeated batch must hit the warm session cache: {r:?}"
         );
         assert!(r.qps(r.time_batch_warm) > 0.0);
+    }
+
+    #[test]
+    fn t6_collapsing_at_least_halves_work_with_identical_answers() {
+        let rows = run_t6(&[6, 8]);
+        for r in &rows {
+            assert!(r.identical, "answers must be bit-identical: {r:?}");
+            assert!(r.cycles_collapsed > 0, "rings must collapse: {r:?}");
+            assert!(
+                r.work_on * 2 <= r.work_off,
+                "expected ≥2× work reduction: {r:?}"
+            );
+            assert!(r.fires_on * 2 <= r.fires_off, "fires too: {r:?}");
+        }
     }
 
     #[test]

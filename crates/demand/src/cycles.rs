@@ -1,0 +1,277 @@
+//! Online cycle detection over the goal-level copy graph.
+//!
+//! Heintze & Tardieu collapse the nodes of a discovered copy cycle so the
+//! cycle's points-to set is deduced once instead of once per member. The
+//! demand engine reproduces that optimization at the *goal* level: every
+//! [`crate::goal::Watcher::CopyTo`] subscription installed on a `Pts` goal
+//! is an edge `pts(src) ⊆ pts(dst)` of the copy graph, and a strongly
+//! connected component of that graph is a family of goals whose sets are
+//! provably equal at fixpoint — so the engine may merge their
+//! [`crate::goal::GoalState`]s into one representative.
+//!
+//! [`CopyGraph`] owns the bookkeeping: a [`UnionFind`] over the engine's
+//! dense goal indices (kept in lockstep with the goal table via
+//! [`CopyGraph::push`]), the list of discovered copy edges, and a pending
+//! counter that triggers a periodic SCC pass ([`CopyGraph::components`],
+//! iterative Tarjan from `ddpa_support::scc`) once enough new edges have
+//! accumulated. The engine routes every goal-index lookup through
+//! [`CopyGraph::find`], so merged-away goals transparently resolve to
+//! their representative.
+//!
+//! Edges are monotonic — a `CopyTo` subscription is never retracted while
+//! the memo table lives — which is what makes merging sound: once a cycle
+//! exists in the discovered subgraph it exists in the program, and every
+//! member's final set equals the representative's. [`CopyGraph`] stores
+//! edge *destinations* as [`NodeId`]s rather than goal indices because the
+//! destination goal may not be activated yet when the subscription is
+//! installed; resolution to an index happens lazily in
+//! [`CopyGraph::components`], and edges whose destination never activates
+//! simply cannot close a cycle (an unactivated goal has no outgoing
+//! subscriptions).
+
+use ddpa_constraints::NodeId;
+use ddpa_support::{scc, UnionFind};
+
+/// The copy-subscription graph and goal-merging union-find.
+#[derive(Debug)]
+pub struct CopyGraph {
+    enabled: bool,
+    threshold: u32,
+    uf: UnionFind,
+    /// Discovered `pts(src_goal) ⊆ pts(dst_node)` subscriptions. Sources
+    /// are goal indices (the goal carrying the watcher necessarily
+    /// exists); destinations stay symbolic until the SCC pass.
+    edges: Vec<(u32, NodeId)>,
+    /// Edges recorded since the last SCC pass.
+    pending: u32,
+    /// Engine work units ([`CopyGraph::tick`]) since the last SCC pass.
+    /// A cycle's closing edge typically arrives at the *end* of the
+    /// activation cascade, with most propagation still ahead — counting
+    /// work keeps a pass coming even when no further edges appear.
+    ticks: u32,
+}
+
+impl CopyGraph {
+    /// An empty graph. `threshold` is the number of newly discovered copy
+    /// edges that triggers an SCC pass (clamped to at least 1); `enabled`
+    /// gates edge recording entirely, so a disabled graph costs one
+    /// identity `find` per lookup and nothing else.
+    pub fn new(enabled: bool, threshold: u32) -> Self {
+        CopyGraph {
+            enabled,
+            threshold: threshold.max(1),
+            uf: UnionFind::new(0),
+            edges: Vec::new(),
+            pending: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Whether edge recording (and thus collapsing) is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers a fresh goal slot; must be called exactly once per goal
+    /// activation so the union-find stays aligned with the goal table.
+    pub fn push(&mut self) -> u32 {
+        self.uf.push()
+    }
+
+    /// The representative goal index for `gi` (path-compressing).
+    pub fn find(&mut self, gi: u32) -> u32 {
+        self.uf.find(gi)
+    }
+
+    /// The representative goal index for `gi` without mutation (for
+    /// `&self` entry points like explanation lookup).
+    pub fn find_readonly(&self, gi: u32) -> u32 {
+        self.uf.find_readonly(gi)
+    }
+
+    /// Records the copy edge `pts(goal src) ⊆ pts(node dst)`.
+    pub fn record_edge(&mut self, src: u32, dst: NodeId) {
+        if !self.enabled {
+            return;
+        }
+        self.edges.push((src, dst));
+        self.pending += 1;
+    }
+
+    /// Number of copy edges discovered so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records one unit of engine work (a rule firing) toward the next
+    /// SCC pass.
+    pub fn tick(&mut self) {
+        if self.enabled {
+            self.ticks = self.ticks.saturating_add(1);
+        }
+    }
+
+    /// `true` once at least one new edge exists and enough events (new
+    /// edges + work ticks) accumulated to warrant an SCC pass.
+    pub fn due(&self) -> bool {
+        self.enabled
+            && self.pending >= 1
+            && self.pending.saturating_add(self.ticks) >= self.threshold
+    }
+
+    /// Runs SCC detection over the discovered copy graph and returns the
+    /// non-trivial components, each as a sorted list of *current
+    /// representative* goal indices. `resolve` maps an edge's destination
+    /// node to its goal index, or `None` if `Pts(dst)` was never
+    /// activated (such edges cannot participate in a cycle).
+    ///
+    /// Resets the pending counter, so the next pass only runs after
+    /// another `threshold` edges. Deterministic: edges are canonicalized,
+    /// sorted and deduplicated before Tarjan runs, so component contents
+    /// and ordering do not depend on hash-map iteration order.
+    pub fn components(&mut self, resolve: impl Fn(NodeId) -> Option<u32>) -> Vec<Vec<u32>> {
+        self.pending = 0;
+        self.ticks = 0;
+        // Canonicalize onto current representatives. Self-edges (already
+        // merged pairs) drop out here.
+        let edges = std::mem::take(&mut self.edges);
+        let mut canon: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(s, d) in &edges {
+            let Some(di) = resolve(d) else { continue };
+            let rs = self.uf.find(s);
+            let rd = self.uf.find(di);
+            if rs != rd {
+                canon.push((rs, rd));
+            }
+        }
+        self.edges = edges;
+        canon.sort_unstable();
+        canon.dedup();
+        if canon.is_empty() {
+            return Vec::new();
+        }
+        // Compact the touched representatives to 0..m for Tarjan.
+        let mut nodes: Vec<u32> = canon.iter().flat_map(|&(a, b)| [a, b]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        for &(a, b) in &canon {
+            let ca = nodes.binary_search(&a).expect("source was collected") as u32;
+            let cb = nodes.binary_search(&b).expect("dest was collected") as u32;
+            adj[ca as usize].push(cb);
+        }
+        let r = scc::tarjan(nodes.len(), |v, out| out.extend(&adj[v as usize]));
+        let mut comps: Vec<Vec<u32>> = vec![Vec::new(); r.count as usize];
+        for (i, &c) in r.component.iter().enumerate() {
+            comps[c as usize].push(nodes[i]);
+        }
+        comps.retain(|c| c.len() > 1);
+        comps
+    }
+
+    /// Unions every goal in `comp` into one set and returns the
+    /// representative index (one of `comp`'s members).
+    pub fn union_all(&mut self, comp: &[u32]) -> u32 {
+        debug_assert!(!comp.is_empty());
+        for w in comp.windows(2) {
+            self.uf.union(w[0], w[1]);
+        }
+        self.uf.find(comp[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(n: u32) -> NodeId {
+        NodeId::from_u32(n)
+    }
+
+    #[test]
+    fn disabled_graph_records_nothing() {
+        let mut g = CopyGraph::new(false, 1);
+        g.push();
+        g.push();
+        g.record_edge(0, nid(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.due());
+        assert_eq!(g.find(1), 1);
+    }
+
+    #[test]
+    fn due_after_threshold_edges() {
+        let mut g = CopyGraph::new(true, 2);
+        for _ in 0..3 {
+            g.push();
+        }
+        g.record_edge(0, nid(1));
+        assert!(!g.due());
+        g.record_edge(1, nid(2));
+        assert!(g.due());
+        // Running the pass resets the pending counter.
+        let comps = g.components(|d| Some(d.as_u32()));
+        assert!(comps.is_empty(), "a path is not a cycle");
+        assert!(!g.due());
+    }
+
+    #[test]
+    fn detects_and_merges_a_ring() {
+        let mut g = CopyGraph::new(true, 1);
+        for _ in 0..4 {
+            g.push();
+        }
+        // 0 -> 1 -> 2 -> 0, plus a tail 2 -> 3.
+        g.record_edge(0, nid(1));
+        g.record_edge(1, nid(2));
+        g.record_edge(2, nid(0));
+        g.record_edge(2, nid(3));
+        let comps = g.components(|d| Some(d.as_u32()));
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+        let rep = g.union_all(&comps[0]);
+        assert_eq!(g.find(0), rep);
+        assert_eq!(g.find(1), rep);
+        assert_eq!(g.find(2), rep);
+        assert_ne!(g.find(3), rep);
+        // A later pass sees only canonical self-edges: no components.
+        assert!(g.components(|d| Some(d.as_u32())).is_empty());
+    }
+
+    #[test]
+    fn unresolved_destinations_cannot_close_cycles() {
+        let mut g = CopyGraph::new(true, 1);
+        g.push();
+        g.push();
+        g.record_edge(0, nid(1));
+        g.record_edge(1, nid(0));
+        // Node 1's goal "does not exist": the back edge is ignored.
+        let comps = g.components(|d| if d.as_u32() == 0 { Some(0) } else { None });
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn merges_nested_components_across_passes() {
+        let mut g = CopyGraph::new(true, 1);
+        for _ in 0..4 {
+            g.push();
+        }
+        g.record_edge(0, nid(1));
+        g.record_edge(1, nid(0));
+        let first = g.components(|d| Some(d.as_u32()));
+        assert_eq!(first.len(), 1);
+        let rep01 = g.union_all(&first[0]);
+        // A second ring through the merged pair: 2 -> 3 -> 0, 1 -> 2.
+        g.record_edge(2, nid(3));
+        g.record_edge(3, nid(0));
+        g.record_edge(1, nid(2));
+        let second = g.components(|d| Some(d.as_u32()));
+        assert_eq!(second.len(), 1);
+        let mut members = second[0].clone();
+        members.sort_unstable();
+        assert_eq!(members, vec![rep01, 2, 3]);
+        let rep = g.union_all(&second[0]);
+        for i in 0..4 {
+            assert_eq!(g.find(i), rep);
+        }
+    }
+}

@@ -49,13 +49,14 @@
 //! query resumes exactly where it stopped. When the queue drains, every
 //! activated goal is at fixpoint and is memoized as complete.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind};
 use ddpa_obs::{Counter, Obs};
 
 use crate::budget::Budget;
 use crate::config::DemandConfig;
+use crate::cycles::CopyGraph;
 use crate::goal::{Goal, GoalState, Watcher};
 use crate::query::{AliasResult, CallTargets, QueryResult};
 use crate::stats::EngineStats;
@@ -91,6 +92,9 @@ pub struct DemandEngine<'p> {
     counters: EngineCounters,
     provenance: HashMap<(Goal, u32), Origin>,
     generation: u64,
+    /// Copy-graph edges and the goal-merging union-find; every goal-index
+    /// lookup routes through [`CopyGraph::find`].
+    cycles: CopyGraph,
 }
 
 /// Pre-resolved counter handles — the hot path never does a name lookup.
@@ -102,6 +106,9 @@ struct EngineCounters {
     fires: Counter,
     goals_activated: Counter,
     work: Counter,
+    cycles_runs: Counter,
+    cycles_collapsed: Counter,
+    cycles_merged_goals: Counter,
     /// Per-[`Watcher`] variant fire counts, indexed by
     /// [`Watcher::kind_index`].
     fires_by_kind: [Counter; 12],
@@ -116,6 +123,9 @@ impl EngineCounters {
             fires: obs.counter("demand.fires"),
             goals_activated: obs.counter("demand.goals_activated"),
             work: obs.counter("demand.work"),
+            cycles_runs: obs.counter("demand.cycles.runs"),
+            cycles_collapsed: obs.counter("demand.cycles.collapsed"),
+            cycles_merged_goals: obs.counter("demand.cycles.merged_goals"),
             fires_by_kind: std::array::from_fn(|i| {
                 obs.counter(&format!("demand.fires.{}", Watcher::KIND_NAMES[i]))
             }),
@@ -133,6 +143,7 @@ impl<'p> DemandEngine<'p> {
     /// one [`Obs`] across engines and solvers to aggregate a whole run.
     pub fn with_obs(cp: &'p ConstraintProgram, config: DemandConfig, obs: Obs) -> Self {
         let counters = EngineCounters::new(&obs);
+        let cycles = CopyGraph::new(config.collapse_cycles, config.collapse_threshold);
         DemandEngine {
             cp,
             config,
@@ -144,6 +155,7 @@ impl<'p> DemandEngine<'p> {
             counters,
             provenance: HashMap::new(),
             generation: 0,
+            cycles,
         }
     }
 
@@ -184,6 +196,9 @@ impl<'p> DemandEngine<'p> {
             fires: self.counters.fires.get(),
             goals_activated: self.counters.goals_activated.get(),
             work: self.counters.work.get(),
+            cycle_runs: self.counters.cycles_runs.get(),
+            cycles_collapsed: self.counters.cycles_collapsed.get(),
+            merged_goals: self.counters.cycles_merged_goals.get(),
         }
     }
 
@@ -193,12 +208,17 @@ impl<'p> DemandEngine<'p> {
     }
 
     /// Drops all memoized state (used between queries when caching is off).
+    ///
+    /// Also rebuilds the cycle union-find: merged representatives are
+    /// meaningless once the goal table is gone, and a stale union-find
+    /// would silently fuse unrelated goals of the next table.
     pub fn clear(&mut self) {
         self.goals.clear();
         self.keys.clear();
         self.index.clear();
         self.queue.clear();
         self.provenance.clear();
+        self.cycles = CopyGraph::new(self.config.collapse_cycles, self.config.collapse_threshold);
     }
 
     /// The invalidation generation: starts at 0 and increments on every
@@ -306,14 +326,15 @@ impl<'p> DemandEngine<'p> {
         }
         let mut steps = Vec::new();
         let mut current = (Goal::Pts(node), target.as_u32());
-        let mut guard = 0usize;
+        // Cycle collapsing can leave a fact recorded under any member of
+        // a merged goal family, so lookup may fall back from the exact
+        // key to the representative's key and its aliases. The visited
+        // set keeps those fallbacks from revisiting an entry; each loop
+        // iteration consumes a fresh entry, so the walk terminates.
+        let mut visited: HashSet<(Goal, u32)> = HashSet::new();
         loop {
-            guard += 1;
-            if guard > self.provenance.len() + 1 {
-                debug_assert!(false, "provenance chain cycled");
-                return None;
-            }
-            let origin = *self.provenance.get(&current)?;
+            let (entry_key, origin) = self.lookup_provenance(current.0, current.1, &visited)?;
+            visited.insert((entry_key, current.1));
             steps.push(TraceStep {
                 goal: current.0,
                 elem: current.1,
@@ -326,18 +347,60 @@ impl<'p> DemandEngine<'p> {
         }
     }
 
+    /// Finds the provenance entry proving `value ∈ goal`: the exact key
+    /// first, then — when `goal` belongs to a collapsed cycle — the
+    /// representative's key and every merged-in alias. Entries already in
+    /// `visited` are skipped.
+    fn lookup_provenance(
+        &self,
+        goal: Goal,
+        value: u32,
+        visited: &HashSet<(Goal, u32)>,
+    ) -> Option<(Goal, Origin)> {
+        let try_key = |key: Goal| -> Option<(Goal, Origin)> {
+            if visited.contains(&(key, value)) {
+                return None;
+            }
+            self.provenance.get(&(key, value)).map(|&o| (key, o))
+        };
+        if let Some(hit) = try_key(goal) {
+            return Some(hit);
+        }
+        let &gi = self.index.get(&goal)?;
+        let rep = self.cycles.find_readonly(gi);
+        let rep_key = self.keys[rep as usize];
+        if rep_key != goal {
+            if let Some(hit) = try_key(rep_key) {
+                return Some(hit);
+            }
+        }
+        for &alias in &self.goals[rep as usize].aliases {
+            if alias == goal {
+                continue;
+            }
+            if let Some(hit) = try_key(alias) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
     // ------------------------------------------------------------------
     // Tabling machinery
     // ------------------------------------------------------------------
 
+    /// Activates `goal` and returns the index of the state holding it —
+    /// the *representative* index when the goal was merged into a cycle.
     fn activate(&mut self, goal: Goal) -> u32 {
         if let Some(&gi) = self.index.get(&goal) {
-            return gi;
+            return self.cycles.find(gi);
         }
         let gi = self.goals.len() as u32;
         self.goals.push(GoalState::new());
         self.keys.push(goal);
         self.index.insert(goal, gi);
+        let slot = self.cycles.push();
+        debug_assert_eq!(slot, gi, "union-find aligned with goal table");
         self.counters.goals_activated.inc();
         self.enqueue(gi);
         gi
@@ -371,20 +434,37 @@ impl<'p> DemandEngine<'p> {
         );
         if inserted {
             if self.config.trace {
-                self.provenance.insert((goal, value), origin);
+                // Record under the canonical key so lookups after further
+                // merges still resolve (see `lookup_provenance`).
+                let key = self.keys[gi as usize];
+                self.provenance.insert((key, value), origin);
             }
             self.enqueue(gi);
         }
     }
 
     /// Installs `watcher` on `goal` (idempotent), starting from the first
-    /// element.
+    /// element. `CopyTo` subscriptions double as edges of the copy graph
+    /// ([`CopyGraph::record_edge`]); one that targets the subscribed
+    /// goal's own state — a self copy, or a copy inside an already
+    /// collapsed cycle — is the identity and is suppressed.
     fn subscribe(&mut self, goal: Goal, watcher: Watcher) {
         let gi = self.activate(goal);
+        if let Watcher::CopyTo { dst } = watcher {
+            if let Some(&di) = self.index.get(&Goal::Pts(dst)) {
+                if self.cycles.find(di) == gi {
+                    self.goals[gi as usize].registered.insert(watcher);
+                    return;
+                }
+            }
+        }
         let state = &mut self.goals[gi as usize];
         if state.registered.insert(watcher) {
             state.watchers.push(watcher);
             state.cursors.push(0);
+            if let Watcher::CopyTo { dst } = watcher {
+                self.cycles.record_edge(gi, dst);
+            }
             self.enqueue(gi);
         }
     }
@@ -522,10 +602,9 @@ impl<'p> DemandEngine<'p> {
                     self.add(Goal::Ptb(obj), d.as_u32(), origin);
                 }
             }
-            Watcher::ArgSpread { obj, cs, pos } => {
+            Watcher::ArgSpread { obj, pos } => {
                 if let Some(f) = cp.node(NodeId::from_u32(elem)).as_func() {
                     if let Some(&formal) = cp.func(f).formals.get(pos as usize) {
-                        let _ = cs;
                         self.add(Goal::Ptb(obj), formal.as_u32(), origin);
                     }
                 }
@@ -584,7 +663,7 @@ impl<'p> DemandEngine<'p> {
                     }
                 }
                 CalleeRef::Indirect(fp) => {
-                    self.subscribe(Goal::Pts(fp), Watcher::ArgSpread { obj, cs, pos });
+                    self.subscribe(Goal::Pts(fp), Watcher::ArgSpread { obj, pos });
                 }
             }
         }
@@ -650,6 +729,7 @@ impl<'p> DemandEngine<'p> {
                     self.counters.fires.inc();
                     self.counters.fires_by_kind[watcher.kind_index()].inc();
                     self.counters.work.inc();
+                    self.cycles.tick();
                     let src = self.keys[gi as usize];
                     self.fire(src, watcher, elem);
                     progressed = true;
@@ -665,17 +745,127 @@ impl<'p> DemandEngine<'p> {
     /// Drains the queue. Returns `true` when everything reached fixpoint.
     fn drain(&mut self, budget: &mut Budget) -> bool {
         while let Some(gi) = self.queue.pop_front() {
+            if self.cycles.due() {
+                self.collapse_now();
+            }
+            if self.cycles.find(gi) != gi {
+                // Merged away while queued: the representative carries
+                // this goal's pending work and was re-enqueued by the
+                // merge, so the stale entry is simply dropped.
+                continue;
+            }
             self.goals[gi as usize].on_list = false;
             if !self.process(gi, budget) {
                 return false;
             }
         }
-        // Global fixpoint: memoize everything as complete.
+        // Global fixpoint: memoize everything as complete. Merged shells
+        // hold no state of their own — their representative does.
         for state in &mut self.goals {
+            if state.merged {
+                continue;
+            }
             debug_assert!(state.quiescent(), "drained queue but goal not quiescent");
             state.complete = true;
         }
         true
+    }
+
+    /// Runs an SCC pass over the discovered copy graph and merges every
+    /// non-trivial component that is still in flux.
+    fn collapse_now(&mut self) {
+        let _span = self.obs.span("demand.cycles.collapse");
+        self.counters.cycles_runs.inc();
+        let index = &self.index;
+        let comps = self
+            .cycles
+            .components(|dst| index.get(&Goal::Pts(dst)).copied());
+        for comp in comps {
+            // A completed goal is a frozen memo entry at fixpoint; at
+            // fixpoint the complete set is closed under deduction, so a
+            // component can only contain completed goals if it contains
+            // nothing else — and then there is no work left to save.
+            if comp.iter().any(|&g| self.goals[g as usize].complete) {
+                continue;
+            }
+            // Install static rules for members the queue has not reached
+            // yet: their subscriptions (including intra-cycle copies that
+            // the merge folds away) must exist before states move.
+            for &g in &comp {
+                if self.goals[g as usize].needs_init {
+                    self.goals[g as usize].needs_init = false;
+                    self.counters.work.inc();
+                    match self.keys[g as usize] {
+                        Goal::Pts(x) => self.install_pts(x),
+                        Goal::Ptb(o) => self.install_ptb(o),
+                    }
+                }
+            }
+            let rep = self.cycles.union_all(&comp);
+            self.counters.cycles_collapsed.inc();
+            self.counters.cycles_merged_goals.add(comp.len() as u64 - 1);
+            self.merge_component(&comp, rep);
+        }
+    }
+
+    /// Folds every goal of `comp` into the state at `rep` (which
+    /// [`CopyGraph::union_all`] made the representative): one shared
+    /// member set, a deduplicated watcher list, and intra-cycle copy
+    /// edges dropped. Carried-over watchers rescan from element zero —
+    /// firing is idempotent, so the rescan is a bounded one-time cost.
+    fn merge_component(&mut self, comp: &[u32], rep: u32) {
+        let mut merged = std::mem::take(&mut self.goals[rep as usize]);
+        for &g in comp {
+            if g == rep {
+                continue;
+            }
+            let state = std::mem::take(&mut self.goals[g as usize]);
+            let shell = &mut self.goals[g as usize];
+            shell.merged = true;
+            shell.needs_init = false;
+            merged.aliases.push(self.keys[g as usize]);
+            merged.aliases.extend(state.aliases.iter().copied());
+            for &v in &state.elems {
+                if merged.members.insert(v) {
+                    merged.elems.push(v);
+                }
+            }
+            for &w in &state.watchers {
+                if merged.registered.insert(w) {
+                    merged.watchers.push(w);
+                    merged.cursors.push(0);
+                }
+            }
+            // Suppressed registrations (identity copies) must keep
+            // deduplicating future subscriptions.
+            for w in state.registered {
+                merged.registered.insert(w);
+            }
+        }
+        // Copy edges that now point inside the merged family are the
+        // identity: drop them from the active list. They stay
+        // `registered`, so re-subscription attempts still dedup.
+        let mut watchers = Vec::with_capacity(merged.watchers.len());
+        let mut cursors = Vec::with_capacity(merged.cursors.len());
+        for (&w, &c) in merged.watchers.iter().zip(&merged.cursors) {
+            let internal = match w {
+                Watcher::CopyTo { dst } => self
+                    .index
+                    .get(&Goal::Pts(dst))
+                    .is_some_and(|&di| self.cycles.find_readonly(di) == rep),
+                _ => false,
+            };
+            if !internal {
+                watchers.push(w);
+                cursors.push(c);
+            }
+        }
+        merged.watchers = watchers;
+        merged.cursors = cursors;
+        merged.needs_init = false;
+        merged.on_list = false;
+        self.goals[rep as usize] = merged;
+        self.enqueue(rep);
     }
 
     fn run(&mut self, goal: Goal) -> QueryResult {
@@ -702,6 +892,8 @@ impl<'p> DemandEngine<'p> {
         if drained {
             self.counters.complete_queries.inc();
         }
+        // The goal may have merged into a cycle representative mid-drain.
+        let gi = self.cycles.find(gi);
         QueryResult {
             pts: self.snapshot(gi),
             complete: self.goals[gi as usize].complete,
@@ -984,6 +1176,216 @@ mod tests {
         assert!(!targets.resolved);
         // Fallback: only f is address-taken.
         assert_eq!(targets.targets, vec![f]);
+    }
+}
+
+#[cfg(test)]
+mod cycle_tests {
+    use super::*;
+    use ddpa_constraints::ConstraintBuilder;
+
+    fn node(cp: &ConstraintProgram, name: &str) -> NodeId {
+        cp.node_ids()
+            .find(|&n| cp.display_node(n) == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    /// A ring of `len` copy-related vars seeded with `objs` address-of
+    /// constraints spread around it, plus a tail var reading from the
+    /// ring. Every ring member's final set is all `objs` objects.
+    fn ring_program(len: usize, objs: usize) -> ConstraintProgram {
+        let mut b = ConstraintBuilder::new();
+        let objects: Vec<_> = (0..objs).map(|j| b.var(&format!("obj_{j}"))).collect();
+        let vars: Vec<_> = (0..len).map(|i| b.var(&format!("r{i}"))).collect();
+        for i in 1..len {
+            b.copy(vars[i], vars[i - 1]);
+        }
+        b.copy(vars[0], vars[len - 1]);
+        for (j, &o) in objects.iter().enumerate() {
+            b.addr_of(vars[j * len / objs], o);
+        }
+        let tail = b.var("tail");
+        b.copy(tail, vars[len / 3]);
+        b.build()
+    }
+
+    #[test]
+    fn ring_collapses_to_one_representative() {
+        let cp = ring_program(8, 2);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_collapse_threshold(1));
+        let r = engine.points_to(node(&cp, "tail"));
+        assert!(r.complete);
+        let names: Vec<String> = r.pts.iter().map(|&n| cp.display_node(n)).collect();
+        assert_eq!(names, vec!["obj_0", "obj_1"]);
+        let stats = engine.stats();
+        assert!(stats.cycle_runs >= 1, "SCC pass ran");
+        assert!(stats.cycles_collapsed >= 1, "the ring was collapsed");
+        assert_eq!(stats.merged_goals, 7, "eight goals fused into one");
+    }
+
+    #[test]
+    fn collapsing_matches_uncollapsed_answers() {
+        // Every query form, on vs off, on a program mixing a ring with
+        // loads and stores through it.
+        let cp = ddpa_constraints::parse_constraints(
+            "x = y\ny = z\nz = x\nx = &a\nz = &b\n\
+             p = &x\n*p = z\nw = *p\nq = x\n",
+        )
+        .expect("parses");
+        let mut on = DemandEngine::new(&cp, DemandConfig::default().with_collapse_threshold(1));
+        let mut off = DemandEngine::new(&cp, DemandConfig::default().without_cycle_collapsing());
+        for n in cp.node_ids() {
+            assert_eq!(on.points_to(n).pts, off.points_to(n).pts, "pts diverged");
+            assert_eq!(
+                on.pointed_to_by(n).pts,
+                off.pointed_to_by(n).pts,
+                "ptb diverged"
+            );
+        }
+        assert!(on.stats().cycles_collapsed >= 1, "collapse actually ran");
+    }
+
+    #[test]
+    fn collapsing_reduces_work_on_rings() {
+        let cp = ring_program(64, 16);
+        let work_of = |config: DemandConfig| {
+            let mut e = DemandEngine::new(&cp, config);
+            let r = e.points_to(node(&cp, "tail"));
+            assert!(r.complete);
+            (e.stats().work, e.stats().fires, r.pts)
+        };
+        let (work_on, fires_on, pts_on) =
+            work_of(DemandConfig::default().with_collapse_threshold(8));
+        let (work_off, fires_off, pts_off) =
+            work_of(DemandConfig::default().without_cycle_collapsing());
+        assert_eq!(pts_on, pts_off, "answers bit-identical");
+        assert!(
+            work_on * 2 <= work_off,
+            "expected ≥2× work reduction, got {work_on} vs {work_off}"
+        );
+        assert!(
+            fires_on * 2 <= fires_off,
+            "expected ≥2× fire reduction, got {fires_on} vs {fires_off}"
+        );
+    }
+
+    #[test]
+    fn collapsed_goals_are_cached_complete() {
+        let cp = ring_program(8, 2);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().with_collapse_threshold(1));
+        let first = engine.points_to(node(&cp, "r3"));
+        assert!(first.complete && first.work > 0);
+        // Every ring member now answers from the shared memo entry.
+        for i in 0..8 {
+            let r = engine.points_to(node(&cp, &format!("r{i}")));
+            assert!(r.complete);
+            assert_eq!(r.work, 0, "r{i} served from the merged memo");
+            assert_eq!(r.pts, first.pts);
+        }
+        assert_eq!(engine.stats().cache_hits, 8);
+    }
+
+    #[test]
+    fn budget_resumption_with_collapsing() {
+        let cp = ring_program(32, 4);
+        let mut engine = DemandEngine::new(
+            &cp,
+            DemandConfig::default()
+                .with_collapse_threshold(4)
+                .with_budget(10),
+        );
+        let tail = node(&cp, "tail");
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts < 1000, "resumption failed to converge");
+            let r = engine.points_to(tail);
+            for n in &r.pts {
+                let name = cp.display_node(*n);
+                assert!(name.starts_with("obj_"), "partial stayed sound: {name}");
+            }
+            if r.complete {
+                assert_eq!(r.pts.len(), 4);
+                break;
+            }
+        }
+        assert!(attempts > 1, "budget 10 cannot finish a 32-ring at once");
+    }
+
+    #[test]
+    fn reload_resets_union_find() {
+        // First program: x, y, z form a cycle and collapse. Second
+        // program: the cycle is broken (z no longer feeds x) — a stale
+        // union-find would keep serving the merged set.
+        let before = ddpa_constraints::parse_constraints("x = y\ny = z\nz = x\nx = &a\nz = &b\n")
+            .expect("parses");
+        let after =
+            ddpa_constraints::parse_constraints("x = y\ny = z\nz = &b\nx = &a\n").expect("parses");
+        let mut engine =
+            DemandEngine::new(&before, DemandConfig::default().with_collapse_threshold(1));
+        let r1 = engine.points_to(node(&before, "x"));
+        assert_eq!(r1.pts.len(), 2, "cycle: x sees both objects");
+        assert!(engine.stats().cycles_collapsed >= 1);
+
+        engine.reload(&after);
+        let z = engine.points_to(node(&after, "z"));
+        assert_eq!(
+            z.pts
+                .iter()
+                .map(|&n| after.display_node(n))
+                .collect::<Vec<_>>(),
+            vec!["b"],
+            "broken cycle: z no longer sees a"
+        );
+        let x = engine.points_to(node(&after, "x"));
+        assert_eq!(x.pts.len(), 2, "x still reads z through the chain");
+    }
+
+    #[test]
+    fn self_copy_is_suppressed() {
+        let cp = ddpa_constraints::parse_constraints("x = x\nx = &o\n").expect("parses");
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default());
+        let r = engine.points_to(node(&cp, "x"));
+        assert!(r.complete);
+        assert_eq!(r.pts.len(), 1);
+    }
+
+    #[test]
+    fn explanation_survives_merging() {
+        let cp = ring_program(8, 2);
+        let mut engine = DemandEngine::new(
+            &cp,
+            DemandConfig::default()
+                .with_collapse_threshold(1)
+                .with_trace(),
+        );
+        let obj_a = node(&cp, "obj_0");
+        let obj_b = node(&cp, "obj_1");
+        assert!(engine.points_to(node(&cp, "tail")).complete);
+        assert!(engine.stats().cycles_collapsed >= 1, "merge happened");
+        // Every merged member (and the tail) can still explain both facts.
+        let mut queries: Vec<NodeId> = (0..8).map(|i| node(&cp, &format!("r{i}"))).collect();
+        queries.push(node(&cp, "tail"));
+        for v in queries {
+            for o in [obj_a, obj_b] {
+                let e = engine
+                    .explain_points_to(v, o)
+                    .unwrap_or_else(|| panic!("no explanation for {}", cp.display_node(v)));
+                assert_eq!(e.steps.last().expect("nonempty").origin, Origin::Base);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_stay_zero_when_disabled() {
+        let cp = ring_program(8, 2);
+        let mut engine = DemandEngine::new(&cp, DemandConfig::default().without_cycle_collapsing());
+        let r = engine.points_to(node(&cp, "tail"));
+        assert!(r.complete);
+        let stats = engine.stats();
+        assert_eq!(stats.cycle_runs, 0);
+        assert_eq!(stats.cycles_collapsed, 0);
+        assert_eq!(stats.merged_goals, 0);
     }
 }
 

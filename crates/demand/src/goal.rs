@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use ddpa_support::HybridSet;
 
-use ddpa_constraints::{CallSiteId, NodeId};
+use ddpa_constraints::NodeId;
 
 /// A tabled subgoal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -98,8 +98,6 @@ pub enum Watcher {
     ArgSpread {
         /// The object being tracked.
         obj: NodeId,
-        /// The call site.
-        cs: CallSiteId,
         /// Argument position.
         pos: u32,
     },
@@ -192,6 +190,14 @@ pub struct GoalState {
     pub complete: bool,
     /// Currently queued for processing.
     pub on_list: bool,
+    /// This state was merged into a cycle representative and is now an
+    /// empty shell; all lookups route to the representative via the
+    /// engine's union-find (see [`crate::cycles::CopyGraph`]).
+    pub merged: bool,
+    /// Keys of goals merged *into* this state. Provenance entries recorded
+    /// before the merge live under these keys, so explanation lookup tries
+    /// them after the canonical key.
+    pub aliases: Vec<Goal>,
 }
 
 impl GoalState {
@@ -206,6 +212,8 @@ impl GoalState {
             needs_init: true,
             complete: false,
             on_list: false,
+            merged: false,
+            aliases: Vec::new(),
         }
     }
 

@@ -42,6 +42,7 @@
 
 pub mod budget;
 pub mod config;
+pub mod cycles;
 pub mod engine;
 pub mod goal;
 pub mod ladder;
@@ -53,6 +54,7 @@ pub mod trace;
 
 pub use budget::Budget;
 pub use config::DemandConfig;
+pub use cycles::CopyGraph;
 pub use engine::DemandEngine;
 pub use ladder::BudgetLadder;
 pub use parallel::{points_to_on_pool, points_to_parallel};

@@ -176,6 +176,36 @@ mod tests {
     }
 
     #[test]
+    fn cycle_collapsing_is_invisible_across_workers() {
+        // A closed copy ring: every worker's private engine discovers and
+        // collapses the cycle independently (the union-find is per-engine
+        // state, inherited through the cloned config), and answers must
+        // match the sequential engine with collapsing off.
+        let mut b = ddpa_constraints::ConstraintBuilder::new();
+        let ring: Vec<_> = (0..48).map(|i| b.var(&format!("r{i}"))).collect();
+        for i in 1..ring.len() {
+            b.copy(ring[i], ring[i - 1]);
+        }
+        b.copy(ring[0], ring[ring.len() - 1]);
+        for j in 0..6 {
+            let o = b.var(&format!("o{j}"));
+            b.addr_of(ring[j * 8], o);
+        }
+        let cp = b.build();
+        let queries: Vec<_> = ring.clone();
+        let on = DemandConfig::default().with_collapse_threshold(4);
+        let off = DemandConfig::default().without_cycle_collapsing();
+        let baseline = points_to_parallel(&cp, &queries, 1, &off);
+        for threads in [2, 4] {
+            let collapsed = points_to_parallel(&cp, &queries, threads, &on);
+            for (s, p) in baseline.iter().zip(&collapsed) {
+                assert_eq!(s.pts, p.pts);
+                assert!(p.complete);
+            }
+        }
+    }
+
+    #[test]
     fn shared_pool_answers_repeated_batches() {
         let cp = chain_program(48);
         let queries: Vec<_> = cp.node_ids().collect();

@@ -15,6 +15,12 @@
 //! re-raised from the submitting side ([`ThreadPool::scoped`] /
 //! [`ThreadPool::join`]), preserving the old spawn-per-call behaviour
 //! where a worker panic propagated out of the driver.
+//!
+//! The pool itself carries no analysis state: each worker job constructs
+//! its own [`DemandEngine`](crate::DemandEngine) from a configuration the
+//! *driver* clones in (so settings like cycle collapsing and its
+//! threshold are inherited per worker, never shared — a worker's
+//! union-find over merged goals is private to its engine).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -20,6 +20,13 @@ pub struct EngineStats {
     pub goals_activated: u64,
     /// Total work units charged (fires + goal initializations).
     pub work: u64,
+    /// SCC passes run over the discovered copy graph.
+    pub cycle_runs: u64,
+    /// Copy cycles collapsed into a representative goal.
+    pub cycles_collapsed: u64,
+    /// Goals merged away into a representative (excludes the
+    /// representatives themselves).
+    pub merged_goals: u64,
 }
 
 impl EngineStats {

@@ -1,0 +1,92 @@
+//! Differential testing for online cycle collapsing: on every random
+//! program seeded with forced copy cycles, the engine with collapsing on
+//! must agree bit-for-bit with collapsing off and with the exhaustive
+//! wave solver — for `points_to`, `pointed_to_by`, and `may_alias`.
+//! Merging a cycle's goals must never change an answer, only the work.
+
+use ddpa_constraints::NodeId;
+use ddpa_demand::{DemandConfig, DemandEngine};
+use ddpa_gen::{generate_random, RandomConfig};
+use ddpa_support::rng::Rng;
+
+const CASES: usize = 120;
+
+#[test]
+fn collapsing_is_invisible_to_every_query() {
+    let mut rng = Rng::seed_from_u64(0x000c_7c1e_0001);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0..u32::MAX as u64);
+        let rings = rng.gen_range(2..6usize);
+        let len = rng.gen_range(2..24usize);
+        let config = RandomConfig::sized(seed, 140).with_copy_cycles(rings, len);
+        let cp = generate_random(&config);
+        let (wave, _) = ddpa_anders::wave::solve(&cp);
+
+        // Aggressive threshold so every discovered cycle collapses early,
+        // maximising the chance a merge could corrupt an answer.
+        let mut on = DemandEngine::new(&cp, DemandConfig::default().with_collapse_threshold(1));
+        let mut off = DemandEngine::new(&cp, DemandConfig::default().without_cycle_collapsing());
+
+        let nodes: Vec<NodeId> = cp.node_ids().collect();
+        for &n in &nodes {
+            let a = on.points_to(n);
+            let b = off.points_to(n);
+            assert!(a.complete && b.complete, "case {case}");
+            assert_eq!(
+                a.pts,
+                b.pts,
+                "case {case}: pts({}) differs on vs off",
+                cp.display_node(n)
+            );
+            assert_eq!(
+                a.pts,
+                wave.pts_nodes(n),
+                "case {case}: pts({}) differs from wave",
+                cp.display_node(n)
+            );
+        }
+        assert!(
+            on.stats().cycles_collapsed > 0,
+            "case {case}: forced rings should collapse (rings={rings}, len={len})"
+        );
+
+        for &obj in &nodes {
+            let a = on.pointed_to_by(obj);
+            let b = off.pointed_to_by(obj);
+            assert!(a.complete && b.complete, "case {case}");
+            assert_eq!(
+                a.pts,
+                b.pts,
+                "case {case}: ptb({}) differs on vs off",
+                cp.display_node(obj)
+            );
+            let want: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&w| wave.points_to(w, obj))
+                .collect();
+            assert_eq!(
+                a.pts,
+                want,
+                "case {case}: ptb({}) differs from wave",
+                cp.display_node(obj)
+            );
+        }
+
+        // may_alias over a sampled pair set (n² pairs is too many).
+        for _ in 0..64 {
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let b = nodes[rng.gen_range(0..nodes.len())];
+            let ra = on.may_alias(a, b);
+            let rb = off.may_alias(a, b);
+            assert!(ra.resolved && rb.resolved, "case {case}");
+            let want = !intersection_empty(&wave.pts_nodes(a), &wave.pts_nodes(b));
+            assert_eq!(ra.may_alias, want, "case {case}: may_alias vs wave");
+            assert_eq!(rb.may_alias, want, "case {case}: may_alias on vs off");
+        }
+    }
+}
+
+fn intersection_empty(a: &[NodeId], b: &[NodeId]) -> bool {
+    a.iter().all(|x| !b.contains(x))
+}

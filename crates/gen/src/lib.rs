@@ -9,6 +9,8 @@
 //!
 //! * [`random`] — seeded random constraint programs with a configurable
 //!   mix and locality;
+//! * [`cyclic`] — cycle-dominated programs (copy rings) for the online
+//!   cycle-collapsing experiment (bench table T6);
 //! * [`minic`] — structured MiniC source programs (layered call graphs,
 //!   function-pointer dispatch tables), exercised through the full
 //!   parse → check → lower pipeline;
@@ -17,10 +19,12 @@
 //! All generators take explicit seeds; the same seed reproduces the same
 //! program byte-for-byte.
 
+pub mod cyclic;
 pub mod minic;
 pub mod random;
 pub mod suite;
 
+pub use cyclic::{generate_cyclic, CyclicConfig};
 pub use minic::{generate_minic, MiniCConfig};
 pub use random::{generate_random, RandomConfig};
 pub use suite::{quick_suite, suite, Benchmark, WorkloadKind};

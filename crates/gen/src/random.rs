@@ -47,6 +47,13 @@ pub struct RandomConfig {
     pub indirect_calls: usize,
     /// Dispatch-table slots seeded with function addresses.
     pub fp_seeds: usize,
+    /// Copy cycles forced into the program (0 = none). Each ring threads
+    /// [`RandomConfig::cycle_len`] existing variables of one community, so
+    /// the cycles entangle with the surrounding flow — the workload for
+    /// the engine's online cycle collapsing.
+    pub copy_cycles: usize,
+    /// Variables per forced copy cycle (clamped to `2..=BLOCK`).
+    pub cycle_len: usize,
 }
 
 impl RandomConfig {
@@ -66,7 +73,17 @@ impl RandomConfig {
             direct_calls: a / 40,
             indirect_calls: (a / 300).max(2),
             fp_seeds: (a / 150).max(2),
+            copy_cycles: 0,
+            cycle_len: 0,
         }
+    }
+
+    /// Forces `cycles` copy rings of `len` variables each into the
+    /// program (see [`RandomConfig::copy_cycles`]).
+    pub fn with_copy_cycles(mut self, cycles: usize, len: usize) -> Self {
+        self.copy_cycles = cycles;
+        self.cycle_len = len;
+        self
     }
 
     /// Total primitive assignments this config requests (the generator
@@ -214,6 +231,21 @@ pub fn generate_random(config: &RandomConfig) -> ConstraintProgram {
         }
     }
 
+    // Forced copy cycles, drawn last so configs without them reproduce
+    // the exact pre-existing byte stream for a given seed.
+    if config.copy_cycles > 0 {
+        let len = config.cycle_len.clamp(2, BLOCK);
+        for _ in 0..config.copy_cycles {
+            let block = rng.gen_range(0..num_blocks);
+            let off = rng.gen_range(0..BLOCK);
+            let at = |k: usize| vars[block * BLOCK + (off + k) % BLOCK];
+            for k in 1..len {
+                b.copy(at(k), at(k - 1));
+            }
+            b.copy(at(0), at(len - 1));
+        }
+    }
+
     b.build()
 }
 
@@ -268,6 +300,26 @@ mod tests {
                 "avg pts size {avg:.1} at {size} assignments — saturated"
             );
         }
+    }
+
+    #[test]
+    fn forced_cycles_add_copies_without_perturbing_the_base() {
+        let base = RandomConfig::sized(5, 800);
+        let cyclic = RandomConfig::sized(5, 800).with_copy_cycles(4, 6);
+        let a = generate_random(&base);
+        let b = generate_random(&cyclic);
+        // 4 rings of 6 vars = 24 extra copy edges (self-copies possible
+        // only if dst == src, which the ring construction precludes).
+        assert_eq!(b.copies().len(), a.copies().len() + 24);
+        // The base program's constraints are a byte-for-byte prefix.
+        let pa = ddpa_constraints::print_constraints(&a);
+        let pb = ddpa_constraints::print_constraints(&b);
+        assert_ne!(pa, pb);
+        // Deterministic for the same config.
+        assert_eq!(
+            pb,
+            ddpa_constraints::print_constraints(&generate_random(&cyclic))
+        );
     }
 
     #[test]

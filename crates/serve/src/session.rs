@@ -404,8 +404,12 @@ impl Session {
     ) -> Vec<QueryAnswer> {
         let budget = budget.or(self.default_budget);
         let cp: &ConstraintProgram = &self.program;
+        // Workers inherit the session engine's configuration (budgets,
+        // tracing, cycle collapsing, …) so a batch answer never differs
+        // from the warm path because of a config mismatch.
+        let config = self.engine.config().clone();
         if specs.len() <= 1 || pool.threads() == 1 {
-            let mut engine = DemandEngine::new(cp, DemandConfig::default());
+            let mut engine = DemandEngine::new(cp, config);
             return specs
                 .iter()
                 .map(|&s| run_resolved(&mut engine, cp, s, budget, deadline))
@@ -424,9 +428,10 @@ impl Session {
         let next = &next;
 
         let workers = pool.threads().min(specs.len());
+        let config = &config;
         pool.scoped((0..workers).map(|_| {
             Box::new(move || {
-                let mut engine = DemandEngine::new(cp, DemandConfig::default());
+                let mut engine = DemandEngine::new(cp, config.clone());
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= specs.len() {
@@ -614,6 +619,68 @@ mod tests {
             QueryAnswer::Set { complete, .. } => assert!(!complete, "tiny budget stays partial"),
             other => panic!("expected set answer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn edits_that_create_and_extend_cycles_serve_fresh_answers() {
+        // A closed copy ring long enough (40 edges) to trip the default
+        // collapse threshold (32) during the first query's cascade.
+        let mut text = String::new();
+        for i in 1..40 {
+            text.push_str(&format!("a{} = a{}\n", i, i - 1));
+        }
+        text.push_str("a0 = a39\n");
+        text.push_str("a0 = &o1\n");
+        text.push_str("tail = a20\n");
+        let mut s = Session::open(&text, false, None).expect("valid ring");
+        let spec = |s: &Session, name: &str| {
+            s.resolve(&QuerySpec::PointsTo { name: name.into() })
+                .expect("resolvable")
+        };
+        assert_eq!(set_names(&s.query(spec(&s, "tail"), None, None)), ["o1"]);
+        assert!(
+            s.engine_stats().cycles_collapsed > 0,
+            "the 40-edge ring must collapse under the default threshold"
+        );
+
+        // Edit 1: extend the existing (collapsed) ring with a new member
+        // and a new object seed. The reload drops the merged state; the
+        // new answers must include o2 everywhere on the ring.
+        s.add_constraints("a39x = a39\na0 = a39x\na5 = &o2\n")
+            .expect("valid edit");
+        assert_eq!(s.generation(), 1);
+        assert_eq!(
+            set_names(&s.query(spec(&s, "tail"), None, None)),
+            ["o1", "o2"],
+            "no stale merged state after extending the ring"
+        );
+        assert_eq!(
+            set_names(&s.query(spec(&s, "a39x"), None, None)),
+            ["o1", "o2"],
+            "the new member joins the cycle"
+        );
+
+        // Edit 2: create a brand-new cycle out of what was a plain chain.
+        let mut chain = String::from("c0 = &o3\n");
+        for i in 1..40 {
+            chain.push_str(&format!("c{} = c{}\n", i, i - 1));
+        }
+        s.add_constraints(&chain).expect("valid chain edit");
+        assert_eq!(s.generation(), 2);
+        assert_eq!(set_names(&s.query(spec(&s, "c39"), None, None)), ["o3"]);
+        s.add_constraints("c0 = c39\nc17 = &o4\n")
+            .expect("cycle-closing edit");
+        assert_eq!(s.generation(), 3);
+        assert_eq!(
+            set_names(&s.query(spec(&s, "c3"), None, None)),
+            ["o3", "o4"],
+            "closing the chain into a ring flows o4 everywhere"
+        );
+        // The old ring is untouched by the c-edits.
+        assert_eq!(
+            set_names(&s.query(spec(&s, "tail"), None, None)),
+            ["o1", "o2"]
+        );
     }
 
     #[test]

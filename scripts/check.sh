@@ -26,6 +26,18 @@ for sample in samples/*; do
     cargo run -q -p ddpa-cli -- jsonl-check "$out"
 done
 
+echo "==> cycle-collapse smoke test"
+# The differential suite (fixed seeds) proves collapsing never changes an
+# answer; the profile run proves the collapse actually fires end-to-end —
+# samples/cycles.cons is a 40-edge copy ring, over the engine's default
+# threshold — and exports well-formed demand.cycles.* metrics.
+cargo test -q -p ddpa-demand --test cycles_differential
+cyc="$tmp/cycles-metrics.jsonl"
+cargo run -q -p ddpa-cli -- profile samples/cycles.cons --json "$cyc" > /dev/null
+cargo run -q -p ddpa-cli -- jsonl-check "$cyc"
+grep -q '"name":"demand.cycles.collapsed","value":[1-9]' "$cyc" \
+    || { echo "metrics missing a nonzero demand.cycles.collapsed" >&2; exit 1; }
+
 echo "==> ddpa-serve smoke test"
 # Start a server on an ephemeral port, run a batch through the client,
 # shut it down cleanly, and validate the exported metrics JSONL.
