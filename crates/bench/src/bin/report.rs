@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the evaluation as Markdown.
 //!
 //! ```text
-//! report [--quick|--full] [--json-out <path>] [t1 t2 t3 t4 t5 t6 f1 f2 f3 a2 ...]
+//! report [--quick|--full] [--json-out <path>] [t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 a2 ...]
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` (default) uses
@@ -87,6 +87,7 @@ fn main() {
     run("t4", &mut || t4(&quick));
     run("t5", &mut || t5(&quick));
     run("t6", &mut || t6());
+    run("t7", &mut || t7());
     run("f1", &mut || f1(&quick));
     run("f2", &mut || f2(&quick));
     run("f3", &mut || f3(&quick));
@@ -454,6 +455,91 @@ fn t6() -> JsonValue {
                 "time (off)",
                 "cycles",
                 "merged goals",
+                "answers"
+            ],
+            &rows
+        )
+    );
+    med
+}
+
+fn t7() -> JsonValue {
+    println!("## T7 — Shared cross-worker memo table (4 simulated workers, cyclic suite)\n");
+    let data = run_t7(&[4, 6, 8], 4);
+    let med = obj(vec![
+        (
+            "fires_single",
+            JsonValue::F64(median(data.iter().map(|r| r.fires_single as f64).collect())),
+        ),
+        (
+            "fires_shared",
+            JsonValue::F64(median(data.iter().map(|r| r.fires_shared as f64).collect())),
+        ),
+        (
+            "fires_private",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.fires_private as f64).collect(),
+            )),
+        ),
+        (
+            "shared_ratio",
+            JsonValue::F64(median(data.iter().map(|r| r.shared_ratio()).collect())),
+        ),
+        (
+            "private_ratio",
+            JsonValue::F64(median(data.iter().map(|r| r.private_ratio()).collect())),
+        ),
+        (
+            "share_hits",
+            JsonValue::F64(median(data.iter().map(|r| r.share_hits as f64).collect())),
+        ),
+        (
+            "share_publishes",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.share_publishes as f64).collect(),
+            )),
+        ),
+        (
+            "identical",
+            JsonValue::Bool(data.iter().all(|r| r.identical)),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                count(r.queries),
+                r.workers.to_string(),
+                count(r.fires_single as usize),
+                count(r.fires_shared as usize),
+                count(r.fires_private as usize),
+                ratio(r.shared_ratio()),
+                ratio(r.private_ratio()),
+                count(r.share_hits as usize),
+                count(r.share_publishes as usize),
+                if r.identical {
+                    "identical ✓".into()
+                } else {
+                    "DIFFERS ✗".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program",
+                "queries",
+                "workers",
+                "fires (single)",
+                "fires (shared)",
+                "fires (private)",
+                "shared/single",
+                "private/single",
+                "share hits",
+                "publishes",
                 "answers"
             ],
             &rows

@@ -1,11 +1,12 @@
-//! Runners for every experiment (tables T1–T5, figures F1–F3, ablation A2).
+//! Runners for every experiment (tables T1–T7, figures F1–F3, ablation A2).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ddpa_anders::{worklist, SolverConfig};
 use ddpa_callgraph::CallGraph;
 use ddpa_constraints::{ConstraintProgram, NodeId, ProgramStats};
-use ddpa_demand::{points_to_parallel, DemandConfig, DemandEngine};
+use ddpa_demand::{points_to_parallel, DemandConfig, DemandEngine, EngineStats, SharedMemo};
 use ddpa_gen::Benchmark;
 use ddpa_obs::Obs;
 use ddpa_support::Summary;
@@ -682,6 +683,107 @@ pub fn run_t6(scales: &[usize]) -> Vec<T6Row> {
 }
 
 // ---------------------------------------------------------------------
+// T7: shared cross-worker memo table (concurrent tabling)
+// ---------------------------------------------------------------------
+
+/// One row of the shared-memo table.
+#[derive(Clone, Debug)]
+pub struct T7Row {
+    /// Workload name (`cyc-<scale>`).
+    pub name: String,
+    /// Pointer-variable queries issued (round-robin across workers).
+    pub queries: usize,
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Rule firings for one engine answering the whole batch (the floor).
+    pub fires_single: u64,
+    /// Total rule firings across workers sharing one memo table.
+    pub fires_shared: u64,
+    /// Total rule firings across workers with private tables only.
+    pub fires_private: u64,
+    /// Completed goals installed from the shared table.
+    pub share_hits: u64,
+    /// Completed goals published to the shared table.
+    pub share_publishes: u64,
+    /// Every query answer bit-identical across all three configurations.
+    pub identical: bool,
+}
+
+impl T7Row {
+    /// `fires_shared / fires_single` — near 1.0 when tabling works.
+    pub fn shared_ratio(&self) -> f64 {
+        self.fires_shared as f64 / self.fires_single.max(1) as f64
+    }
+
+    /// `fires_private / fires_single` — near the worker count without it.
+    pub fn private_ratio(&self) -> f64 {
+        self.fires_private as f64 / self.fires_single.max(1) as f64
+    }
+}
+
+/// Regenerates table T7: total work of a multi-worker batch with and
+/// without the shared cross-worker memo table ([`SharedMemo`]).
+///
+/// Workers are simulated as `workers` sequential engines with queries
+/// dispatched round-robin, which interleaves publish/consume the way a
+/// real parallel batch does while keeping the work counts deterministic
+/// on any host. The cyclic suite's queries overlap heavily in subgoals,
+/// so private tables redo the shared closure once per worker (≈ `workers`
+/// × the single-engine floor) while the shared table collapses the batch
+/// back to roughly one engine's work.
+pub fn run_t7(scales: &[usize], workers: usize) -> Vec<T7Row> {
+    assert!(workers > 0, "need at least one simulated worker");
+    scales
+        .iter()
+        .map(|&scale| {
+            let cp = ddpa_gen::generate_cyclic(&ddpa_gen::CyclicConfig::sized(42, scale));
+            let queries: Vec<NodeId> = cp
+                .node_ids()
+                .filter(|&n| !cp.display_node(n).contains("obj"))
+                .collect();
+
+            let mut single = DemandEngine::new(&cp, DemandConfig::default());
+            let baseline: Vec<Vec<NodeId>> =
+                queries.iter().map(|&q| single.points_to(q).pts).collect();
+            let fires_single = single.stats().fires;
+
+            let run_fleet = |shared: Option<Arc<SharedMemo>>| {
+                let mut engines: Vec<DemandEngine> = (0..workers)
+                    .map(|_| {
+                        let engine = DemandEngine::new(&cp, DemandConfig::default());
+                        match &shared {
+                            Some(s) => engine.with_shared_memo(Arc::clone(s)),
+                            None => engine,
+                        }
+                    })
+                    .collect();
+                let answers: Vec<Vec<NodeId>> = queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &q)| engines[i % workers].points_to(q).pts)
+                    .collect();
+                let stats: Vec<EngineStats> = engines.iter().map(|e| e.stats()).collect();
+                (answers, stats)
+            };
+            let (ans_shared, stats_shared) = run_fleet(Some(Arc::new(SharedMemo::new())));
+            let (ans_private, stats_private) = run_fleet(None);
+
+            T7Row {
+                name: format!("cyc-{scale}"),
+                queries: queries.len(),
+                workers,
+                fires_single,
+                fires_shared: stats_shared.iter().map(|s| s.fires).sum(),
+                fires_private: stats_private.iter().map(|s| s.fires).sum(),
+                share_hits: stats_shared.iter().map(|s| s.share_hits).sum(),
+                share_publishes: stats_shared.iter().map(|s| s.share_publishes).sum(),
+                identical: ans_shared == baseline && ans_private == baseline,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // A2: parallel query driver scaling
 // ---------------------------------------------------------------------
 
@@ -696,11 +798,13 @@ pub struct A2Row {
 
 /// Regenerates figure A2 over (up to) `max_queries` dereference queries.
 ///
-/// Queries run **uncached** so they are genuinely independent: workers do
-/// not share memo tables, so with caching on, each worker would redo the
-/// subgoals the single-threaded run computes once and scaling would look
-/// inverted. The caching/parallelism trade-off is discussed in
-/// `EXPERIMENTS.md`.
+/// Queries run **uncached** so per-thread work is fixed and the figure
+/// isolates raw scheduling behaviour. With caching on, workers share one
+/// memo table (concurrent tabling — see [`run_t7`]): the batch then does
+/// roughly the work of a single cached engine, so wall-clock "speedup"
+/// would measure how fast one engine's work drains rather than scaling.
+/// T7 measures that work-sharing directly in deterministic rule firings;
+/// `EXPERIMENTS.md` §A2 discusses the trade-off.
 pub fn run_a2(benches: &[Benchmark], threads: &[usize], max_queries: usize) -> Vec<A2Row> {
     let config = DemandConfig::default().without_caching();
     benches
@@ -804,6 +908,27 @@ mod tests {
                 "expected ≥2× work reduction: {r:?}"
             );
             assert!(r.fires_on * 2 <= r.fires_off, "fires too: {r:?}");
+        }
+    }
+
+    #[test]
+    fn t7_shared_table_collapses_cross_worker_duplication() {
+        let rows = run_t7(&[6, 8], 4);
+        for r in &rows {
+            assert!(r.identical, "answers must be bit-identical: {r:?}");
+            assert!(
+                r.share_hits > 0,
+                "workers must reuse published goals: {r:?}"
+            );
+            assert!(r.share_publishes > 0, "fixpoints must be published: {r:?}");
+            assert!(
+                r.shared_ratio() <= 1.2,
+                "shared batch must do ≈ single-engine work: {r:?}"
+            );
+            assert!(
+                r.private_ratio() >= 2.0,
+                "private tables must duplicate the closure: {r:?}"
+            );
         }
     }
 

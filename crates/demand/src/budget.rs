@@ -57,15 +57,23 @@ impl Budget {
 
     /// Tries to consume `amount` units. Returns `false` (and marks the
     /// budget exhausted) if the limit would be exceeded.
+    ///
+    /// Overflowing the `u64` work counter is treated as exhaustion, never
+    /// as wrap-around: a budget that has already counted near-`u64::MAX`
+    /// work must not suddenly appear fresh.
     #[inline]
     pub fn charge(&mut self, amount: u64) -> bool {
+        let Some(next) = self.used.checked_add(amount) else {
+            self.exhausted = true;
+            return false;
+        };
         if let Some(limit) = self.limit {
-            if self.used + amount > limit {
+            if next > limit {
                 self.exhausted = true;
                 return false;
             }
         }
-        self.used += amount;
+        self.used = next;
         true
     }
 
@@ -126,5 +134,30 @@ mod tests {
     fn new_from_option() {
         assert!(Budget::new(None).limit().is_none());
         assert_eq!(Budget::new(Some(7)).limit(), Some(7));
+    }
+
+    #[test]
+    fn counter_overflow_is_exhaustion_not_wraparound() {
+        // An unlimited budget near u64::MAX: the next large charge would
+        // overflow the work counter. It must fail and mark exhaustion —
+        // not wrap and report the budget fresh.
+        let mut b = Budget::unlimited();
+        assert!(b.charge(u64::MAX - 1));
+        assert!(!b.charge(2));
+        assert!(b.exhausted());
+        assert_eq!(b.used(), u64::MAX - 1);
+        // The last representable unit can still be charged exactly.
+        let mut c = Budget::unlimited();
+        assert!(c.charge(u64::MAX));
+        assert_eq!(c.used(), u64::MAX);
+        assert!(!c.charge(1));
+
+        // A limited budget with the same near-MAX usage: the overflowing
+        // comparison `used + amount > limit` must not wrap either.
+        let mut d = Budget::limited(u64::MAX);
+        assert!(d.charge(u64::MAX - 1));
+        assert!(!d.charge(3));
+        assert!(d.exhausted());
+        assert_eq!(d.used(), u64::MAX - 1);
     }
 }

@@ -50,6 +50,7 @@
 //! activated goal is at fixpoint and is memoized as complete.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind};
 use ddpa_obs::{Counter, Obs};
@@ -59,6 +60,7 @@ use crate::config::DemandConfig;
 use crate::cycles::CopyGraph;
 use crate::goal::{Goal, GoalState, Watcher};
 use crate::query::{AliasResult, CallTargets, QueryResult};
+use crate::share::{CompletedGoal, SharedMemo};
 use crate::stats::EngineStats;
 use crate::trace::{Explanation, Origin, TraceStep};
 
@@ -95,6 +97,17 @@ pub struct DemandEngine<'p> {
     /// Copy-graph edges and the goal-merging union-find; every goal-index
     /// lookup routes through [`CopyGraph::find`].
     cycles: CopyGraph,
+    /// Cross-engine memo table, when attached
+    /// ([`DemandEngine::with_shared_memo`]); ignored while
+    /// [`DemandConfig::caching`] is off.
+    shared: Option<Arc<SharedMemo>>,
+    /// The [`SharedMemo`] generation this engine's tabled state was
+    /// computed under; lookups and publishes against any other
+    /// generation are refused by the table.
+    shared_gen: u64,
+    /// Goals already published to (or installed from) the shared table,
+    /// so a drain never re-publishes the whole table.
+    published: HashSet<Goal>,
 }
 
 /// Pre-resolved counter handles — the hot path never does a name lookup.
@@ -109,6 +122,10 @@ struct EngineCounters {
     cycles_runs: Counter,
     cycles_collapsed: Counter,
     cycles_merged_goals: Counter,
+    share_hits: Counter,
+    share_misses: Counter,
+    share_publishes: Counter,
+    share_evictions: Counter,
     /// Per-[`Watcher`] variant fire counts, indexed by
     /// [`Watcher::kind_index`].
     fires_by_kind: [Counter; 12],
@@ -126,6 +143,10 @@ impl EngineCounters {
             cycles_runs: obs.counter("demand.cycles.runs"),
             cycles_collapsed: obs.counter("demand.cycles.collapsed"),
             cycles_merged_goals: obs.counter("demand.cycles.merged_goals"),
+            share_hits: obs.counter("demand.share.hits"),
+            share_misses: obs.counter("demand.share.misses"),
+            share_publishes: obs.counter("demand.share.publishes"),
+            share_evictions: obs.counter("demand.share.evictions"),
             fires_by_kind: std::array::from_fn(|i| {
                 obs.counter(&format!("demand.fires.{}", Watcher::KIND_NAMES[i]))
             }),
@@ -156,7 +177,36 @@ impl<'p> DemandEngine<'p> {
             provenance: HashMap::new(),
             generation: 0,
             cycles,
+            shared: None,
+            shared_gen: 0,
+            published: HashSet::new(),
         }
+    }
+
+    /// Attaches a shared cross-engine memo table (concurrent tabling).
+    ///
+    /// On activating a goal it has not tabled, the engine first consults
+    /// `shared`: a hit installs the published member set as a completed
+    /// local goal, costing zero rule firings for that whole subtree. On
+    /// every successful drain the engine publishes its newly completed
+    /// goals, so engines attached to the same table do each subgoal's
+    /// work once between them. Gated on [`DemandConfig::caching`]: with
+    /// caching off every query clears local state and the shared table
+    /// is ignored entirely.
+    ///
+    /// [`DemandEngine::invalidate`] / [`DemandEngine::reload`] bump the
+    /// table's generation, so entries computed against the old program
+    /// are never served again (see [`SharedMemo`]). Attach the table at
+    /// construction time, before issuing queries.
+    pub fn with_shared_memo(mut self, shared: Arc<SharedMemo>) -> Self {
+        self.shared_gen = shared.generation();
+        self.shared = Some(shared);
+        self
+    }
+
+    /// The shared memo table this engine consults, if one is attached.
+    pub fn shared_memo(&self) -> Option<&Arc<SharedMemo>> {
+        self.shared.as_ref()
     }
 
     /// The observability hub this engine publishes into.
@@ -199,6 +249,10 @@ impl<'p> DemandEngine<'p> {
             cycle_runs: self.counters.cycles_runs.get(),
             cycles_collapsed: self.counters.cycles_collapsed.get(),
             merged_goals: self.counters.cycles_merged_goals.get(),
+            share_hits: self.counters.share_hits.get(),
+            share_misses: self.counters.share_misses.get(),
+            share_publishes: self.counters.share_publishes.get(),
+            share_evictions: self.counters.share_evictions.get(),
         }
     }
 
@@ -218,6 +272,7 @@ impl<'p> DemandEngine<'p> {
         self.index.clear();
         self.queue.clear();
         self.provenance.clear();
+        self.published.clear();
         self.cycles = CopyGraph::new(self.config.collapse_cycles, self.config.collapse_threshold);
     }
 
@@ -238,6 +293,12 @@ impl<'p> DemandEngine<'p> {
     pub fn invalidate(&mut self) {
         self.clear();
         self.generation += 1;
+        // The program this engine answers for has changed, so entries in
+        // an attached shared table are stale for every engine sharing it:
+        // bump its generation and adopt the new one.
+        if let Some(shared) = &self.shared {
+            self.shared_gen = shared.bump_generation();
+        }
     }
 
     /// Swaps in an updated constraint program and invalidates all memoized
@@ -402,8 +463,100 @@ impl<'p> DemandEngine<'p> {
         let slot = self.cycles.push();
         debug_assert_eq!(slot, gi, "union-find aligned with goal table");
         self.counters.goals_activated.inc();
+        if let Some(hit) = self.shared_lookup(goal) {
+            // Install the published fixpoint as a completed goal: no
+            // static rules, no enqueue — the whole subtree below `goal`
+            // costs zero firings. Later subscribers replay `elems` from
+            // cursor 0, exactly as with a locally completed goal.
+            let state = &mut self.goals[gi as usize];
+            for &v in &hit.elems {
+                state.members.insert(v);
+                state.elems.push(v);
+            }
+            state.needs_init = false;
+            state.complete = true;
+            if self.config.trace {
+                for &(v, origin) in &hit.provenance {
+                    self.provenance.insert((goal, v), origin);
+                }
+            }
+            self.published.insert(goal);
+            return gi;
+        }
         self.enqueue(gi);
         gi
+    }
+
+    /// Consults the attached shared memo table for `goal`, counting the
+    /// hit or miss and any stale entries the touched shard evicted.
+    fn shared_lookup(&self, goal: Goal) -> Option<CompletedGoal> {
+        let shared = self.shared.as_ref()?;
+        if !self.config.caching {
+            return None;
+        }
+        let _span = self.obs.span("demand.share.lookup");
+        let (hit, evicted) = shared.lookup(self.shared_gen, goal);
+        if evicted > 0 {
+            self.counters.share_evictions.add(evicted);
+        }
+        if hit.is_some() {
+            self.counters.share_hits.inc();
+        } else {
+            self.counters.share_misses.inc();
+        }
+        hit
+    }
+
+    /// Publishes every newly completed goal into the attached shared
+    /// table. Called at global fixpoint: a completed set is the unique
+    /// least-model answer for this generation, so any engine may reuse
+    /// it. Merged cycle members share one fixpoint — the representative's
+    /// set is published under its own key and every alias key.
+    fn shared_publish_completed(&mut self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if !self.config.caching {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        for gi in 0..self.goals.len() {
+            let state = &self.goals[gi];
+            if state.merged || !state.complete {
+                continue;
+            }
+            let key = self.keys[gi];
+            if self.published.contains(&key) && state.aliases.is_empty() {
+                continue;
+            }
+            let mut entry: Option<CompletedGoal> = None;
+            for target in std::iter::once(key).chain(state.aliases.iter().copied()) {
+                if !self.published.insert(target) {
+                    continue;
+                }
+                let entry = entry.get_or_insert_with(|| {
+                    let elems: Vec<u32> = self.goals[gi].members.iter().collect();
+                    let provenance = if self.config.trace {
+                        elems
+                            .iter()
+                            .filter_map(|&v| {
+                                self.provenance.get(&(key, v)).map(|&origin| (v, origin))
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    CompletedGoal { elems, provenance }
+                });
+                let (published, evicted) = shared.publish(self.shared_gen, target, entry.clone());
+                if evicted > 0 {
+                    self.counters.share_evictions.add(evicted);
+                }
+                if published {
+                    self.counters.share_publishes.inc();
+                }
+            }
+        }
     }
 
     fn enqueue(&mut self, gi: u32) {
@@ -768,6 +921,7 @@ impl<'p> DemandEngine<'p> {
             debug_assert!(state.quiescent(), "drained queue but goal not quiescent");
             state.complete = true;
         }
+        self.shared_publish_completed();
         true
     }
 

@@ -49,6 +49,7 @@ pub mod ladder;
 pub mod parallel;
 pub mod pool;
 pub mod query;
+pub mod share;
 pub mod stats;
 pub mod trace;
 
@@ -60,5 +61,6 @@ pub use ladder::BudgetLadder;
 pub use parallel::{points_to_on_pool, points_to_parallel};
 pub use pool::ThreadPool;
 pub use query::{AliasResult, CallTargets, QueryResult};
+pub use share::{CompletedGoal, SharedMemo};
 pub use stats::EngineStats;
 pub use trace::{Explanation, Origin, TraceStep};

@@ -2,11 +2,17 @@
 //!
 //! Demand-driven queries are independent, which makes the analysis
 //! embarrassingly parallel across queries: each worker owns a private
-//! engine (and therefore a private memo table) and pulls the next query
-//! from a shared atomic counter, so heavy-tailed per-query costs balance
-//! dynamically. Results are deterministic and identical to the sequential
-//! engine's; only the *work* differs, because workers do not share caches
-//! (see `EXPERIMENTS.md` for the caching/parallelism trade-off).
+//! engine and pulls the next query from a shared atomic counter, so
+//! heavy-tailed per-query costs balance dynamically. Results are
+//! deterministic and identical to the sequential engine's.
+//!
+//! When caching is on (the default), the workers' engines additionally
+//! share one [`SharedMemo`] table: a subgoal completed by any worker is
+//! published and installed by the others at zero rule firings, so the
+//! batch does roughly the work of a single cached engine rather than N
+//! copies of it (the concurrent-tabling upgrade; `EXPERIMENTS.md` §A2
+//! records the before/after). With caching off every query still starts
+//! from scratch and nothing is shared.
 //!
 //! Workers run on a [`ThreadPool`]: [`points_to_parallel`] spins up a
 //! private pool per call (the historical behaviour), while long-lived
@@ -14,6 +20,7 @@
 //! [`points_to_on_pool`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ddpa_constraints::{ConstraintProgram, NodeId};
 
@@ -21,6 +28,7 @@ use crate::config::DemandConfig;
 use crate::engine::DemandEngine;
 use crate::pool::ThreadPool;
 use crate::query::QueryResult;
+use crate::share::SharedMemo;
 
 /// Answers `queries` in parallel on `threads` workers.
 ///
@@ -59,8 +67,9 @@ pub fn points_to_parallel(
 /// Answers `queries` in parallel on an existing [`ThreadPool`].
 ///
 /// Identical to [`points_to_parallel`] but reuses the caller's workers —
-/// one private engine per worker job, queries claimed dynamically. The
-/// call blocks until the whole batch is answered.
+/// one engine per worker job (sharing a batch-wide [`SharedMemo`] when
+/// caching is on), queries claimed dynamically. The call blocks until
+/// the whole batch is answered.
 pub fn points_to_on_pool(
     cp: &ConstraintProgram,
     queries: &[NodeId],
@@ -71,6 +80,7 @@ pub fn points_to_on_pool(
         let mut engine = DemandEngine::new(cp, config.clone());
         return queries.iter().map(|&q| engine.points_to(q)).collect();
     }
+    let shared = config.caching.then(|| Arc::new(SharedMemo::new()));
 
     let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
     let next = AtomicUsize::new(0);
@@ -89,8 +99,12 @@ pub fn points_to_on_pool(
     let workers = pool.threads().min(queries.len());
     pool.scoped((0..workers).map(|_| {
         let config = config.clone();
+        let shared = shared.clone();
         Box::new(move || {
             let mut engine = DemandEngine::new(cp, config);
+            if let Some(shared) = shared {
+                engine = engine.with_shared_memo(shared);
+            }
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= queries.len() {

@@ -11,10 +11,12 @@
 //!   until every job of the batch has finished, which is what makes the
 //!   lifetime erasure inside sound (the borrowed data outlives the wait).
 //!
-//! Jobs that panic do not kill workers: the panic is caught, counted, and
-//! re-raised from the submitting side ([`ThreadPool::scoped`] /
-//! [`ThreadPool::join`]), preserving the old spawn-per-call behaviour
-//! where a worker panic propagated out of the driver.
+//! Jobs that panic do not kill workers: the panic is caught and the first
+//! payload is re-raised verbatim (`resume_unwind`) from the submitting
+//! side ([`ThreadPool::scoped`] / [`ThreadPool::join`]), preserving both
+//! the old spawn-per-call behaviour where a worker panic propagated out
+//! of the driver *and* the original panic message — a later `.expect`
+//! or test assertion sees `"boom"`, not an anonymous count.
 //!
 //! The pool itself carries no analysis state: each worker job constructs
 //! its own [`DemandEngine`](crate::DemandEngine) from a configuration the
@@ -22,20 +24,25 @@
 //! threshold are inherited per worker, never shared — a worker's
 //! union-find over merged goals is private to its engine).
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A caught panic payload, carried back to the submitting side.
+type Payload = Box<dyn Any + Send + 'static>;
 
 #[derive(Default)]
 struct Queue {
     jobs: VecDeque<Job>,
     /// Jobs currently running on a worker.
     active: usize,
-    /// Jobs that panicked (the payload is swallowed; the count re-raises).
-    panicked: usize,
+    /// First panic payload since the last [`ThreadPool::join`] (later
+    /// ones are dropped — resuming can only re-raise one).
+    panic_payload: Option<Payload>,
     shutdown: bool,
 }
 
@@ -120,15 +127,18 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Panics if any job panicked since the last `join`/`scoped` call.
+    /// If any job panicked since the last `join`, re-raises the first
+    /// such panic's original payload.
     pub fn join(&self) {
         let mut q = self.shared.queue.lock().expect("pool queue poisoned");
         while !q.jobs.is_empty() || q.active > 0 {
             q = self.shared.done.wait(q).expect("pool queue poisoned");
         }
-        let panicked = std::mem::take(&mut q.panicked);
+        let payload = q.panic_payload.take();
         drop(q);
-        assert!(panicked == 0, "{panicked} pool job(s) panicked");
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 
     /// Runs a batch of borrowing jobs to completion.
@@ -140,16 +150,18 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Panics if any job of the batch panicked.
+    /// If any job of the batch panicked, re-raises the first such
+    /// panic's original payload.
     pub fn scoped<'env>(&self, jobs: impl IntoIterator<Item = Box<dyn FnOnce() + Send + 'env>>) {
         struct Batch {
             remaining: Mutex<usize>,
-            panicked: Mutex<bool>,
+            /// First panic payload of the batch.
+            panicked: Mutex<Option<Payload>>,
             finished: Condvar,
         }
         let batch = Arc::new(Batch {
             remaining: Mutex::new(0),
-            panicked: Mutex::new(false),
+            panicked: Mutex::new(None),
             finished: Condvar::new(),
         });
 
@@ -169,11 +181,12 @@ impl ThreadPool {
                 };
                 let batch = Arc::clone(&batch);
                 q.jobs.push_back(Box::new(move || {
-                    let ok = catch_unwind(AssertUnwindSafe(job)).is_ok();
+                    let outcome = catch_unwind(AssertUnwindSafe(job));
                     let mut remaining = batch.remaining.lock().expect("batch poisoned");
                     *remaining -= 1;
-                    if !ok {
-                        *batch.panicked.lock().expect("batch poisoned") = true;
+                    if let Err(payload) = outcome {
+                        let mut first = batch.panicked.lock().expect("batch poisoned");
+                        first.get_or_insert(payload);
                     }
                     batch.finished.notify_all();
                 }));
@@ -188,8 +201,10 @@ impl ThreadPool {
             remaining = batch.finished.wait(remaining).expect("batch poisoned");
         }
         drop(remaining);
-        let panicked = *batch.panicked.lock().expect("batch poisoned");
-        assert!(!panicked, "pool job panicked in scoped batch");
+        let payload = batch.panicked.lock().expect("batch poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -221,11 +236,11 @@ fn worker_loop(shared: &Shared) {
                 q = shared.available.wait(q).expect("pool queue poisoned");
             }
         };
-        let ok = catch_unwind(AssertUnwindSafe(job)).is_ok();
+        let outcome = catch_unwind(AssertUnwindSafe(job));
         let mut q = shared.queue.lock().expect("pool queue poisoned");
         q.active -= 1;
-        if !ok {
-            q.panicked += 1;
+        if let Err(payload) = outcome {
+            q.panic_payload.get_or_insert(payload);
         }
         drop(q);
         shared.done.notify_all();
@@ -304,6 +319,32 @@ mod tests {
             }) as Box<dyn FnOnce() + Send + '_>
         }));
         assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scoped_preserves_the_panic_payload() {
+        let pool = ThreadPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped([Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send + '_>]);
+        }));
+        let payload = caught.expect_err("scoped re-raises job panics");
+        let msg = payload.downcast_ref::<&str>().copied();
+        assert_eq!(msg, Some("boom"), "original payload, not a count");
+    }
+
+    #[test]
+    fn join_preserves_the_first_panic_payload() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("first"));
+        pool.execute(|| panic!("second"));
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.join()));
+        let payload = caught.expect_err("join re-raises job panics");
+        // One worker runs the jobs in order, so "first" is the payload
+        // that is kept; "second" was dropped, not re-raised.
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("first"));
+        // The pool is healthy afterwards: a clean join succeeds.
+        pool.execute(|| {});
+        pool.join();
     }
 
     #[test]

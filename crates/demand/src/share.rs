@@ -1,0 +1,313 @@
+//! A shared, concurrent subgoal cache — concurrent tabling.
+//!
+//! The sequential engine memoizes completed goals in a private table, so
+//! N parallel workers redo the subgoals a single cached engine computes
+//! once (the caching/parallelism trade-off recorded in `EXPERIMENTS.md`
+//! §A2). [`SharedMemo`] closes that hole: a sharded, mutex-protected map
+//! from [`Goal`] to its published fixpoint that many engines consult and
+//! feed concurrently. Attach one table to several engines via
+//! [`DemandEngine::with_shared_memo`](crate::DemandEngine::with_shared_memo);
+//! each engine then
+//!
+//! * *consults* the table when it activates a goal it has not tabled —
+//!   a hit installs the published member set as a completed local goal,
+//!   costing zero rule firings for that entire subtree; and
+//! * *publishes* every newly completed goal after a successful drain —
+//!   at global fixpoint a tabled set is the least-model answer, so any
+//!   engine over the same program may reuse it verbatim.
+//!
+//! # Generations
+//!
+//! Entries are stamped with the table's *generation*, an atomic counter
+//! bumped by [`DemandEngine::invalidate`](crate::DemandEngine::invalidate)
+//! / [`reload`](crate::DemandEngine::reload) when the underlying program
+//! changes. Both [`SharedMemo::lookup`] and [`SharedMemo::publish`] take
+//! the generation the caller's state was computed under and refuse to
+//! cross generations, so a stale entry can never be served and a
+//! late-publishing engine can never pollute the new generation. Stale
+//! entries are evicted lazily: the first operation to touch a shard after
+//! a bump sweeps that shard's dead entries.
+//!
+//! # Determinism
+//!
+//! Published member sets are sorted snapshots ([`HybridSet`]
+//! (ddpa_support::HybridSet) iterates in ascending order), and a goal's
+//! fixpoint under a fixed program is unique — whichever engine publishes
+//! first, every reader installs the same bits, so answers are
+//! bit-identical to a private-memo engine and to the exhaustive solver.
+//!
+//! Everything here is `std`-only, matching the repo's zero-dependency
+//! rule: 64 shards of `Mutex<HashMap>` rather than a lock-free map.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::goal::Goal;
+use crate::trace::Origin;
+
+/// Number of independently locked shards; a power of two so the shard
+/// pick is a mask. 64 keeps contention negligible for any plausible
+/// worker count while costing ~3 KiB of empty maps.
+const SHARDS: usize = 64;
+
+/// A completed goal's published fixpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompletedGoal {
+    /// Member node ids, sorted ascending — the canonical snapshot order.
+    pub elems: Vec<u32>,
+    /// `(member, first derivation)` pairs; populated only when the
+    /// publishing engine ran with tracing on, empty otherwise.
+    pub provenance: Vec<(u32, Origin)>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    generation: u64,
+    result: CompletedGoal,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<Goal, Entry>,
+    /// Generation this shard last swept stale entries at. Eviction is
+    /// lazy: the first lookup/publish to observe a newer table
+    /// generation retains only current-generation entries.
+    swept_at: u64,
+}
+
+impl Shard {
+    /// Drops entries from generations older than `current`; returns how
+    /// many were evicted.
+    fn sweep(&mut self, current: u64) -> u64 {
+        if self.swept_at == current {
+            return 0;
+        }
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.generation == current);
+        self.swept_at = current;
+        (before - self.entries.len()) as u64
+    }
+}
+
+/// A sharded, generation-stamped cache of completed goals shared across
+/// engines (and threads).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ddpa_demand::{DemandConfig, DemandEngine, SharedMemo};
+///
+/// let cp = ddpa_constraints::parse_constraints("p = &g\nq = p\n")?;
+/// let q = cp.node_ids().find(|&n| cp.display_node(n) == "q").expect("q exists");
+/// let shared = Arc::new(SharedMemo::new());
+///
+/// let mut warm = DemandEngine::new(&cp, DemandConfig::default())
+///     .with_shared_memo(Arc::clone(&shared));
+/// let full = warm.points_to(q); // computes, then publishes
+///
+/// let mut cold = DemandEngine::new(&cp, DemandConfig::default())
+///     .with_shared_memo(Arc::clone(&shared));
+/// let reused = cold.points_to(q); // served from the shared table
+/// assert_eq!(full.pts, reused.pts);
+/// assert_eq!(reused.work, 0); // zero rule firings
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedMemo {
+    shards: Vec<Mutex<Shard>>,
+    generation: AtomicU64,
+}
+
+impl Default for SharedMemo {
+    fn default() -> Self {
+        SharedMemo::new()
+    }
+}
+
+impl SharedMemo {
+    /// Creates an empty table at generation 0.
+    pub fn new() -> Self {
+        SharedMemo {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Bumps the generation, logically invalidating every entry, and
+    /// returns the new value. Physical eviction happens lazily per shard.
+    pub fn bump_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Looks up `goal` among entries of generation `generation`.
+    ///
+    /// Returns `(hit, evicted)`: the entry if one exists *and*
+    /// `generation` is still current (a caller whose state predates a
+    /// bump must recompute, never reuse), plus the number of stale
+    /// entries the touched shard lazily evicted.
+    pub fn lookup(&self, generation: u64, goal: Goal) -> (Option<CompletedGoal>, u64) {
+        let current = self.generation();
+        let mut shard = self.shard(goal);
+        let evicted = shard.sweep(current);
+        if generation != current {
+            return (None, evicted);
+        }
+        let hit = shard
+            .entries
+            .get(&goal)
+            .filter(|e| e.generation == generation)
+            .map(|e| e.result.clone());
+        (hit, evicted)
+    }
+
+    /// Publishes `result` as the fixpoint of `goal`, computed under
+    /// `generation`.
+    ///
+    /// Returns `(published, evicted)`: `published` is `false` when the
+    /// table has moved on to a newer generation (the stale result is
+    /// discarded rather than allowed to pollute the new one) or when
+    /// another engine already published this goal (first writer wins —
+    /// fixpoints are unique, so the loser's copy is redundant).
+    pub fn publish(&self, generation: u64, goal: Goal, result: CompletedGoal) -> (bool, u64) {
+        let current = self.generation();
+        let mut shard = self.shard(goal);
+        let evicted = shard.sweep(current);
+        if generation != current {
+            return (false, evicted);
+        }
+        let mut inserted = false;
+        shard.entries.entry(goal).or_insert_with(|| {
+            inserted = true;
+            Entry { generation, result }
+        });
+        (inserted, evicted)
+    }
+
+    /// Number of entries currently stored (including not-yet-evicted
+    /// stale ones).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// Whether the table stores no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Locks and returns the shard responsible for `goal`. A poisoned
+    /// shard is recovered (`into_inner`): entries are only ever inserted
+    /// or removed whole, so the map is valid after any panic.
+    fn shard(&self, goal: Goal) -> std::sync::MutexGuard<'_, Shard> {
+        let mut h = DefaultHasher::new();
+        goal.hash(&mut h);
+        let i = (h.finish() as usize) & (SHARDS - 1);
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpa_constraints::NodeId;
+
+    fn goal(n: u32) -> Goal {
+        Goal::Pts(NodeId::from_u32(n))
+    }
+
+    fn entry(elems: &[u32]) -> CompletedGoal {
+        CompletedGoal {
+            elems: elems.to_vec(),
+            provenance: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn publish_then_lookup_round_trips() {
+        let memo = SharedMemo::new();
+        let (published, _) = memo.publish(0, goal(1), entry(&[3, 7]));
+        assert!(published);
+        let (hit, _) = memo.lookup(0, goal(1));
+        assert_eq!(hit.expect("hit").elems, vec![3, 7]);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let memo = SharedMemo::new();
+        assert!(memo.publish(0, goal(1), entry(&[3])).0);
+        assert!(!memo.publish(0, goal(1), entry(&[3])).0);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn bump_hides_and_lazily_evicts_stale_entries() {
+        let memo = SharedMemo::new();
+        for n in 0..100 {
+            memo.publish(0, goal(n), entry(&[n]));
+        }
+        assert_eq!(memo.len(), 100);
+        assert_eq!(memo.bump_generation(), 1);
+        // Old-generation reads miss, whichever generation they ask for.
+        assert!(memo.lookup(0, goal(5)).0.is_none());
+        assert!(memo.lookup(1, goal(6)).0.is_none());
+        // Each touched shard swept its stale entries exactly once.
+        let (_, evicted_now) = memo.lookup(1, goal(5));
+        assert_eq!(evicted_now, 0, "second touch of a swept shard is free");
+        // Publishing at the new generation works; at the old one it is
+        // refused.
+        assert!(memo.publish(1, goal(5), entry(&[9])).0);
+        assert!(!memo.publish(0, goal(6), entry(&[9])).0);
+        assert_eq!(memo.lookup(1, goal(5)).0.expect("hit").elems, vec![9]);
+    }
+
+    #[test]
+    fn eviction_counts_sum_to_the_stale_population() {
+        let memo = SharedMemo::new();
+        for n in 0..256 {
+            memo.publish(0, goal(n), entry(&[n]));
+        }
+        memo.bump_generation();
+        // First touch of each shard sweeps it and reports its stale
+        // count; touching every goal therefore accounts for all 256.
+        let evicted: u64 = (0..256).map(|n| memo.lookup(1, goal(n)).1).sum();
+        assert_eq!(evicted, 256);
+        assert_eq!(memo.len(), 0);
+        let resweep: u64 = (0..256).map(|n| memo.lookup(1, goal(n)).1).sum();
+        assert_eq!(resweep, 0);
+    }
+
+    #[test]
+    fn concurrent_publish_and_lookup() {
+        use std::sync::Arc;
+        let memo = Arc::new(SharedMemo::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let memo = Arc::clone(&memo);
+                std::thread::spawn(move || {
+                    for n in 0..200u32 {
+                        memo.publish(0, goal(n), entry(&[n, n + 1]));
+                        if let (Some(hit), _) = memo.lookup(0, goal(n)) {
+                            assert_eq!(hit.elems, vec![n, n + 1], "worker {t} read torn entry");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker");
+        }
+        assert_eq!(memo.len(), 200);
+    }
+}

@@ -27,6 +27,16 @@ pub struct EngineStats {
     /// Goals merged away into a representative (excludes the
     /// representatives themselves).
     pub merged_goals: u64,
+    /// Goals installed from an attached [`crate::SharedMemo`] (each one
+    /// a whole subtree of rule firings saved).
+    pub share_hits: u64,
+    /// Shared-table lookups that found no entry.
+    pub share_misses: u64,
+    /// Completed goals this engine published into the shared table.
+    pub share_publishes: u64,
+    /// Stale (old-generation) shared entries lazily evicted by this
+    /// engine's lookups and publishes.
+    pub share_evictions: u64,
 }
 
 impl EngineStats {

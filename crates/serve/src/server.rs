@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ddpa_demand::ThreadPool;
+use ddpa_demand::{EngineStats, ThreadPool};
 use ddpa_obs::{Counter, JsonValue, Obs};
 
 use crate::proto::{error_response, ok_response, parse_request, ErrorCode, ProtoError, Request};
@@ -482,18 +482,33 @@ fn handle_line(state: &ServerState, line: &str) -> (String, After) {
     }
 }
 
-fn get_session(state: &ServerState, name: &str) -> Result<Arc<Mutex<Session>>, ProtoError> {
+// Lock helpers. Both recover from poisoning (`into_inner`) instead of
+// panicking: a request that dies while holding a lock must wedge only
+// itself, not every later request on the same mutex. Recovery is sound
+// here — the session map only ever inserts/removes whole entries, and a
+// session interrupted mid-query holds partial memo state the engine is
+// designed to resume from (or rebuild after the next reload).
+
+fn lock_sessions(
+    state: &ServerState,
+) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<Session>>>> {
     state
         .sessions
         .lock()
-        .expect("session map poisoned")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn get_session(state: &ServerState, name: &str) -> Result<Arc<Mutex<Session>>, ProtoError> {
+    lock_sessions(state)
         .get(name)
         .cloned()
         .ok_or_else(|| ProtoError::new(ErrorCode::NoSession, format!("no session {name:?}")))
 }
 
 fn lock_session(session: &Arc<Mutex<Session>>) -> std::sync::MutexGuard<'_, Session> {
-    session.lock().expect("session poisoned")
+    session
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Computes the request deadline from the explicit or default timeout.
@@ -506,14 +521,50 @@ fn deadline_for(state: &ServerState, timeout_ms: Option<u64>) -> Option<Instant>
     }
 }
 
-/// Adds the session's cache-hit delta to its `server.cache_hits.<name>`
-/// counter and bumps `server.timeouts` if the answer timed out.
-fn record_query_obs(state: &ServerState, session_name: &str, hits_delta: u64, timeouts: u64) {
+/// Mirrors a request's per-session engine deltas into the server
+/// registry, so the `--metrics-out` export carries them: the cache-hit
+/// delta goes to `server.cache_hits.<name>`, shared-memo traffic
+/// aggregates across sessions under `demand.share.*`, and timeouts bump
+/// `server.timeouts`. `before`/`after` are [`Session::engine_stats`]
+/// snapshots bracketing the query call(s); batch workers publish into
+/// the session engine's registry, so their traffic is included.
+fn record_query_obs(
+    state: &ServerState,
+    session_name: &str,
+    before: &EngineStats,
+    after: &EngineStats,
+    timeouts: u64,
+) {
+    let hits_delta = after.cache_hits.saturating_sub(before.cache_hits);
     if hits_delta > 0 {
         state
             .obs
             .counter(&format!("server.cache_hits.{session_name}"))
             .add(hits_delta);
+    }
+    let share = [
+        ("demand.share.hits", before.share_hits, after.share_hits),
+        (
+            "demand.share.misses",
+            before.share_misses,
+            after.share_misses,
+        ),
+        (
+            "demand.share.publishes",
+            before.share_publishes,
+            after.share_publishes,
+        ),
+        (
+            "demand.share.evictions",
+            before.share_evictions,
+            after.share_evictions,
+        ),
+    ];
+    for (name, b, a) in share {
+        let delta = a.saturating_sub(b);
+        if delta > 0 {
+            state.obs.counter(name).add(delta);
+        }
     }
     if timeouts > 0 {
         state.counters.timeouts.add(timeouts);
@@ -581,7 +632,7 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             let _span = state.obs.span("server.request.open");
             let new = Session::open(&program, minic, budget)?;
             let (nodes, constraints) = (new.program().num_nodes(), new.program().num_constraints());
-            let mut sessions = state.sessions.lock().expect("session map poisoned");
+            let mut sessions = lock_sessions(state);
             if sessions.contains_key(&session) {
                 return Err(ProtoError::new(
                     ErrorCode::SessionExists,
@@ -605,11 +656,7 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             ))
         }
         Request::Close { session } => {
-            let removed = state
-                .sessions
-                .lock()
-                .expect("session map poisoned")
-                .remove(&session);
+            let removed = lock_sessions(state).remove(&session);
             if removed.is_none() {
                 return Err(ProtoError::new(
                     ErrorCode::NoSession,
@@ -653,12 +700,12 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             let deadline = deadline_for(state, timeout_ms);
             let mut s = lock_session(&handle);
             let resolved = s.resolve(&spec)?;
-            let before = s.engine_stats().cache_hits;
+            let before = s.engine_stats();
             let answer = s.query(resolved, budget, deadline);
-            let hits = s.engine_stats().cache_hits - before;
+            let after = s.engine_stats();
             let generation = s.generation();
             drop(s);
-            record_query_obs(state, &session, hits, answer.timed_out() as u64);
+            record_query_obs(state, &session, &before, &after, answer.timed_out() as u64);
             Ok((
                 ok_response(
                     "query",
@@ -701,16 +748,19 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             let generation = s.generation();
 
             let mut timeouts = 0u64;
-            let mut hits = 0u64;
-            let results: Vec<JsonValue> = if parallel {
+            let before = s.engine_stats();
+            let (results, after): (Vec<JsonValue>, EngineStats) = if parallel {
                 let ok_specs: Vec<ResolvedSpec> = resolved
                     .iter()
                     .filter_map(|r| r.as_ref().ok().copied())
                     .collect();
                 let answers = s.query_batch_parallel(&ok_specs, budget, deadline, &state.pool);
+                // Batch workers publish into the session engine's
+                // registry, so this snapshot includes their traffic.
+                let after = s.engine_stats();
                 drop(s);
                 let mut answers = answers.into_iter();
-                resolved
+                let rendered = resolved
                     .iter()
                     .map(|r| match r {
                         Ok(_) => {
@@ -720,25 +770,25 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
                         }
                         Err(e) => error_response(e.code, &e.message),
                     })
-                    .collect()
+                    .collect();
+                (rendered, after)
             } else {
                 let rendered = resolved
                     .iter()
                     .map(|r| match r {
                         Ok(spec) => {
-                            let before = s.engine_stats().cache_hits;
                             let a = s.query(*spec, budget, deadline);
-                            hits += s.engine_stats().cache_hits - before;
                             timeouts += a.timed_out() as u64;
                             render_answer(&a, generation)
                         }
                         Err(e) => error_response(e.code, &e.message),
                     })
                     .collect();
+                let after = s.engine_stats();
                 drop(s);
-                rendered
+                (rendered, after)
             };
-            record_query_obs(state, &session, hits, timeouts);
+            record_query_obs(state, &session, &before, &after, timeouts);
             Ok((
                 ok_response(
                     "batch",
@@ -755,7 +805,7 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
 }
 
 fn stats_response(state: &ServerState) -> JsonValue {
-    let sessions = state.sessions.lock().expect("session map poisoned");
+    let sessions = lock_sessions(state);
     let mut per_session: Vec<(String, JsonValue)> = sessions
         .iter()
         .map(|(name, handle)| {
@@ -779,6 +829,11 @@ fn stats_response(state: &ServerState) -> JsonValue {
                     ),
                     ("queries".to_string(), JsonValue::U64(stats.queries)),
                     ("cache_hits".to_string(), JsonValue::U64(stats.cache_hits)),
+                    ("share_hits".to_string(), JsonValue::U64(stats.share_hits)),
+                    (
+                        "share_publishes".to_string(),
+                        JsonValue::U64(stats.share_publishes),
+                    ),
                     ("work".to_string(), JsonValue::U64(stats.work)),
                 ]),
             )
@@ -821,4 +876,47 @@ fn stats_response(state: &ServerState) -> JsonValue {
             ("threads", JsonValue::U64(state.config.threads as u64)),
         ],
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::QuerySpec;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn pts_names(session: &Arc<Mutex<Session>>, name: &str) -> Vec<String> {
+        let mut s = lock_session(session);
+        let spec = s
+            .resolve(&QuerySpec::PointsTo { name: name.into() })
+            .expect("resolvable");
+        match s.query(spec, None, None) {
+            QueryAnswer::Set { names, .. } => names,
+            other => panic!("expected set answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_session_recovers_and_spares_other_sessions() {
+        let wedged = Arc::new(Mutex::new(
+            Session::open("p = &o\nq = p\n", false, None).expect("valid"),
+        ));
+        let healthy = Arc::new(Mutex::new(
+            Session::open("r = &u\n", false, None).expect("valid"),
+        ));
+
+        // A request handler dies while holding the session lock.
+        let grabbed = Arc::clone(&wedged);
+        let died = catch_unwind(AssertUnwindSafe(move || {
+            let _guard = grabbed.lock().expect("not yet poisoned");
+            panic!("handler died mid-request");
+        }));
+        assert!(died.is_err());
+        assert!(wedged.is_poisoned(), "the panic poisoned the mutex");
+
+        // Later requests on the same session recover instead of dying on
+        // an `expect`, and the engine still answers correctly.
+        assert_eq!(pts_names(&wedged, "q"), vec!["o"]);
+        // Unrelated sessions never notice.
+        assert_eq!(pts_names(&healthy, "r"), vec!["u"]);
+    }
 }

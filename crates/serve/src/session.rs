@@ -23,10 +23,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use ddpa_constraints::{CallSiteId, ConstraintProgram, NodeId};
-use ddpa_demand::{DemandConfig, DemandEngine, EngineStats, ThreadPool};
+use ddpa_demand::{DemandConfig, DemandEngine, EngineStats, SharedMemo, ThreadPool};
 
 use crate::proto::{ErrorCode, ProtoError, QuerySpec};
 
@@ -243,6 +244,12 @@ pub struct Session {
     names: HashMap<String, NodeId>,
     /// Default deduction budget for queries on this session.
     default_budget: Option<u64>,
+    /// Shared memo table tying the warm engine and parallel batch
+    /// workers together: the warm engine publishes completed subgoals,
+    /// workers install them at zero cost (and vice versa — results a
+    /// batch computes warm later requests for free). `add-constraints`
+    /// bumps its generation through [`DemandEngine::reload`].
+    shared: Arc<SharedMemo>,
 }
 
 // Compile-time proof that sessions may move between connection threads:
@@ -278,7 +285,9 @@ impl Session {
         // (field order) and is repointed before any box replacement.
         let cp_ref: &'static ConstraintProgram =
             unsafe { &*(program.as_ref() as *const ConstraintProgram) };
-        let engine = DemandEngine::new(cp_ref, DemandConfig::default());
+        let shared = Arc::new(SharedMemo::new());
+        let engine = DemandEngine::new(cp_ref, DemandConfig::default())
+            .with_shared_memo(Arc::clone(&shared));
         let names = index_names(&program);
         Ok(Session {
             engine,
@@ -286,6 +295,7 @@ impl Session {
             source,
             names,
             default_budget,
+            shared,
         })
     }
 
@@ -389,12 +399,17 @@ impl Session {
         run_resolved(&mut self.engine, cp, spec, budget, deadline)
     }
 
-    /// Answers a batch by fanning out over `pool` with one private engine
-    /// per worker (the parallel-driver claim protocol generalized to
-    /// mixed query kinds).
+    /// Answers a batch by fanning out over `pool` with one engine per
+    /// worker (the parallel-driver claim protocol generalized to mixed
+    /// query kinds).
     ///
-    /// Answers are identical to the warm path; only the *work* differs,
-    /// since workers do not share the session's memo table.
+    /// Workers share the session's [`SharedMemo`]: subgoals the warm
+    /// engine already completed are installed at zero rule firings, each
+    /// remaining subgoal is deduced once across the whole batch, and the
+    /// batch's completed results are published back for later warm
+    /// queries. Workers also publish metrics into the session engine's
+    /// [`Obs`](ddpa_obs::Obs), so `engine_stats()` aggregates batch work
+    /// and shared-table traffic. Answers are identical to the warm path.
     pub fn query_batch_parallel(
         &self,
         specs: &[ResolvedSpec],
@@ -409,7 +424,8 @@ impl Session {
         // from the warm path because of a config mismatch.
         let config = self.engine.config().clone();
         if specs.len() <= 1 || pool.threads() == 1 {
-            let mut engine = DemandEngine::new(cp, config);
+            let mut engine = DemandEngine::with_obs(cp, config, self.engine.obs().clone())
+                .with_shared_memo(Arc::clone(&self.shared));
             return specs
                 .iter()
                 .map(|&s| run_resolved(&mut engine, cp, s, budget, deadline))
@@ -429,9 +445,12 @@ impl Session {
 
         let workers = pool.threads().min(specs.len());
         let config = &config;
+        let shared = &self.shared;
+        let obs = self.engine.obs();
         pool.scoped((0..workers).map(|_| {
             Box::new(move || {
-                let mut engine = DemandEngine::new(cp, config.clone());
+                let mut engine = DemandEngine::with_obs(cp, config.clone(), obs.clone())
+                    .with_shared_memo(Arc::clone(shared));
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= specs.len() {

@@ -38,6 +38,13 @@ cargo run -q -p ddpa-cli -- jsonl-check "$cyc"
 grep -q '"name":"demand.cycles.collapsed","value":[1-9]' "$cyc" \
     || { echo "metrics missing a nonzero demand.cycles.collapsed" >&2; exit 1; }
 
+echo "==> shared-memo smoke test"
+# The differential suite (fixed seeds) proves the shared cross-worker
+# memo table is transparent: answers bit-identical to private-memo
+# engines and the naive oracle, including across add-constraints
+# generations. The serve run below proves cross-worker reuse end-to-end.
+cargo test -q -p ddpa-demand --test differential shared_memo
+
 echo "==> ddpa-serve smoke test"
 # Start a server on an ephemeral port, run a batch through the client,
 # shut it down cleanly, and validate the exported metrics JSONL.
@@ -58,11 +65,14 @@ client ping
 client open smoke samples/list.mc
 client query smoke main::got data        # a batch over the wire
 client query smoke main::got data        # warm repeat: served from the memo table
+client query smoke main::got data --parallel  # workers reuse the session's shared memo
 client stats
 client shutdown
 wait "$srv_pid"
 cargo run -q -p ddpa-cli -- jsonl-check "$srv_metrics"
 grep -q 'server.cache_hits' "$srv_metrics" \
     || { echo "metrics missing server.cache_hits" >&2; exit 1; }
+grep -q '"name":"demand.share.hits","value":[1-9]' "$srv_metrics" \
+    || { echo "metrics missing a nonzero demand.share.hits" >&2; exit 1; }
 
 echo "All checks passed."
