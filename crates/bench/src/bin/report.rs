@@ -341,6 +341,10 @@ fn t5(benches: &[Benchmark]) -> JsonValue {
             "cache_hits",
             JsonValue::F64(median(data.iter().map(|r| r.cache_hits as f64).collect())),
         ),
+        (
+            "seq_p99_us",
+            JsonValue::F64(median(data.iter().map(|r| r.lat_p99_us as f64).collect())),
+        ),
     ]);
     let rows: Vec<Vec<String>> = data
         .into_iter()
@@ -354,6 +358,9 @@ fn t5(benches: &[Benchmark]) -> JsonValue {
                 qps(&r, r.time_batch_warm),
                 qps(&r, r.time_batch_parallel),
                 qps(&r, r.time_sequential),
+                count(r.lat_p50_us as usize),
+                count(r.lat_p95_us as usize),
+                count(r.lat_p99_us as usize),
                 ratio(warm_speedup),
                 count(r.cache_hits as usize),
             ]
@@ -369,6 +376,9 @@ fn t5(benches: &[Benchmark]) -> JsonValue {
                 "batch warm q/s",
                 "batch parallel q/s",
                 "sequential q/s",
+                "seq p50 µs",
+                "seq p95 µs",
+                "seq p99 µs",
                 "warm speedup",
                 "cache hits"
             ],

@@ -505,6 +505,12 @@ pub struct T5Row {
     pub time_batch_parallel: Duration,
     /// One request round-trip per query on the warm session.
     pub time_sequential: Duration,
+    /// Median sequential round-trip latency (µs).
+    pub lat_p50_us: u64,
+    /// 95th-percentile sequential round-trip latency (µs).
+    pub lat_p95_us: u64,
+    /// 99th-percentile sequential round-trip latency (µs).
+    pub lat_p99_us: u64,
     /// `server.cache_hits.<session>` after the warm batch.
     pub cache_hits: u64,
 }
@@ -571,11 +577,14 @@ pub fn run_t5(benches: &[Benchmark], max_queries: usize) -> Vec<T5Row> {
             client.expect_ok(&parallel).expect("parallel batch");
             let time_batch_parallel = start.elapsed();
 
+            let latency = ddpa_obs::Histogram::default();
             let start = Instant::now();
             for spec in &specs {
+                let t = Instant::now();
                 client
                     .expect_ok(&build::query(b.name, spec, None, Some(0)))
                     .expect("sequential query");
+                latency.record_duration(t.elapsed());
             }
             let time_sequential = start.elapsed();
 
@@ -592,6 +601,9 @@ pub fn run_t5(benches: &[Benchmark], max_queries: usize) -> Vec<T5Row> {
                 time_batch_warm,
                 time_batch_parallel,
                 time_sequential,
+                lat_p50_us: latency.quantile(0.50),
+                lat_p95_us: latency.quantile(0.95),
+                lat_p99_us: latency.quantile(0.99),
                 cache_hits,
             }
         })

@@ -76,14 +76,16 @@ commands:
   serve     --addr HOST:PORT            persistent demand-query server
             [--threads N] [--budget N] [--timeout-ms T]
             [--port-file <path>] [--stdin-shutdown] [--metrics-out <path>]
+            [--access-log <path>] [--slow-ms N]
   client    --addr HOST:PORT <op>       one request against a running server:
             ping | stats | shutdown | close <session>
             open <session> <file> [--budget N]
             add <session> <file>
-            query <session> <names...> [--ptb] [--parallel]
+            query <session> <names...> [--ptb] [--parallel] [--trace]
                   [--budget N] [--timeout-ms T]
-            alias <session> <a> <b>
-            targets <session> <site>
+            alias <session> <a> <b> [--trace]
+            targets <session> <site> [--trace]
+            slow [limit]                the server's slowest requests
             (multi-name query sends one batch; see docs/SERVER.md)
 
 solve/query/callgraph/audit/stackret also take:
@@ -112,6 +114,9 @@ struct Options {
     parallel: bool,
     stdin_shutdown: bool,
     port_file: Option<String>,
+    access_log: Option<String>,
+    slow_ms: Option<u64>,
+    trace: bool,
     positional: Vec<String>,
 }
 
@@ -175,6 +180,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let v = iter.next().ok_or_else(|| err("--port-file needs a path"))?;
                 opts.port_file = Some(v.clone());
             }
+            "--access-log" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--access-log needs a path"))?;
+                opts.access_log = Some(v.clone());
+            }
+            "--slow-ms" => {
+                let v = iter.next().ok_or_else(|| err("--slow-ms needs a value"))?;
+                opts.slow_ms = Some(v.parse().map_err(|_| err(format!("bad slow-ms `{v}`")))?);
+            }
+            "--trace" => opts.trace = true,
             other if other.starts_with("--") => {
                 return Err(err(format!("unknown option `{other}`")));
             }
@@ -436,11 +452,16 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
             {
                 let _span = obs.span("demand.clients");
+                let latency = obs.histogram("demand.query.latency_us");
                 for cs in cp.callsites().indices() {
+                    let t = std::time::Instant::now();
                     let _ = engine.call_targets(cs);
+                    latency.record_duration(t.elapsed());
                 }
                 for ptr in deref_ptrs(&cp) {
+                    let t = std::time::Instant::now();
                     let _ = engine.points_to(ptr);
+                    latency.record_duration(t.elapsed());
                 }
             }
             let stats = engine.stats();
@@ -479,7 +500,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             let text = std::fs::read_to_string(path)?;
             let mut lines = 0usize;
             for (i, line) in text.lines().enumerate() {
-                ddpa::obs::validate_jsonl_line(line)
+                ddpa::obs::validate_metrics_line(line)
                     .map_err(|e| err(format!("{path}:{}: {e}", i + 1)))?;
                 lines += 1;
             }
@@ -511,6 +532,10 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             config.default_budget = opts.budget;
             if let Some(t) = opts.timeout_ms {
                 config.default_timeout_ms = t;
+            }
+            config.access_log = opts.access_log.clone().map(std::path::PathBuf::from);
+            if let Some(ms) = opts.slow_ms {
+                config.slow_ms = ms;
             }
             let server = ddpa::serve::Server::bind(addr, config, obs.clone())
                 .map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
@@ -602,10 +627,27 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
             .unwrap_or_else(|| path.ends_with(".c") || path.ends_with(".mc"));
         Ok((text, minic))
     };
+    let traced = |request: JsonValue| {
+        if opts.trace {
+            build::with_trace(request)
+        } else {
+            request
+        }
+    };
     match op.as_str() {
         "ping" => Ok(build::ping()),
         "stats" => Ok(build::stats()),
         "shutdown" => Ok(build::shutdown()),
+        "slow" => {
+            let limit = match pos.get(1) {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad slow limit `{v}`")))?,
+                ),
+                None => None,
+            };
+            Ok(build::slow(limit))
+        }
         "close" => Ok(build::close(session(1)?)),
         "open" => {
             let (text, minic) = file_text(2)?;
@@ -628,21 +670,21 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
                 }
             };
             if names.len() == 1 && !opts.parallel {
-                Ok(build::query(
+                Ok(traced(build::query(
                     session(1)?,
                     &spec_of(&names[0]),
                     opts.budget,
                     opts.timeout_ms,
-                ))
+                )))
             } else {
                 let specs: Vec<QuerySpec> = names.iter().map(|n| spec_of(n)).collect();
-                Ok(build::batch(
+                Ok(traced(build::batch(
                     session(1)?,
                     &specs,
                     opts.parallel,
                     opts.budget,
                     opts.timeout_ms,
-                ))
+                )))
             }
         }
         "alias" => {
@@ -652,7 +694,7 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
                 pos.get(3)
                     .ok_or_else(|| err("client alias needs <a> <b>"))?,
             );
-            Ok(build::query(
+            Ok(traced(build::query(
                 session(1)?,
                 &QuerySpec::MayAlias {
                     a: a.clone(),
@@ -660,7 +702,7 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
                 },
                 opts.budget,
                 opts.timeout_ms,
-            ))
+            )))
         }
         "targets" => {
             let site = pos
@@ -669,12 +711,12 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
             let site: u64 = site
                 .parse()
                 .map_err(|_| err(format!("bad call-site index `{site}`")))?;
-            Ok(build::query(
+            Ok(traced(build::query(
                 session(1)?,
                 &QuerySpec::CallTargets { site },
                 opts.budget,
                 opts.timeout_ms,
-            ))
+            )))
         }
         other => Err(err(format!("unknown client operation `{other}`"))),
     }
@@ -717,6 +759,36 @@ fn render_registry(obs: &Obs) -> String {
             let _ = writeln!(s, "{name:<width$}  {:>14}", fmt_count(value));
         }
     }
+    let hists: Vec<_> = obs
+        .registry
+        .histograms()
+        .into_iter()
+        .filter(|(_, h)| h.count() > 0)
+        .collect();
+    if !hists.is_empty() {
+        let hwidth = hists
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(9)
+            .max(9);
+        let _ = writeln!(
+            s,
+            "{:<hwidth$}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in hists {
+            let _ = writeln!(
+                s,
+                "{name:<hwidth$}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                fmt_count(h.count()),
+                fmt_count(h.quantile(0.50)),
+                fmt_count(h.quantile(0.90)),
+                fmt_count(h.quantile(0.99)),
+                fmt_count(h.max()),
+            );
+        }
+    }
     s
 }
 
@@ -727,13 +799,13 @@ fn export_jsonl(obs: &Obs, command: &str, input: Option<&str>, path: &str) -> Re
         std::fs::File::create(path).map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
     let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
     let mut fields = vec![
-        ("tool".to_owned(), JsonValue::str("ddpa")),
-        ("command".to_owned(), JsonValue::str(command)),
+        ("tool", JsonValue::str("ddpa")),
+        ("command", JsonValue::str(command)),
     ];
     if let Some(input) = input {
-        fields.push(("input".to_owned(), JsonValue::str(input)));
+        fields.push(("input", JsonValue::str(input)));
     }
-    sink.emit("meta", fields)?;
+    sink.emit("meta", &fields)?;
     sink.emit_registry(&obs.registry)?;
     sink.emit_profile(&obs.profiler)?;
     sink.flush()?;
@@ -911,16 +983,21 @@ mod tests {
             "span tree present, got: {out}"
         );
 
-        // Every JSONL line is exactly one JSON object.
+        // Per-query latency lands in a histogram with quantile columns.
+        assert!(out.contains("demand.query.latency_us"), "got: {out}");
+        assert!(out.contains("p99"), "histogram header present, got: {out}");
+
+        // Every JSONL line is exactly one JSON object with a known kind.
         let text = std::fs::read_to_string(&json).expect("jsonl written");
         assert!(text.lines().count() > 10, "got: {text}");
         for line in text.lines() {
-            ddpa::obs::validate_jsonl_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            ddpa::obs::validate_metrics_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
         }
         assert!(text.contains("\"kind\":\"meta\""));
         assert!(text.contains("\"kind\":\"counter\""));
         assert!(text.contains("\"kind\":\"gauge\""));
         assert!(text.contains("\"kind\":\"span\""));
+        assert!(text.contains("\"kind\":\"hist\""));
         assert!(text.contains("demand.fires.copy_to"));
     }
 
@@ -955,6 +1032,12 @@ mod tests {
         let b = bad.to_str().expect("utf8 path");
         let err = run_to_string(&["jsonl-check", b]).expect_err("invalid line rejected");
         assert!(err.to_string().contains(":2:"), "got: {err}");
+
+        // Structurally valid JSON with an unknown kind is rejected too.
+        let bad_kind = write_temp("t14-kind.jsonl", "{\"kind\":\"frobnicate\"}\n");
+        let b = bad_kind.to_str().expect("utf8 path");
+        let err = run_to_string(&["jsonl-check", b]).expect_err("unknown kind rejected");
+        assert!(err.to_string().contains("unknown kind"), "got: {err}");
     }
 
     /// Starts `ddpa serve` on an ephemeral port in a background thread
@@ -1004,6 +1087,12 @@ mod tests {
         let out = run_to_string(&["client", "--addr", &addr, "query", "s", "r"]).expect("query");
         assert!(out.contains("\"pts\":[\"o\"]"), "got: {out}");
 
+        // --trace attaches the per-request trace report.
+        let out = run_to_string(&["client", "--addr", &addr, "query", "s", "r", "--trace"])
+            .expect("traced query");
+        assert!(out.contains("\"trace\":{\"id\":"), "got: {out}");
+        assert!(out.contains("\"wall_us\":"), "got: {out}");
+
         // Multi-name query becomes one batch.
         let out = run_to_string(&["client", "--addr", &addr, "query", "s", "p", "q", "r"])
             .expect("batch");
@@ -1031,6 +1120,14 @@ mod tests {
 
         let out = run_to_string(&["client", "--addr", &addr, "stats"]).expect("stats");
         assert!(out.contains("\"sessions\""), "got: {out}");
+        assert!(out.contains("\"latency\""), "got: {out}");
+
+        // The slow-query ring has retained the traced queries.
+        let out = run_to_string(&["client", "--addr", &addr, "slow"]).expect("slow");
+        assert!(out.contains("\"entries\":["), "got: {out}");
+        assert!(out.contains("\"latency_us\":"), "got: {out}");
+        let out = run_to_string(&["client", "--addr", &addr, "slow", "1"]).expect("slow 1");
+        assert!(out.contains("\"kept\":"), "got: {out}");
 
         let out = run_to_string(&["client", "--addr", &addr, "shutdown"]).expect("shutdown");
         assert!(out.contains("\"ok\":true"), "got: {out}");

@@ -256,6 +256,14 @@ impl<'p> DemandEngine<'p> {
         }
     }
 
+    /// Opens a per-request trace bracket: snapshots the counters and
+    /// starts the clock. Close it with [`crate::QueryTrace::finish`] to
+    /// get the request's counter deltas and wall time. `id` is the
+    /// host-minted trace/request ID, echoed back in the report.
+    pub fn begin_trace(&self, id: impl Into<String>) -> crate::QueryTrace {
+        crate::QueryTrace::begin(id, self)
+    }
+
     /// Number of subgoals currently tabled.
     pub fn tabled_goals(&self) -> usize {
         self.goals.len()

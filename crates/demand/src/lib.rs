@@ -48,6 +48,7 @@ pub mod goal;
 pub mod ladder;
 pub mod parallel;
 pub mod pool;
+pub mod qtrace;
 pub mod query;
 pub mod share;
 pub mod stats;
@@ -60,6 +61,7 @@ pub use engine::DemandEngine;
 pub use ladder::BudgetLadder;
 pub use parallel::{points_to_on_pool, points_to_parallel};
 pub use pool::ThreadPool;
+pub use qtrace::{QueryTrace, TraceReport};
 pub use query::{AliasResult, CallTargets, QueryResult};
 pub use share::{CompletedGoal, SharedMemo};
 pub use stats::EngineStats;

@@ -49,6 +49,34 @@ impl EngineStats {
             Some(self.complete_queries as f64 / self.queries as f64)
         }
     }
+
+    /// The fieldwise difference `self − before`, saturating at zero.
+    ///
+    /// Counters are monotone, so with snapshots taken around a request
+    /// this is exactly the work that request caused (plus any concurrent
+    /// engine activity sharing the registry). Saturation guards against
+    /// snapshots taken out of order.
+    pub fn delta_since(&self, before: &EngineStats) -> EngineStats {
+        EngineStats {
+            queries: self.queries.saturating_sub(before.queries),
+            complete_queries: self
+                .complete_queries
+                .saturating_sub(before.complete_queries),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            fires: self.fires.saturating_sub(before.fires),
+            goals_activated: self.goals_activated.saturating_sub(before.goals_activated),
+            work: self.work.saturating_sub(before.work),
+            cycle_runs: self.cycle_runs.saturating_sub(before.cycle_runs),
+            cycles_collapsed: self
+                .cycles_collapsed
+                .saturating_sub(before.cycles_collapsed),
+            merged_goals: self.merged_goals.saturating_sub(before.merged_goals),
+            share_hits: self.share_hits.saturating_sub(before.share_hits),
+            share_misses: self.share_misses.saturating_sub(before.share_misses),
+            share_publishes: self.share_publishes.saturating_sub(before.share_publishes),
+            share_evictions: self.share_evictions.saturating_sub(before.share_evictions),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -65,5 +93,32 @@ mod tests {
         };
         let rate = s.resolution_rate().expect("has queries");
         assert!((rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise_and_saturates() {
+        let before = EngineStats {
+            queries: 2,
+            fires: 100,
+            work: 150,
+            share_hits: 5,
+            ..Default::default()
+        };
+        let after = EngineStats {
+            queries: 3,
+            fires: 140,
+            work: 210,
+            share_hits: 5,
+            ..Default::default()
+        };
+        let d = after.delta_since(&before);
+        assert_eq!(d.queries, 1);
+        assert_eq!(d.fires, 40);
+        assert_eq!(d.work, 60);
+        assert_eq!(d.share_hits, 0);
+        // Out-of-order snapshots saturate to zero rather than wrapping.
+        let backwards = before.delta_since(&after);
+        assert_eq!(backwards.fires, 0);
+        assert_eq!(backwards.queries, 0);
     }
 }

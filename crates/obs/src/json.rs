@@ -192,6 +192,29 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Every `"kind"` value the metrics/log JSONL schema defines. The strict
+/// validator ([`validate_metrics_line`]) rejects anything else, so schema
+/// drift — a typo'd kind, a new emitter nobody documented — fails CI
+/// instead of silently passing as "some JSON object".
+pub const KNOWN_KINDS: &[&str] = &[
+    "meta", "counter", "gauge", "hist", "span", "event", "access", "slow",
+];
+
+/// [`validate_jsonl_line`] plus the schema check: the object must carry a
+/// string `"kind"` field whose value is one of [`KNOWN_KINDS`].
+pub fn validate_metrics_line(line: &str) -> Result<(), String> {
+    validate_jsonl_line(line)?;
+    let v = parse_json(line)?;
+    match v.get("kind").and_then(JsonValue::as_str) {
+        None => Err("object has no string \"kind\" field".to_owned()),
+        Some(kind) if KNOWN_KINDS.contains(&kind) => Ok(()),
+        Some(kind) => Err(format!(
+            "unknown kind {kind:?} (expected one of {})",
+            KNOWN_KINDS.join(", ")
+        )),
+    }
+}
+
 /// Nesting depth cap: deeper input is rejected rather than risking a
 /// stack overflow on adversarial wire data.
 const MAX_DEPTH: usize = 128;

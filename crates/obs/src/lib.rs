@@ -11,8 +11,9 @@
 //! manual JSON escaping) because the workspace builds with no external
 //! dependencies.
 //!
-//! * [`Registry`] — named monotonic [`Counter`]s and [`Gauge`]s with cheap
-//!   cloneable handles (`Arc<AtomicU64>` inside);
+//! * [`Registry`] — named monotonic [`Counter`]s, [`Gauge`]s, and
+//!   log-bucketed [`Histogram`]s with cheap cloneable handles
+//!   (`Arc`-shared atomics inside);
 //! * [`Profiler`] — hierarchical RAII span timers aggregating into a
 //!   per-phase profile tree (count, total and self time);
 //! * [`JsonlSink`] — serializes counters, gauges, spans and ad-hoc events
@@ -39,12 +40,17 @@
 //! assert_eq!(tree[0].children[0].name, "solve.propagate");
 //! ```
 
+pub mod hist;
 pub mod json;
 pub mod profile;
 pub mod registry;
 pub mod sink;
 
-pub use json::{escape_into, escaped, parse_json, validate_jsonl_line, JsonValue};
+pub use hist::Histogram;
+pub use json::{
+    escape_into, escaped, parse_json, validate_jsonl_line, validate_metrics_line, JsonValue,
+    KNOWN_KINDS,
+};
 pub use profile::{ProfileNode, Profiler, SpanGuard};
 pub use registry::{Counter, Gauge, Registry};
 pub use sink::JsonlSink;
@@ -99,6 +105,11 @@ impl Obs {
     /// The gauge registered under `name` (created on first use).
     pub fn gauge(&self, name: &str) -> Gauge {
         self.registry.gauge(name)
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
     }
 
     /// Opens a timed span named `name`, nested under the currently open

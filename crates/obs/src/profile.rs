@@ -18,6 +18,8 @@ use std::time::{Duration, Instant};
 
 use ddpa_support::stats::{fmt_count, fmt_duration};
 
+use crate::registry::lock_unpoisoned;
+
 #[derive(Debug)]
 struct Node {
     name: String,
@@ -134,7 +136,7 @@ impl Profiler {
     /// when profiling is off.
     pub fn enter(&self, name: &str) -> SpanGuard {
         let node = {
-            let mut tree = self.tree.lock().expect("profiler poisoned");
+            let mut tree = lock_unpoisoned(&self.tree);
             let node = tree.child_named(name);
             tree.stack.push(node);
             node
@@ -149,7 +151,7 @@ impl Profiler {
     /// A snapshot of the root spans (closed entries only; still-open spans
     /// contribute nothing until their guards drop).
     pub fn snapshot(&self) -> Vec<ProfileNode> {
-        let tree = self.tree.lock().expect("profiler poisoned");
+        let tree = lock_unpoisoned(&self.tree);
         tree.roots.iter().map(|&r| tree.snapshot(r)).collect()
     }
 
@@ -220,7 +222,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(profiler) = self.profiler.take() {
             let elapsed = self.start.elapsed();
-            let mut tree = profiler.tree.lock().expect("profiler poisoned");
+            let mut tree = lock_unpoisoned(&profiler.tree);
             tree.close(self.node, elapsed);
         }
     }
@@ -301,6 +303,35 @@ mod tests {
             snap.iter().map(|n| n.name.as_str()).collect::<Vec<_>>(),
             ["a", "c"]
         );
+    }
+
+    #[test]
+    fn panicking_span_holder_does_not_wedge_later_snapshots() {
+        let p = Profiler::new();
+        {
+            let _warm = p.enter("healthy");
+        }
+        // A worker thread panics while holding an open span guard: the
+        // guard's drop runs during unwind and takes the tree lock, so the
+        // mutex ends up poisoned.
+        let clone = p.clone();
+        let worker = std::thread::spawn(move || {
+            let _open = clone.enter("doomed");
+            panic!("worker died mid-span");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+
+        // Later use recovers instead of dying on a poisoned-lock expect.
+        {
+            let _after = p.enter("after");
+        }
+        let snap = p.snapshot();
+        let names: Vec<&str> = snap.iter().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"healthy"), "got {names:?}");
+        assert!(names.contains(&"after"), "got {names:?}");
+        // The doomed span closed during unwind, so it is recorded too.
+        assert!(names.contains(&"doomed"), "got {names:?}");
+        assert!(!p.render().is_empty());
     }
 
     #[test]

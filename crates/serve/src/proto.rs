@@ -60,6 +60,9 @@ pub enum Request {
         spec: QuerySpec,
         budget: Option<u64>,
         timeout_ms: Option<u64>,
+        /// `"trace": true` — attach a per-request trace object (trace ID,
+        /// wall time, work deltas) to the response.
+        trace: bool,
     },
     /// Many queries against a session, answered in order.
     Batch {
@@ -70,6 +73,14 @@ pub enum Request {
         parallel: bool,
         budget: Option<u64>,
         timeout_ms: Option<u64>,
+        /// `"trace": true` — attach one trace object covering the whole
+        /// batch to the response.
+        trace: bool,
+    },
+    /// The server's ring of slowest requests, most recent first.
+    Slow {
+        /// Cap on returned entries (defaults to the whole ring).
+        limit: Option<u64>,
     },
 }
 
@@ -263,6 +274,7 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
             spec: parse_spec(v)?,
             budget: opt_u64(v, "budget")?,
             timeout_ms: opt_u64(v, "timeout_ms")?,
+            trace: opt_bool(v, "trace")?.unwrap_or(false),
         }),
         "batch" => {
             let queries = v
@@ -276,8 +288,12 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
                 parallel: opt_bool(v, "parallel")?.unwrap_or(false),
                 budget: opt_u64(v, "budget")?,
                 timeout_ms: opt_u64(v, "timeout_ms")?,
+                trace: opt_bool(v, "trace")?.unwrap_or(false),
             })
         }
+        "slow" => Ok(Request::Slow {
+            limit: opt_u64(v, "limit")?,
+        }),
         other => Err(ProtoError::new(
             ErrorCode::UnknownOp,
             format!("unknown op {other:?}"),
@@ -302,6 +318,27 @@ pub mod build {
 
     pub fn shutdown() -> JsonValue {
         obj(vec![("op", JsonValue::str("shutdown"))])
+    }
+
+    /// `{"op":"slow"}` — the server's slowest-request ring.
+    pub fn slow(limit: Option<u64>) -> JsonValue {
+        let mut fields = vec![("op", JsonValue::str("slow"))];
+        if let Some(n) = limit {
+            fields.push(("limit", JsonValue::U64(n)));
+        }
+        obj(fields)
+    }
+
+    /// Appends `"trace": true` to a built `query`/`batch` request so the
+    /// response carries a per-request trace object.
+    pub fn with_trace(request: JsonValue) -> JsonValue {
+        match request {
+            JsonValue::Object(mut fields) => {
+                fields.push(("trace".to_owned(), JsonValue::Bool(true)));
+                JsonValue::Object(fields)
+            }
+            other => other,
+        }
     }
 
     pub fn open(session: &str, program: &str, minic: bool, budget: Option<u64>) -> JsonValue {
@@ -462,6 +499,7 @@ mod tests {
                     spec: spec.clone(),
                     budget: None,
                     timeout_ms: Some(50),
+                    trace: false,
                 }
             );
         }
@@ -473,8 +511,32 @@ mod tests {
                 parallel: true,
                 budget: Some(9),
                 timeout_ms: None,
+                trace: false,
             }
         );
+        assert_eq!(
+            round_trip(&build::slow(Some(3))),
+            Request::Slow { limit: Some(3) }
+        );
+        assert_eq!(
+            round_trip(&build::slow(None)),
+            Request::Slow { limit: None }
+        );
+    }
+
+    #[test]
+    fn with_trace_flips_the_trace_flag() {
+        let spec = QuerySpec::PointsTo { name: "p".into() };
+        let traced = round_trip(&build::with_trace(build::query("s", &spec, None, None)));
+        assert!(matches!(traced, Request::Query { trace: true, .. }));
+        let batch = round_trip(&build::with_trace(build::batch(
+            "s",
+            std::slice::from_ref(&spec),
+            false,
+            None,
+            None,
+        )));
+        assert!(matches!(batch, Request::Batch { trace: true, .. }));
     }
 
     #[test]

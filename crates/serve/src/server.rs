@@ -24,14 +24,16 @@
 //!   notice within one read-timeout tick, and all threads are joined.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use ddpa_demand::{EngineStats, ThreadPool};
-use ddpa_obs::{Counter, JsonValue, Obs};
+use ddpa_demand::{EngineStats, ThreadPool, TraceReport};
+use ddpa_obs::{Counter, Histogram, JsonValue, JsonlSink, Obs};
 
 use crate::proto::{error_response, ok_response, parse_request, ErrorCode, ProtoError, Request};
 use crate::session::{QueryAnswer, ResolvedSpec, Session};
@@ -57,6 +59,18 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Most queries accepted in one batch.
     pub max_batch: usize,
+    /// Structured access log: one `{"kind":"access",...}` JSONL line per
+    /// dispatched request, appended to this path (`None` = no log).
+    /// Requests at or above [`ServeConfig::slow_ms`] additionally get a
+    /// `{"kind":"slow",...}` line carrying the full trace.
+    pub access_log: Option<PathBuf>,
+    /// Slow-request threshold in milliseconds: requests at or above it
+    /// are flagged `"slow": true` in the access log and logged with
+    /// their full trace.
+    pub slow_ms: u64,
+    /// How many of the slowest query/batch requests the in-memory ring
+    /// retains for the `slow` op.
+    pub slow_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +87,9 @@ impl Default for ServeConfig {
             max_inflight: 64,
             max_connections: 64,
             max_batch: 4096,
+            access_log: None,
+            slow_ms: 100,
+            slow_keep: 32,
         }
     }
 }
@@ -106,21 +123,61 @@ impl ServerCounters {
     }
 }
 
+/// Pre-resolved latency histograms (microseconds) for the request path.
+/// Registered by name, so `--metrics-out` exports them as `hist` lines.
+struct ServerHists {
+    /// Every dispatched request, wall time through `dispatch`.
+    request_us: Histogram,
+    /// `query` requests only.
+    query_us: Histogram,
+    /// `batch` requests only (whole batch, not per element).
+    batch_us: Histogram,
+}
+
+impl ServerHists {
+    fn new(obs: &Obs) -> Self {
+        ServerHists {
+            request_us: obs.histogram("server.latency.request_us"),
+            query_us: obs.histogram("server.latency.query_us"),
+            batch_us: obs.histogram("server.latency.batch_us"),
+        }
+    }
+}
+
+/// One retained slow-ring entry: the rendered JSON plus its sort key.
+struct SlowEntry {
+    latency_us: u64,
+    entry: JsonValue,
+}
+
 struct ServerState {
     config: ServeConfig,
     obs: Obs,
     counters: ServerCounters,
+    hists: ServerHists,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     pool: ThreadPool,
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     open_connections: AtomicUsize,
+    /// Monotone source of per-request trace IDs (`r1`, `r2`, …).
+    trace_seq: AtomicU64,
+    /// The structured access log, when enabled.
+    access: Option<Mutex<JsonlSink<BufWriter<File>>>>,
+    /// The N slowest query/batch requests, slowest first, with full
+    /// traces. Bounded by `config.slow_keep`.
+    slow: Mutex<Vec<SlowEntry>>,
     addr: SocketAddr,
 }
 
 impl ServerState {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Mints the next trace/request ID.
+    fn mint_trace_id(&self) -> String {
+        format!("r{}", self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     fn trigger_shutdown(&self) {
@@ -166,16 +223,31 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let counters = ServerCounters::new(&obs);
+        let hists = ServerHists::new(&obs);
         let pool = ThreadPool::new(config.threads.max(1));
+        let access = match &config.access_log {
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?;
+                Some(Mutex::new(JsonlSink::new(BufWriter::new(file))))
+            }
+            None => None,
+        };
         let state = Arc::new(ServerState {
             config,
             counters,
+            hists,
             obs,
             sessions: Mutex::new(HashMap::new()),
             pool,
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             open_connections: AtomicUsize::new(0),
+            trace_seq: AtomicU64::new(0),
+            access,
+            slow: Mutex::new(Vec::new()),
             addr: local,
         });
         Ok(Server { listener, state })
@@ -473,12 +545,127 @@ fn handle_line(state: &ServerState, line: &str) -> (String, After) {
         );
     }
 
-    match dispatch(state, request) {
+    // Request-level observability: every dispatched request gets a trace
+    // ID, a latency sample, and (when enabled) an access-log line; traced
+    // query/batch requests additionally feed the slow ring.
+    let trace_id = state.mint_trace_id();
+    let (op_name, session_name) = request_summary(&request);
+    let started = Instant::now();
+    let mut report: Option<TraceReport> = None;
+    let outcome = dispatch(state, request, &trace_id, &mut report);
+    let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    observe_request(
+        state,
+        &trace_id,
+        op_name,
+        session_name.as_deref(),
+        outcome.is_ok(),
+        latency_us,
+        report.as_ref(),
+    );
+
+    match outcome {
         Ok((response, after)) => (response.to_string(), after),
         Err(e) => {
             state.counters.errors.inc();
             (e.to_line(), After::Continue)
         }
+    }
+}
+
+/// The op name and target session of a request, for logging.
+fn request_summary(request: &Request) -> (&'static str, Option<String>) {
+    match request {
+        Request::Ping => ("ping", None),
+        Request::Stats => ("stats", None),
+        Request::Shutdown => ("shutdown", None),
+        Request::Slow { .. } => ("slow", None),
+        Request::Open { session, .. } => ("open", Some(session.clone())),
+        Request::Close { session } => ("close", Some(session.clone())),
+        Request::AddConstraints { session, .. } => ("add-constraints", Some(session.clone())),
+        Request::Query { session, .. } => ("query", Some(session.clone())),
+        Request::Batch { session, .. } => ("batch", Some(session.clone())),
+    }
+}
+
+/// Milliseconds since the Unix epoch, for access-log timestamps.
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Records one dispatched request: latency histograms, the access log,
+/// and — for query/batch requests, which carry a [`TraceReport`] — the
+/// slow ring.
+fn observe_request(
+    state: &ServerState,
+    trace_id: &str,
+    op: &'static str,
+    session: Option<&str>,
+    ok: bool,
+    latency_us: u64,
+    report: Option<&TraceReport>,
+) {
+    state.hists.request_us.record(latency_us);
+    match op {
+        "query" => state.hists.query_us.record(latency_us),
+        "batch" => state.hists.batch_us.record(latency_us),
+        _ => {}
+    }
+    let slow = latency_us >= state.config.slow_ms.saturating_mul(1000);
+
+    if let Some(sink) = &state.access {
+        let mut fields = vec![
+            ("trace", JsonValue::str(trace_id)),
+            ("op", JsonValue::str(op)),
+            ("unix_ms", JsonValue::U64(unix_ms())),
+            ("ok", JsonValue::Bool(ok)),
+            ("latency_us", JsonValue::U64(latency_us)),
+            ("slow", JsonValue::Bool(slow)),
+        ];
+        if let Some(s) = session {
+            fields.push(("session", JsonValue::str(s)));
+        }
+        if let Some(r) = report {
+            fields.push(("generation", JsonValue::U64(r.generation)));
+            fields.push(("fires", JsonValue::U64(r.delta.fires)));
+            fields.push(("goals", JsonValue::U64(r.delta.goals_activated)));
+            fields.push(("work", JsonValue::U64(r.delta.work)));
+            fields.push(("cache_hits", JsonValue::U64(r.delta.cache_hits)));
+            fields.push(("share_hits", JsonValue::U64(r.delta.share_hits)));
+        }
+        let mut sink = sink.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = sink.emit("access", &fields);
+        if slow {
+            if let Some(r) = report {
+                fields.push(("trace_report", r.json()));
+            }
+            let _ = sink.emit("slow", &fields);
+        }
+        // Flush per line so the log is tail-able while the server runs.
+        let _ = sink.flush();
+    }
+
+    // The slow ring retains the N slowest traced (query/batch) requests.
+    if let Some(r) = report {
+        let mut entry_fields = vec![
+            ("op".to_owned(), JsonValue::str(op)),
+            ("latency_us".to_owned(), JsonValue::U64(latency_us)),
+            ("unix_ms".to_owned(), JsonValue::U64(unix_ms())),
+            ("trace".to_owned(), r.json()),
+        ];
+        if let Some(s) = session {
+            entry_fields.insert(1, ("session".to_owned(), JsonValue::str(s)));
+        }
+        let mut ring = state.slow.lock().unwrap_or_else(|p| p.into_inner());
+        ring.push(SlowEntry {
+            latency_us,
+            entry: JsonValue::Object(entry_fields),
+        });
+        ring.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        ring.truncate(state.config.slow_keep);
     }
 }
 
@@ -525,45 +712,26 @@ fn deadline_for(state: &ServerState, timeout_ms: Option<u64>) -> Option<Instant>
 /// registry, so the `--metrics-out` export carries them: the cache-hit
 /// delta goes to `server.cache_hits.<name>`, shared-memo traffic
 /// aggregates across sessions under `demand.share.*`, and timeouts bump
-/// `server.timeouts`. `before`/`after` are [`Session::engine_stats`]
-/// snapshots bracketing the query call(s); batch workers publish into
-/// the session engine's registry, so their traffic is included.
-fn record_query_obs(
-    state: &ServerState,
-    session_name: &str,
-    before: &EngineStats,
-    after: &EngineStats,
-    timeouts: u64,
-) {
-    let hits_delta = after.cache_hits.saturating_sub(before.cache_hits);
-    if hits_delta > 0 {
+/// `server.timeouts`. `delta` is the request's [`TraceReport`] delta
+/// ([`EngineStats::delta_since`] around the query call(s)); batch
+/// workers publish into the session engine's registry, so their traffic
+/// is included.
+fn record_query_obs(state: &ServerState, session_name: &str, delta: &EngineStats, timeouts: u64) {
+    if delta.cache_hits > 0 {
         state
             .obs
             .counter(&format!("server.cache_hits.{session_name}"))
-            .add(hits_delta);
+            .add(delta.cache_hits);
     }
     let share = [
-        ("demand.share.hits", before.share_hits, after.share_hits),
-        (
-            "demand.share.misses",
-            before.share_misses,
-            after.share_misses,
-        ),
-        (
-            "demand.share.publishes",
-            before.share_publishes,
-            after.share_publishes,
-        ),
-        (
-            "demand.share.evictions",
-            before.share_evictions,
-            after.share_evictions,
-        ),
+        ("demand.share.hits", delta.share_hits),
+        ("demand.share.misses", delta.share_misses),
+        ("demand.share.publishes", delta.share_publishes),
+        ("demand.share.evictions", delta.share_evictions),
     ];
-    for (name, b, a) in share {
-        let delta = a.saturating_sub(b);
-        if delta > 0 {
-            state.obs.counter(name).add(delta);
+    for (name, d) in share {
+        if d > 0 {
+            state.obs.counter(name).add(d);
         }
     }
     if timeouts > 0 {
@@ -615,7 +783,16 @@ fn render_answer(answer: &QueryAnswer, generation: u64) -> JsonValue {
     JsonValue::Object(fields)
 }
 
-fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After), ProtoError> {
+/// Dispatches one parsed request. `trace_id` is the minted request ID;
+/// query/batch arms bracket their engine work with it and hand the
+/// resulting [`TraceReport`] back through `report_out` for the caller's
+/// access-log/slow-ring bookkeeping.
+fn dispatch(
+    state: &ServerState,
+    request: Request,
+    trace_id: &str,
+    report_out: &mut Option<TraceReport>,
+) -> Result<(JsonValue, After), ProtoError> {
     match request {
         Request::Ping => Ok((ok_response("ping", vec![]), After::Continue)),
         Request::Shutdown => {
@@ -623,6 +800,24 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             Ok((ok_response("shutdown", vec![]), After::Close))
         }
         Request::Stats => Ok((stats_response(state), After::Continue)),
+        Request::Slow { limit } => {
+            let ring = state.slow.lock().unwrap_or_else(|p| p.into_inner());
+            let n = limit.map_or(ring.len(), |l| l as usize).min(ring.len());
+            let entries: Vec<JsonValue> = ring.iter().take(n).map(|e| e.entry.clone()).collect();
+            let kept = ring.len();
+            drop(ring);
+            Ok((
+                ok_response(
+                    "slow",
+                    vec![
+                        ("entries", JsonValue::Array(entries)),
+                        ("kept", JsonValue::U64(kept as u64)),
+                        ("threshold_ms", JsonValue::U64(state.config.slow_ms)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
         Request::Open {
             session,
             program,
@@ -694,29 +889,29 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             spec,
             budget,
             timeout_ms,
+            trace: want_trace,
         } => {
             let _span = state.obs.span("server.request.query");
             let handle = get_session(state, &session)?;
             let deadline = deadline_for(state, timeout_ms);
             let mut s = lock_session(&handle);
             let resolved = s.resolve(&spec)?;
-            let before = s.engine_stats();
+            let bracket = s.begin_trace(trace_id);
             let answer = s.query(resolved, budget, deadline);
-            let after = s.engine_stats();
+            let report = s.finish_trace(bracket);
             let generation = s.generation();
             drop(s);
-            record_query_obs(state, &session, &before, &after, answer.timed_out() as u64);
-            Ok((
-                ok_response(
-                    "query",
-                    vec![
-                        ("session", JsonValue::str(session.as_str())),
-                        ("result", render_answer(&answer, generation)),
-                        ("generation", JsonValue::U64(generation)),
-                    ],
-                ),
-                After::Continue,
-            ))
+            record_query_obs(state, &session, &report.delta, answer.timed_out() as u64);
+            let mut fields = vec![
+                ("session", JsonValue::str(session.as_str())),
+                ("result", render_answer(&answer, generation)),
+                ("generation", JsonValue::U64(generation)),
+            ];
+            if want_trace {
+                fields.push(("trace", report.json()));
+            }
+            *report_out = Some(report);
+            Ok((ok_response("query", fields), After::Continue))
         }
         Request::Batch {
             session,
@@ -724,6 +919,7 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             parallel,
             budget,
             timeout_ms,
+            trace: want_trace,
         } => {
             let _span = state.obs.span("server.request.batch");
             if specs.len() > state.config.max_batch {
@@ -748,16 +944,16 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
             let generation = s.generation();
 
             let mut timeouts = 0u64;
-            let before = s.engine_stats();
-            let (results, after): (Vec<JsonValue>, EngineStats) = if parallel {
+            let bracket = s.begin_trace(trace_id);
+            let (results, report): (Vec<JsonValue>, TraceReport) = if parallel {
                 let ok_specs: Vec<ResolvedSpec> = resolved
                     .iter()
                     .filter_map(|r| r.as_ref().ok().copied())
                     .collect();
                 let answers = s.query_batch_parallel(&ok_specs, budget, deadline, &state.pool);
                 // Batch workers publish into the session engine's
-                // registry, so this snapshot includes their traffic.
-                let after = s.engine_stats();
+                // registry, so the bracket includes their traffic.
+                let report = s.finish_trace(bracket);
                 drop(s);
                 let mut answers = answers.into_iter();
                 let rendered = resolved
@@ -771,7 +967,7 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
                         Err(e) => error_response(e.code, &e.message),
                     })
                     .collect();
-                (rendered, after)
+                (rendered, report)
             } else {
                 let rendered = resolved
                     .iter()
@@ -784,22 +980,21 @@ fn dispatch(state: &ServerState, request: Request) -> Result<(JsonValue, After),
                         Err(e) => error_response(e.code, &e.message),
                     })
                     .collect();
-                let after = s.engine_stats();
+                let report = s.finish_trace(bracket);
                 drop(s);
-                (rendered, after)
+                (rendered, report)
             };
-            record_query_obs(state, &session, &before, &after, timeouts);
-            Ok((
-                ok_response(
-                    "batch",
-                    vec![
-                        ("session", JsonValue::str(session.as_str())),
-                        ("results", JsonValue::Array(results)),
-                        ("generation", JsonValue::U64(generation)),
-                    ],
-                ),
-                After::Continue,
-            ))
+            record_query_obs(state, &session, &report.delta, timeouts);
+            let mut fields = vec![
+                ("session", JsonValue::str(session.as_str())),
+                ("results", JsonValue::Array(results)),
+                ("generation", JsonValue::U64(generation)),
+            ];
+            if want_trace {
+                fields.push(("trace", report.json()));
+            }
+            *report_out = Some(report);
+            Ok((ok_response("batch", fields), After::Continue))
         }
     }
 }
@@ -828,6 +1023,8 @@ fn stats_response(state: &ServerState) -> JsonValue {
                         JsonValue::U64(s.tabled_goals() as u64),
                     ),
                     ("queries".to_string(), JsonValue::U64(stats.queries)),
+                    ("fires".to_string(), JsonValue::U64(stats.fires)),
+                    ("goals".to_string(), JsonValue::U64(stats.goals_activated)),
                     ("cache_hits".to_string(), JsonValue::U64(stats.cache_hits)),
                     ("share_hits".to_string(), JsonValue::U64(stats.share_hits)),
                     (
@@ -868,11 +1065,35 @@ fn stats_response(state: &ServerState) -> JsonValue {
             JsonValue::U64(c.batch_queries.get()),
         ),
     ]);
+    let hist_json = |h: &Histogram| {
+        JsonValue::Object(vec![
+            ("count".to_string(), JsonValue::U64(h.count())),
+            ("p50".to_string(), JsonValue::U64(h.quantile(0.5))),
+            ("p90".to_string(), JsonValue::U64(h.quantile(0.9))),
+            ("p99".to_string(), JsonValue::U64(h.quantile(0.99))),
+            ("max".to_string(), JsonValue::U64(h.max())),
+        ])
+    };
+    let latency = JsonValue::Object(vec![
+        ("request_us".to_string(), hist_json(&state.hists.request_us)),
+        ("query_us".to_string(), hist_json(&state.hists.query_us)),
+        ("batch_us".to_string(), hist_json(&state.hists.batch_us)),
+    ]);
+    let slow_kept = state.slow.lock().unwrap_or_else(|p| p.into_inner()).len();
+    let slow = JsonValue::Object(vec![
+        ("kept".to_string(), JsonValue::U64(slow_kept as u64)),
+        (
+            "threshold_ms".to_string(),
+            JsonValue::U64(state.config.slow_ms),
+        ),
+    ]);
     ok_response(
         "stats",
         vec![
             ("sessions", JsonValue::Object(per_session)),
             ("counters", counters),
+            ("latency", latency),
+            ("slow", slow),
             ("threads", JsonValue::U64(state.config.threads as u64)),
         ],
     )
@@ -918,5 +1139,220 @@ mod tests {
         assert_eq!(pts_names(&wedged, "q"), vec!["o"]);
         // Unrelated sessions never notice.
         assert_eq!(pts_names(&healthy, "r"), vec!["u"]);
+    }
+
+    #[test]
+    fn traced_requests_report_deltas_that_sum_to_session_totals() {
+        use crate::client::Client;
+        use crate::proto::build;
+
+        let config = ServeConfig {
+            threads: 2,
+            // Zero threshold: every request counts as slow, so the ring
+            // and the slow flag are exercised deterministically.
+            slow_ms: 0,
+            slow_keep: 4,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut c = Client::connect(addr).expect("connect");
+        let mut program = String::new();
+        for i in 0..8 {
+            program.push_str(&format!("p{i} = &o{i}\nq{i} = p{i}\n"));
+        }
+        c.expect_ok(&build::open("s", &program, false, None))
+            .expect("open");
+
+        let get = |v: &JsonValue, key: &str| -> u64 {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .unwrap_or_else(|| panic!("missing numeric {key:?} in {v}"))
+        };
+
+        // Traced single queries plus one traced parallel batch; sum the
+        // per-request deltas the traces report.
+        let (mut queries, mut fires, mut goals, mut work) = (0u64, 0u64, 0u64, 0u64);
+        let (mut cache_hits, mut share_hits) = (0u64, 0u64);
+        let mut seen_ids = std::collections::HashSet::new();
+        let mut track = |trace: &JsonValue| {
+            let id = trace
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .expect("trace id")
+                .to_owned();
+            assert!(seen_ids.insert(id), "trace IDs are unique per request");
+            assert!(trace.get("wall_us").and_then(JsonValue::as_u64).is_some());
+            queries += get(trace, "queries");
+            fires += get(trace, "fires");
+            goals += get(trace, "goals");
+            work += get(trace, "work");
+            cache_hits += get(trace, "cache_hits");
+            share_hits += get(trace, "share_hits");
+        };
+        let specs: Vec<QuerySpec> = (0..8)
+            .map(|i| QuerySpec::PointsTo {
+                name: format!("q{i}"),
+            })
+            .collect();
+        for spec in &specs[..4] {
+            let v = c
+                .expect_ok(&build::with_trace(build::query("s", spec, None, None)))
+                .expect("traced query");
+            track(v.get("trace").expect("response carries trace"));
+        }
+        let v = c
+            .expect_ok(&build::with_trace(build::batch(
+                "s", &specs, true, None, None,
+            )))
+            .expect("traced batch");
+        track(v.get("trace").expect("batch carries trace"));
+        // An untraced request must not carry the field but still counts
+        // toward the session totals.
+        let v = c
+            .expect_ok(&build::query("s", &specs[0], None, None))
+            .expect("untraced query");
+        assert!(v.get("trace").is_none(), "trace is opt-in");
+        queries += 1;
+        cache_hits += 1; // repeat of a memoized query
+
+        // The traced deltas must sum to the session's registry totals.
+        let stats = c.expect_ok(&build::stats()).expect("stats");
+        let sess = stats
+            .get("sessions")
+            .and_then(|s| s.get("s"))
+            .expect("session stats");
+        assert_eq!(get(sess, "queries"), queries, "queries sum");
+        assert_eq!(get(sess, "fires"), fires, "fires sum");
+        assert_eq!(get(sess, "goals"), goals, "goals sum");
+        assert_eq!(get(sess, "work"), work, "work (budget spent) sum");
+        assert_eq!(get(sess, "cache_hits"), cache_hits, "cache hits sum");
+        assert_eq!(get(sess, "share_hits"), share_hits, "share hits sum");
+        assert!(fires > 0 && work > 0, "the traced queries did real work");
+
+        // Latency histograms surfaced in stats: 5 query + 1 batch + the
+        // untraced query land in query_us/batch_us.
+        let latency = stats.get("latency").expect("latency section");
+        let q = latency.get("query_us").expect("query hist");
+        assert_eq!(get(q, "count"), 5);
+        assert!(get(q, "p50") <= get(q, "p99"));
+        assert!(get(q, "p99") <= get(q, "max"));
+        assert_eq!(latency.get("batch_us").map(|h| get(h, "count")), Some(1));
+
+        // The slow ring keeps the slowest traced requests, bounded.
+        let slow = c.expect_ok(&build::slow(None)).expect("slow op");
+        let entries = slow
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .expect("entries array");
+        assert_eq!(entries.len(), 4, "ring bounded by slow_keep");
+        let slowest = get(&entries[0], "latency_us");
+        let last = get(&entries[entries.len() - 1], "latency_us");
+        assert!(slowest >= last, "entries are slowest-first");
+        assert!(
+            entries[0]
+                .get("trace")
+                .and_then(|t| t.get("id"))
+                .and_then(JsonValue::as_str)
+                .is_some(),
+            "ring entries carry full traces"
+        );
+        let limited = c.expect_ok(&build::slow(Some(2))).expect("slow limit");
+        assert_eq!(
+            limited
+                .get("entries")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
+    }
+
+    #[test]
+    fn access_log_lines_are_schema_valid() {
+        use crate::client::Client;
+        use crate::proto::build;
+
+        let path = std::env::temp_dir().join(format!(
+            "ddpa-access-test-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = ServeConfig {
+            threads: 1,
+            access_log: Some(path.clone()),
+            slow_ms: 0, // everything is "slow": the slow lines get exercised
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut c = Client::connect(addr).expect("connect");
+        c.expect_ok(&build::open("s", "p = &o\nq = p\n", false, None))
+            .expect("open");
+        let spec = QuerySpec::PointsTo { name: "q".into() };
+        c.expect_ok(&build::query("s", &spec, None, None))
+            .expect("query");
+        c.expect_ok(&build::ping()).expect("ping");
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
+
+        let text = std::fs::read_to_string(&path).expect("access log written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert!(lines.len() >= 4, "open + query + slow + ping, got:\n{text}");
+        for line in &lines {
+            ddpa_obs::validate_metrics_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let parsed: Vec<JsonValue> = lines
+            .iter()
+            .map(|l| ddpa_obs::parse_json(l).expect("valid"))
+            .collect();
+        let kind = |v: &JsonValue| v.get("kind").and_then(JsonValue::as_str).map(str::to_owned);
+        let query_line = parsed
+            .iter()
+            .find(|v| {
+                kind(v).as_deref() == Some("access")
+                    && v.get("op").and_then(JsonValue::as_str) == Some("query")
+            })
+            .expect("query access line");
+        assert_eq!(
+            query_line.get("session").and_then(JsonValue::as_str),
+            Some("s")
+        );
+        assert_eq!(
+            query_line.get("ok").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert!(query_line
+            .get("trace")
+            .and_then(JsonValue::as_str)
+            .is_some());
+        assert!(
+            query_line
+                .get("fires")
+                .and_then(JsonValue::as_u64)
+                .is_some(),
+            "query lines carry work deltas"
+        );
+        assert!(
+            parsed
+                .iter()
+                .any(|v| kind(v).as_deref() == Some("slow") && v.get("trace_report").is_some()),
+            "slow lines carry the full trace report"
+        );
+        assert!(
+            parsed.iter().any(|v| kind(v).as_deref() == Some("access")
+                && v.get("op").and_then(JsonValue::as_str) == Some("ping")),
+            "non-engine ops are access-logged too"
+        );
     }
 }

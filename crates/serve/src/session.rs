@@ -27,7 +27,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ddpa_constraints::{CallSiteId, ConstraintProgram, NodeId};
-use ddpa_demand::{DemandConfig, DemandEngine, EngineStats, SharedMemo, ThreadPool};
+use ddpa_demand::{
+    DemandConfig, DemandEngine, EngineStats, QueryTrace, SharedMemo, ThreadPool, TraceReport,
+};
 
 use crate::proto::{ErrorCode, ProtoError, QuerySpec};
 
@@ -322,6 +324,18 @@ impl Session {
     /// Snapshot of the warm engine's counters.
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Opens a per-request trace bracket on the session's engine. Batch
+    /// workers share the engine's [`Obs`](ddpa_obs::Obs), so the bracket
+    /// captures their work too.
+    pub fn begin_trace(&self, id: impl Into<String>) -> QueryTrace {
+        self.engine.begin_trace(id)
+    }
+
+    /// Closes a trace bracket opened by [`Session::begin_trace`].
+    pub fn finish_trace(&self, trace: QueryTrace) -> TraceReport {
+        trace.finish(&self.engine)
     }
 
     /// Number of memoized subgoals currently tabled.

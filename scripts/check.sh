@@ -50,8 +50,10 @@ echo "==> ddpa-serve smoke test"
 # shut it down cleanly, and validate the exported metrics JSONL.
 portfile="$tmp/serve-port"
 srv_metrics="$tmp/serve-metrics.jsonl"
+access_log="$tmp/serve-access.jsonl"
 cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
     --port-file "$portfile" --metrics-out "$srv_metrics" \
+    --access-log "$access_log" --slow-ms 0 \
     > "$tmp/serve.log" &
 srv_pid=$!
 for _ in $(seq 1 100); do
@@ -66,6 +68,8 @@ client open smoke samples/list.mc
 client query smoke main::got data        # a batch over the wire
 client query smoke main::got data        # warm repeat: served from the memo table
 client query smoke main::got data --parallel  # workers reuse the session's shared memo
+client query smoke main::got --trace     # traced request: response carries the delta report
+client slow                              # slow-query ring over the wire
 client stats
 client shutdown
 wait "$srv_pid"
@@ -74,5 +78,16 @@ grep -q 'server.cache_hits' "$srv_metrics" \
     || { echo "metrics missing server.cache_hits" >&2; exit 1; }
 grep -q '"name":"demand.share.hits","value":[1-9]' "$srv_metrics" \
     || { echo "metrics missing a nonzero demand.share.hits" >&2; exit 1; }
+grep -Eq '"kind":"hist","name":"server\.latency\.request_us".*"p99":[1-9]' "$srv_metrics" \
+    || { echo "metrics missing a nonzero request-latency p99 histogram" >&2; exit 1; }
+# The access log is itself strict metrics JSONL: one access line per
+# request, plus slow lines (threshold 0 ⇒ everything is slow).
+cargo run -q -p ddpa-cli -- jsonl-check "$access_log"
+grep -q '"kind":"access"' "$access_log" \
+    || { echo "access log missing access lines" >&2; exit 1; }
+grep -q '"kind":"slow"' "$access_log" \
+    || { echo "access log missing slow lines (slow-ms 0)" >&2; exit 1; }
+grep -q '"trace":"r' "$access_log" \
+    || { echo "access log missing request trace ids" >&2; exit 1; }
 
 echo "All checks passed."
