@@ -1,13 +1,19 @@
 //! Regenerates every table and figure of the evaluation as Markdown.
 //!
 //! ```text
-//! report [--quick|--full] [--json-out <path>] [t1 t2 t3 t4 t5 t6 t7 f1 f2 f3 a2 ...]
+//! report [--quick|--full] [--json-out <path>] [t1 t2 ... t8 f1 f2 f3 a2 ...]
+//! report --history BENCH_A.json BENCH_B.json ...
 //! ```
 //!
 //! With no experiment ids, all experiments run. `--quick` (default) uses
 //! the small-suite prefix; `--full` runs the complete suite (minutes).
 //! `--json-out <path>` additionally writes a machine-readable summary —
 //! per-table medians of the headline metrics — as one JSON object.
+//!
+//! `--history` runs nothing: it reads several previously written
+//! `--json-out` files (e.g. the committed `BENCH_*.json` series) and
+//! prints one trajectory table per experiment, metrics as rows and one
+//! column per input file, so headline numbers can be compared across PRs.
 
 use std::time::Duration;
 
@@ -35,6 +41,15 @@ fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--history") {
+        let files: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect();
+        history(&files);
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let json_out: Option<String> = args
         .iter()
@@ -88,6 +103,7 @@ fn main() {
     run("t5", &mut || t5(&quick));
     run("t6", &mut || t6());
     run("t7", &mut || t7());
+    run("t8", &mut || t8(&quick));
     run("f1", &mut || f1(&quick));
     run("f2", &mut || f2(&quick));
     run("f3", &mut || f3(&quick));
@@ -558,6 +574,73 @@ fn t7() -> JsonValue {
     med
 }
 
+fn t8(benches: &[Benchmark]) -> JsonValue {
+    println!("## T8 — Durable snapshots: cold vs restored time-to-first-answer\n");
+    let data = run_t8(benches);
+    let med = obj(vec![
+        (
+            "time_cold_ms",
+            JsonValue::F64(median(data.iter().map(|r| ms(r.time_cold)).collect())),
+        ),
+        (
+            "time_restored_ms",
+            JsonValue::F64(median(data.iter().map(|r| ms(r.time_restored)).collect())),
+        ),
+        (
+            "speedup",
+            JsonValue::F64(median(data.iter().map(|r| r.speedup()).collect())),
+        ),
+        (
+            "entries",
+            JsonValue::F64(median(data.iter().map(|r| r.entries as f64).collect())),
+        ),
+        (
+            "bytes",
+            JsonValue::F64(median(data.iter().map(|r| r.bytes as f64).collect())),
+        ),
+        (
+            "identical",
+            JsonValue::Bool(data.iter().all(|r| r.identical)),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                count(r.queries),
+                count(r.entries),
+                count(r.bytes),
+                dur(r.time_cold),
+                dur(r.time_restored),
+                ratio(r.speedup()),
+                if r.identical {
+                    "identical ✓".into()
+                } else {
+                    "DIFFERS ✗".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program",
+                "queries",
+                "fixpoints",
+                "bytes",
+                "cold",
+                "restored",
+                "speedup",
+                "answers"
+            ],
+            &rows
+        )
+    );
+    med
+}
+
 fn f1(benches: &[Benchmark]) -> JsonValue {
     println!("## F1 — Per-query cost distribution (rule firings, ≤1000 queries, no cache)\n");
     let data = run_f1(benches, 1000);
@@ -730,6 +813,99 @@ fn a2(benches: &[Benchmark]) -> JsonValue {
         println!("{}", table(&["threads", "time", "speedup"], &rows));
     }
     med
+}
+
+/// Renders one numeric (or boolean) summary value for the history table.
+fn history_cell(v: &JsonValue) -> String {
+    match v {
+        JsonValue::U64(n) => format!("{n}"),
+        JsonValue::F64(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{x:.0}")
+            } else {
+                format!("{x:.3}")
+            }
+        }
+        JsonValue::Bool(b) => (if *b { "✓" } else { "✗" }).to_owned(),
+        JsonValue::Str(s) => s.clone(),
+        _ => "·".to_owned(),
+    }
+}
+
+/// Prints per-experiment trajectory tables from several `--json-out`
+/// summaries (metric rows × one column per file, in argument order).
+fn history(files: &[&str]) {
+    assert!(
+        !files.is_empty(),
+        "usage: report --history <summary.json> [more.json ...]"
+    );
+    let docs: Vec<(String, JsonValue)> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"));
+            let doc = ddpa_obs::parse_json(&text)
+                .unwrap_or_else(|e| panic!("`{path}` is not valid JSON: {e}"));
+            let label = path
+                .rsplit('/')
+                .next()
+                .unwrap_or(path)
+                .trim_end_matches(".json")
+                .to_owned();
+            (label, doc)
+        })
+        .collect();
+
+    println!("# ddpa benchmark trajectory ({} summaries)\n", docs.len());
+
+    // Experiment ids in first-seen order across all files.
+    let mut ids: Vec<String> = Vec::new();
+    for (_, doc) in &docs {
+        if let Some(JsonValue::Object(tables)) = doc.get("tables") {
+            for (id, _) in tables {
+                if !ids.iter().any(|k| k == id) {
+                    ids.push(id.clone());
+                }
+            }
+        }
+    }
+
+    for id in &ids {
+        // Metric names in first-seen order across all files.
+        let mut metrics: Vec<String> = Vec::new();
+        for (_, doc) in &docs {
+            if let Some(JsonValue::Object(fields)) = doc.get("tables").and_then(|t| t.get(id)) {
+                for (m, _) in fields {
+                    if !metrics.iter().any(|k| k == m) {
+                        metrics.push(m.clone());
+                    }
+                }
+            }
+        }
+        if metrics.is_empty() {
+            continue;
+        }
+        println!("## {id}\n");
+        let mut header: Vec<&str> = vec!["metric"];
+        header.extend(docs.iter().map(|(label, _)| label.as_str()));
+        let rows: Vec<Vec<String>> = metrics
+            .iter()
+            .map(|m| {
+                let mut row = vec![m.clone()];
+                for (_, doc) in &docs {
+                    let cell = doc
+                        .get("tables")
+                        .and_then(|t| t.get(id))
+                        .and_then(|fields| fields.get(m))
+                        .map(history_cell)
+                        .unwrap_or_else(|| "·".to_owned());
+                    row.push(cell);
+                }
+                row
+            })
+            .collect();
+        println!("{}", table(&header, &rows));
+    }
 }
 
 // Silence the unused-import lint when only some sections are requested.

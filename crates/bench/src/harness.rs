@@ -1,4 +1,4 @@
-//! Runners for every experiment (tables T1–T7, figures F1–F3, ablation A2).
+//! Runners for every experiment (tables T1–T8, figures F1–F3, ablation A2).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -796,6 +796,89 @@ pub fn run_t7(scales: &[usize], workers: usize) -> Vec<T7Row> {
 }
 
 // ---------------------------------------------------------------------
+// T8: durable snapshots — cold vs restored time-to-first-answer
+// ---------------------------------------------------------------------
+
+/// One row of the snapshot warm-start table.
+#[derive(Clone, Debug)]
+pub struct T8Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Dereference queries answered in each run.
+    pub queries: usize,
+    /// Completed fixpoints captured in the snapshot.
+    pub entries: usize,
+    /// Snapshot size on disk, in bytes.
+    pub bytes: usize,
+    /// Cold run: fresh engine deduces every answer from scratch.
+    pub time_cold: Duration,
+    /// Restored run: read + verify + warm-start + answer the same set.
+    pub time_restored: Duration,
+    /// Restored answers bit-identical to the cold answers.
+    pub identical: bool,
+}
+
+impl T8Row {
+    /// `time_cold / time_restored` — the headline warm-start gain.
+    pub fn speedup(&self) -> f64 {
+        self.time_cold.as_secs_f64() / self.time_restored.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Regenerates table T8: time-to-first-answer of a cold engine vs one
+/// warm-started from a durable snapshot ([`ddpa_snap`]).
+///
+/// The cold run answers every dereference query from scratch, publishing
+/// its completed fixpoints into a [`SharedMemo`]; the snapshot of that
+/// table round-trips through an actual file, and the restored run
+/// measures the full restore path a server pays on startup: read,
+/// checksum + program-hash verification, warm-start install, then
+/// answering the identical query set.
+pub fn run_t8(benches: &[Benchmark]) -> Vec<T8Row> {
+    benches
+        .iter()
+        .map(|b| {
+            let cp = b.build();
+            let text = ddpa_constraints::print_constraints(&cp);
+            let queries: Vec<NodeId> = deref_queries(&cp);
+
+            let shared = Arc::new(SharedMemo::new());
+            let mut cold = DemandEngine::new(&cp, DemandConfig::default())
+                .with_shared_memo(Arc::clone(&shared));
+            let start = Instant::now();
+            let cold_answers: Vec<Vec<NodeId>> =
+                queries.iter().map(|&q| cold.points_to(q).pts).collect();
+            let time_cold = start.elapsed();
+
+            let snapshot = ddpa_snap::Snapshot::of_memo(&shared, text.clone());
+            let dir = std::env::temp_dir().join("ddpa-bench-t8");
+            let path = dir.join(format!("{}.snap", b.name));
+            let bytes = ddpa_snap::write_file(&snapshot, &path).expect("write snapshot");
+
+            let start = Instant::now();
+            let restored = ddpa_snap::read_file(&path).expect("read snapshot");
+            restored.verify_program(&text).expect("same program");
+            let mut warm = DemandEngine::new(&cp, DemandConfig::default());
+            warm.warm_start(&restored.entries);
+            let warm_answers: Vec<Vec<NodeId>> =
+                queries.iter().map(|&q| warm.points_to(q).pts).collect();
+            let time_restored = start.elapsed();
+            let _ = std::fs::remove_file(&path);
+
+            T8Row {
+                name: b.name,
+                queries: queries.len(),
+                entries: snapshot.entries.len(),
+                bytes,
+                time_cold,
+                time_restored,
+                identical: cold_answers == warm_answers,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // A2: parallel query driver scaling
 // ---------------------------------------------------------------------
 
@@ -940,6 +1023,20 @@ mod tests {
             assert!(
                 r.private_ratio() >= 2.0,
                 "private tables must duplicate the closure: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn t8_restored_engine_is_faster_with_identical_answers() {
+        let rows = run_t8(&tiny());
+        for r in &rows {
+            assert!(r.identical, "answers must be bit-identical: {r:?}");
+            assert!(r.entries > 0, "snapshot must capture fixpoints: {r:?}");
+            assert!(r.bytes > 0, "snapshot must land on disk: {r:?}");
+            assert!(
+                r.speedup() >= 2.0,
+                "warm start must beat cold deduction clearly: {r:?}"
             );
         }
     }

@@ -13,6 +13,8 @@
 //! ddpa stackret  <file> [--budget N]         stack-return (dangling pointer) lint
 //! ddpa profile   <file> [--json <path>]      run both analyses, report metrics + spans
 //! ddpa gen       [--size N] [--seed S] [--minic]   emit a generated workload
+//! ddpa snapshot  <file> [names…] --out <path>      warm the memo table, write a snapshot
+//! ddpa restore   <file> <snap> [names…]            warm-start from a snapshot
 //! ddpa serve     --addr HOST:PORT [--threads N]    persistent demand-query server
 //! ddpa client    --addr HOST:PORT <op> [args…]     talk to a running server
 //! ```
@@ -73,10 +75,16 @@ commands:
   profile   <file> [--json <path>]      run both analyses, report metrics + spans
   jsonl-check <file>                    validate a JSONL metrics export
   gen       [--size N] [--seed S] [--minic]  emit a generated workload
+  snapshot  <file> [names...] --out <path>   answer queries (default: all
+            locations), then write the completed fixpoints as a durable
+            snapshot (see docs/PERSISTENCE.md)
+  restore   <file> <snap> [names...]    warm-start from a snapshot and
+            answer queries with zero deduction work
   serve     --addr HOST:PORT            persistent demand-query server
             [--threads N] [--budget N] [--timeout-ms T]
             [--port-file <path>] [--stdin-shutdown] [--metrics-out <path>]
             [--access-log <path>] [--slow-ms N]
+            [--snapshot-dir <dir>] [--snapshot-every-ms N] [--restore]
   client    --addr HOST:PORT <op>       one request against a running server:
             ping | stats | shutdown | close <session>
             open <session> <file> [--budget N]
@@ -85,6 +93,8 @@ commands:
                   [--budget N] [--timeout-ms T]
             alias <session> <a> <b> [--trace]
             targets <session> <site> [--trace]
+            snapshot <session> [--out <server-side path>]
+            restore <session> <server-side path>
             slow [limit]                the server's slowest requests
             (multi-name query sends one batch; see docs/SERVER.md)
 
@@ -117,6 +127,10 @@ struct Options {
     access_log: Option<String>,
     slow_ms: Option<u64>,
     trace: bool,
+    snapshot_dir: Option<String>,
+    snapshot_every_ms: Option<u64>,
+    restore: bool,
+    out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -191,6 +205,24 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 opts.slow_ms = Some(v.parse().map_err(|_| err(format!("bad slow-ms `{v}`")))?);
             }
             "--trace" => opts.trace = true,
+            "--snapshot-dir" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--snapshot-dir needs a directory"))?;
+                opts.snapshot_dir = Some(v.clone());
+            }
+            "--snapshot-every-ms" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--snapshot-every-ms needs a value"))?;
+                opts.snapshot_every_ms =
+                    Some(v.parse().map_err(|_| err(format!("bad interval `{v}`")))?);
+            }
+            "--restore" => opts.restore = true,
+            "--out" => {
+                let v = iter.next().ok_or_else(|| err("--out needs a path"))?;
+                opts.out = Some(v.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(err(format!("unknown option `{other}`")));
             }
@@ -523,6 +555,78 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 write!(out, "{}", ddpa::constraints::print_constraints(&cp))?;
             }
         }
+        "snapshot" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let out_path = opts
+                .out
+                .as_deref()
+                .ok_or_else(|| err("snapshot needs --out <path>"))?;
+            let cp = load_program(path, opts.minic)?;
+            // The snapshot binds to the canonical constraint text, so a
+            // MiniC input and its `ddpa dump` restore interchangeably.
+            let source = ddpa::constraints::print_constraints(&cp);
+            let shared = std::sync::Arc::new(ddpa::demand::SharedMemo::new());
+            let config = DemandConfig {
+                budget: opts.budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone())
+                .with_shared_memo(std::sync::Arc::clone(&shared));
+            let names = &opts.positional[1..];
+            let nodes: Vec<NodeId> = if names.is_empty() {
+                cp.node_ids().collect()
+            } else {
+                names
+                    .iter()
+                    .map(|n| find_node(&cp, n))
+                    .collect::<Result<_, _>>()?
+            };
+            for node in nodes {
+                let _ = engine.points_to(node);
+            }
+            let snapshot = ddpa::snap::Snapshot::of_memo(&shared, source);
+            let bytes = ddpa::snap::write_file(&snapshot, out_path)
+                .map_err(|e| err(format!("cannot write `{out_path}`: {e}")))?;
+            writeln!(
+                out,
+                "wrote {out_path}: {} fixpoint(s), {} bytes",
+                snapshot.entries.len(),
+                fmt_count(bytes as u64),
+            )?;
+        }
+        "restore" => {
+            let path = opts.positional.first().ok_or_else(|| err(USAGE))?;
+            let snap_path = opts
+                .positional
+                .get(1)
+                .ok_or_else(|| err("restore needs <file> <snap> [names...]"))?;
+            let cp = load_program(path, opts.minic)?;
+            let source = ddpa::constraints::print_constraints(&cp);
+            let snapshot = ddpa::snap::read_file(snap_path)
+                .map_err(|e| err(format!("cannot restore `{snap_path}`: {e}")))?;
+            snapshot
+                .verify_program(&source)
+                .map_err(|e| err(format!("cannot restore `{snap_path}`: {e}")))?;
+            let config = DemandConfig {
+                budget: opts.budget,
+                ..DemandConfig::default()
+            };
+            let mut engine = DemandEngine::with_obs(&cp, config, obs.clone());
+            let installed = engine.warm_start(&snapshot.entries);
+            writeln!(out, "restored {installed} fixpoint(s) from {snap_path}",)?;
+            for name in &opts.positional[2..] {
+                let node = find_node(&cp, name)?;
+                let r = engine.points_to(node);
+                let targets: Vec<String> = r.pts.iter().map(|&t| cp.display_node(t)).collect();
+                writeln!(
+                    out,
+                    "pts({name}) = {{{}}}  [work {}{}]",
+                    targets.join(", "),
+                    r.work,
+                    if r.complete { "" } else { ", UNRESOLVED" },
+                )?;
+            }
+        }
         "serve" => {
             let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:7077");
             let mut config = ddpa::serve::ServeConfig::default();
@@ -537,6 +641,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             if let Some(ms) = opts.slow_ms {
                 config.slow_ms = ms;
             }
+            config.snapshot_dir = opts.snapshot_dir.clone().map(std::path::PathBuf::from);
+            if let Some(ms) = opts.snapshot_every_ms {
+                config.snapshot_every_ms = ms;
+            }
+            config.restore_on_open = opts.restore;
             let server = ddpa::serve::Server::bind(addr, config, obs.clone())
                 .map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
             let local = server.local_addr();
@@ -703,6 +812,13 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
                 opts.budget,
                 opts.timeout_ms,
             )))
+        }
+        "snapshot" => Ok(build::snapshot(session(1)?, opts.out.as_deref())),
+        "restore" => {
+            let path = pos
+                .get(2)
+                .ok_or_else(|| err("client restore needs a server-side snapshot path"))?;
+            Ok(build::restore(session(1)?, path))
         }
         "targets" => {
             let site = pos
@@ -1043,15 +1159,25 @@ mod tests {
     /// Starts `ddpa serve` on an ephemeral port in a background thread
     /// and returns the address it bound plus the thread handle.
     fn start_serve(tag: &str) -> (String, std::thread::JoinHandle<Result<(), CliError>>) {
+        start_serve_with(tag, &[])
+    }
+
+    fn start_serve_with(
+        tag: &str,
+        extra: &[&str],
+    ) -> (String, std::thread::JoinHandle<Result<(), CliError>>) {
         let port_file = write_temp(&format!("{tag}.port"), "");
         std::fs::remove_file(&port_file).expect("clear stale port file");
         let pf = port_file.to_str().expect("utf8 path").to_string();
         let pf_thread = pf.clone();
+        let extra: Vec<String> = extra.iter().map(|s| s.to_string()).collect();
         let thread = std::thread::spawn(move || {
-            let args: Vec<String> = ["serve", "--addr", "127.0.0.1:0", "--port-file", &pf_thread]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+            let mut args: Vec<String> =
+                ["serve", "--addr", "127.0.0.1:0", "--port-file", &pf_thread]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            args.extend(extra);
             let mut out = Vec::new();
             run(&args, &mut out)
         });
@@ -1146,6 +1272,105 @@ mod tests {
             e.to_string().contains("unknown client operation"),
             "got: {e}"
         );
+    }
+
+    #[test]
+    fn snapshot_and_restore_commands_round_trip() {
+        let path = write_temp("t16.cons", "p = &o\nq = p\nr = q\n");
+        let p = path.to_str().expect("utf8 path");
+        let snap = std::env::temp_dir().join("ddpa-cli-tests/t16.snap");
+        let s = snap.to_str().expect("utf8 path");
+        let _ = std::fs::remove_file(&snap);
+
+        let out = run_to_string(&["snapshot", p, "--out", s]).expect("snapshot");
+        assert!(out.contains("fixpoint(s)"), "got: {out}");
+        assert!(snap.is_file());
+
+        // The restored engine answers identically with zero deduction work.
+        let out = run_to_string(&["restore", p, s, "r", "q"]).expect("restore");
+        assert!(out.contains("restored"), "got: {out}");
+        assert!(out.contains("pts(r) = {o}  [work 0]"), "got: {out}");
+        assert!(out.contains("pts(q) = {o}  [work 0]"), "got: {out}");
+
+        // A MiniC program snapshots via its canonical constraint text.
+        let mc = write_temp("t16.mc", "int g; void main() { int *p = &g; }");
+        let m = mc.to_str().expect("utf8 path");
+        let snap2 = std::env::temp_dir().join("ddpa-cli-tests/t16b.snap");
+        let s2 = snap2.to_str().expect("utf8 path");
+        run_to_string(&["snapshot", m, "main::p", "--out", s2]).expect("minic snapshot");
+        let out = run_to_string(&["restore", m, s2, "main::p"]).expect("minic restore");
+        assert!(out.contains("pts(main::p) = {g}  [work 0]"), "got: {out}");
+    }
+
+    #[test]
+    fn restore_refuses_corrupt_and_mismatched_snapshots() {
+        let path = write_temp("t17.cons", "p = &o\n");
+        let p = path.to_str().expect("utf8 path");
+
+        // Garbage bytes are not a snapshot.
+        let bad = write_temp("t17-bad.snap", "this is not a snapshot");
+        let b = bad.to_str().expect("utf8 path");
+        let e = run_to_string(&["restore", p, b]).expect_err("corrupt refused");
+        assert!(e.to_string().contains("cannot restore"), "got: {e}");
+
+        // A single flipped byte breaks the checksum.
+        let snap = std::env::temp_dir().join("ddpa-cli-tests/t17.snap");
+        let s = snap.to_str().expect("utf8 path");
+        run_to_string(&["snapshot", p, "--out", s]).expect("snapshot");
+        let mut bytes = std::fs::read(&snap).expect("read snapshot");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap, &bytes).expect("corrupt it");
+        let e = run_to_string(&["restore", p, s]).expect_err("bad crc refused");
+        assert!(e.to_string().contains("corrupt snapshot"), "got: {e}");
+
+        // A snapshot of a different program is refused by hash.
+        let other = write_temp("t17-other.cons", "x = &y\n");
+        let o = other.to_str().expect("utf8 path");
+        run_to_string(&["snapshot", o, "--out", s]).expect("snapshot other");
+        let e = run_to_string(&["restore", p, s]).expect_err("mismatch refused");
+        assert!(e.to_string().contains("different program"), "got: {e}");
+    }
+
+    #[test]
+    fn serve_snapshot_flags_and_client_ops() {
+        let dir = std::env::temp_dir().join("ddpa-cli-tests/t18-snaps");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().expect("utf8 path").to_string();
+        let (addr, server) = start_serve_with("t18", &["--snapshot-dir", &d, "--restore"]);
+        let cons = write_temp("t18.cons", "p = &o\nq = p\nr = q\n");
+        let c = cons.to_str().expect("utf8 path");
+
+        run_to_string(&["client", "--addr", &addr, "open", "s", c]).expect("open");
+        run_to_string(&["client", "--addr", &addr, "query", "s", "r"]).expect("query");
+        let out =
+            run_to_string(&["client", "--addr", &addr, "snapshot", "s"]).expect("snapshot op");
+        assert!(out.contains("\"entries\":"), "got: {out}");
+        assert!(
+            dir.join("s.snap").is_file(),
+            "snapshot landed in --snapshot-dir"
+        );
+
+        // Close and re-open: --restore warm-starts the session from disk.
+        run_to_string(&["client", "--addr", &addr, "close", "s"]).expect("close");
+        let out = run_to_string(&["client", "--addr", &addr, "open", "s", c]).expect("re-open");
+        assert!(out.contains("\"restored\":"), "got: {out}");
+        assert!(!out.contains("\"restored\":0"), "warm re-open, got: {out}");
+
+        // Explicit restore into a second session over the same program.
+        let snap_path = dir.join("s.snap");
+        let sp = snap_path.to_str().expect("utf8 path");
+        run_to_string(&["client", "--addr", &addr, "open", "twin", c]).expect("open twin");
+        let out =
+            run_to_string(&["client", "--addr", &addr, "restore", "twin", sp]).expect("restore op");
+        assert!(out.contains("\"installed\":"), "got: {out}");
+
+        run_to_string(&["client", "--addr", &addr, "shutdown"]).expect("shutdown");
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

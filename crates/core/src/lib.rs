@@ -12,6 +12,7 @@
 //! | [`clients`] | `ddpa-callgraph` | call-graph, reachability, dereference-audit clients |
 //! | [`gen`] | `ddpa-gen` | deterministic workload generators and the benchmark suite |
 //! | [`cxt`] | `ddpa-cxt` | context-sensitivity via bounded call-string cloning |
+//! | [`snap`] | `ddpa-snap` | durable memo snapshots: versioned binary format, warm-start restore |
 //! | [`support`] | `ddpa-support` | sets, indices, interner, SCC, union-find |
 //!
 //! # Quick start
@@ -72,6 +73,9 @@ pub use ddpa_obs as obs;
 
 /// Persistent demand-query server and client (re-export of `ddpa-serve`).
 pub use ddpa_serve as serve;
+
+/// Durable memo snapshots and warm-start restore (re-export of `ddpa-snap`).
+pub use ddpa_snap as snap;
 
 /// Convenience: parse MiniC source, check it, and lower to constraints.
 ///

@@ -567,6 +567,59 @@ impl<'p> DemandEngine<'p> {
         }
     }
 
+    /// Installs a completed fixpoint as a tabled, complete goal without
+    /// deriving it — the warm-start path used by snapshot restore
+    /// ([`ddpa-snap`](../../ddpa_snap/index.html)). Equivalent to the
+    /// shared-memo hit branch of `activate`: the whole subtree below
+    /// `goal` costs zero rule firings, and later subscribers replay
+    /// `elems` from cursor 0 exactly as with a locally completed goal.
+    ///
+    /// Returns `false` (and installs nothing) when the goal is already
+    /// tabled locally — a warm start must never overwrite live deduction
+    /// state — or when caching is disabled.
+    ///
+    /// The caller is responsible for only installing fixpoints computed
+    /// over the *same program*; snapshot restore verifies the program
+    /// hash first.
+    pub fn install_completed(&mut self, goal: Goal, result: &CompletedGoal) -> bool {
+        if !self.config.caching || self.index.contains_key(&goal) {
+            return false;
+        }
+        let gi = self.goals.len() as u32;
+        self.goals.push(GoalState::new());
+        self.keys.push(goal);
+        self.index.insert(goal, gi);
+        let slot = self.cycles.push();
+        debug_assert_eq!(slot, gi, "union-find aligned with goal table");
+        self.counters.goals_activated.inc();
+        let state = &mut self.goals[gi as usize];
+        for &v in &result.elems {
+            state.members.insert(v);
+            state.elems.push(v);
+        }
+        state.needs_init = false;
+        state.complete = true;
+        if self.config.trace {
+            for &(v, origin) in &result.provenance {
+                self.provenance.insert((goal, v), origin);
+            }
+        }
+        self.published.insert(goal);
+        true
+    }
+
+    /// Bulk [`install_completed`](Self::install_completed); returns how
+    /// many goals were actually installed.
+    pub fn warm_start<'e, I>(&mut self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = &'e (Goal, CompletedGoal)>,
+    {
+        entries
+            .into_iter()
+            .filter(|(goal, result)| self.install_completed(*goal, result))
+            .count()
+    }
+
     fn enqueue(&mut self, gi: u32) {
         let state = &mut self.goals[gi as usize];
         if !state.on_list {
@@ -1149,6 +1202,31 @@ mod tests {
         let targets = engine.call_targets(cs);
         assert!(targets.resolved);
         assert_eq!(targets.targets.len(), 1);
+    }
+
+    #[test]
+    fn warm_start_installs_fixpoints_and_answers_with_zero_work() {
+        let cp = ddpa_constraints::parse_constraints("p = &o\nq = p\nr = q\n").expect("parses");
+        // Derive the fixpoints once, capture the export.
+        let shared = std::sync::Arc::new(crate::SharedMemo::new());
+        let mut warm = DemandEngine::new(&cp, DemandConfig::default())
+            .with_shared_memo(std::sync::Arc::clone(&shared));
+        let full = warm.points_to(node(&cp, "r"));
+        let exported = shared.export_completed();
+        assert!(!exported.is_empty());
+
+        // A fresh engine (no shared table at all) warm-starts from them.
+        let mut cold = DemandEngine::new(&cp, DemandConfig::default());
+        let installed = cold.warm_start(&exported);
+        assert_eq!(installed, exported.len());
+        // Re-installing is a no-op: the goals are already tabled.
+        assert_eq!(cold.warm_start(&exported), 0);
+        let reused = cold.points_to(node(&cp, "r"));
+        assert_eq!(reused.pts, full.pts);
+        assert_eq!(reused.work, 0, "restored answer costs zero rule firings");
+        // And the memo keeps working for queries beyond the snapshot.
+        let o = cold.points_to(node(&cp, "o"));
+        assert!(o.complete);
     }
 
     #[test]

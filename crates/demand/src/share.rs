@@ -192,6 +192,72 @@ impl SharedMemo {
         (inserted, evicted)
     }
 
+    /// Eagerly sweeps every shard, dropping all entries from generations
+    /// older than the current one; returns how many were evicted.
+    ///
+    /// Normally eviction is lazy (the first touch of a shard after a
+    /// [`bump_generation`](Self::bump_generation) sweeps it), which is
+    /// fine for serving but wrong for persistence: a snapshot taken from
+    /// a half-swept table would serialize dead generations.
+    /// [`export_completed`](Self::export_completed) calls this first.
+    pub fn compact(&self) -> u64 {
+        let current = self.generation();
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).sweep(current))
+            .sum()
+    }
+
+    /// Exports every current-generation fixpoint as a deterministically
+    /// sorted list of `(goal, result)` pairs.
+    ///
+    /// Compacts first, so the export never contains stale generations.
+    /// The order is canonical (all `Pts` goals by node id, then all
+    /// `Ptb`), making exports byte-stable for snapshotting regardless of
+    /// which worker published which entry.
+    pub fn export_completed(&self) -> Vec<(Goal, CompletedGoal)> {
+        self.compact();
+        let mut out: Vec<(Goal, CompletedGoal)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            out.extend(
+                shard
+                    .entries
+                    .iter()
+                    .map(|(goal, entry)| (*goal, entry.result.clone())),
+            );
+        }
+        out.sort_by_key(|&(goal, _)| match goal {
+            Goal::Pts(n) => (0u8, n.as_u32()),
+            Goal::Ptb(n) => (1u8, n.as_u32()),
+        });
+        out
+    }
+
+    /// Bulk-installs fixpoints at the table's *current* generation;
+    /// returns how many were newly inserted.
+    ///
+    /// This is the restore half of [`export_completed`](Self::export_completed).
+    /// First-writer-wins semantics are preserved: entries already
+    /// published (e.g. by a worker that raced the restore) are left
+    /// untouched — fixpoints under a fixed program are unique, so the
+    /// copies agree. The caller is responsible for checking that the
+    /// imported entries were computed over the *same program* (snapshot
+    /// restore verifies the program hash before calling this).
+    pub fn import<I>(&self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = (Goal, CompletedGoal)>,
+    {
+        let generation = self.generation();
+        let mut installed = 0;
+        for (goal, result) in entries {
+            if self.publish(generation, goal, result).0 {
+                installed += 1;
+            }
+        }
+        installed
+    }
+
     /// Number of entries currently stored (including not-yet-evicted
     /// stale ones).
     pub fn len(&self) -> usize {
@@ -286,6 +352,67 @@ mod tests {
         assert_eq!(memo.len(), 0);
         let resweep: u64 = (0..256).map(|n| memo.lookup(1, goal(n)).1).sum();
         assert_eq!(resweep, 0);
+    }
+
+    #[test]
+    fn compact_reports_every_stale_entry_exactly_once() {
+        let memo = SharedMemo::new();
+        for n in 0..256 {
+            memo.publish(0, goal(n), entry(&[n]));
+        }
+        // Nothing is stale yet, so compaction is a no-op.
+        assert_eq!(memo.compact(), 0);
+        memo.bump_generation();
+        // One lookup lazily sweeps a single shard; compact must account
+        // for everything else and must not double-count that shard.
+        let (_, swept_early) = memo.lookup(1, goal(0));
+        assert_eq!(memo.compact() + swept_early, 256);
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.compact(), 0, "second compact finds nothing");
+    }
+
+    #[test]
+    fn export_is_sorted_skips_stale_and_round_trips_through_import() {
+        let memo = SharedMemo::new();
+        memo.publish(0, Goal::Ptb(NodeId::from_u32(2)), entry(&[9]));
+        memo.publish(0, goal(7), entry(&[1, 4]));
+        memo.publish(0, goal(3), entry(&[2]));
+        let exported = memo.export_completed();
+        let order: Vec<Goal> = exported.iter().map(|&(g, _)| g).collect();
+        assert_eq!(
+            order,
+            vec![goal(3), goal(7), Goal::Ptb(NodeId::from_u32(2))],
+            "canonical order: Pts by node, then Ptb"
+        );
+
+        // Import into a fresh table: everything lands, answers intact.
+        let fresh = SharedMemo::new();
+        assert_eq!(fresh.import(exported.clone()), 3);
+        assert_eq!(fresh.lookup(0, goal(7)).0.expect("hit").elems, vec![1, 4]);
+        // Re-import is first-writer-wins: nothing new.
+        assert_eq!(fresh.import(exported), 0);
+
+        // A bump makes the old entries stale; export must not see them.
+        memo.bump_generation();
+        memo.publish(1, goal(11), entry(&[5]));
+        let after = memo.export_completed();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].0, goal(11));
+    }
+
+    #[test]
+    fn import_lands_at_the_current_generation() {
+        let source = SharedMemo::new();
+        source.publish(0, goal(1), entry(&[8]));
+        let exported = source.export_completed();
+
+        let target = SharedMemo::new();
+        target.bump_generation();
+        target.bump_generation();
+        assert_eq!(target.import(exported), 1);
+        // Visible at the target's own generation, not the source's.
+        assert_eq!(target.lookup(2, goal(1)).0.expect("hit").elems, vec![8]);
+        assert!(target.lookup(0, goal(1)).0.is_none());
     }
 
     #[test]

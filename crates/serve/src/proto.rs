@@ -82,6 +82,19 @@ pub enum Request {
         /// Cap on returned entries (defaults to the whole ring).
         limit: Option<u64>,
     },
+    /// Persist a session's completed fixpoints as a snapshot file on the
+    /// *server's* filesystem.
+    Snapshot {
+        session: String,
+        /// Target path; defaults to `<snapshot-dir>/<session>.snap` when
+        /// the server was started with `--snapshot-dir`.
+        path: Option<String>,
+    },
+    /// Warm-start a session from a snapshot file on the *server's*
+    /// filesystem. Deliberately path-based, never inline: a multi-MB
+    /// snapshot payload would trip the bounded line reader
+    /// (`max_line_bytes`) and be truncated mid-frame.
+    Restore { session: String, path: String },
 }
 
 /// Stable machine-readable error codes.
@@ -107,6 +120,9 @@ pub enum ErrorCode {
     Busy,
     /// The server is shutting down.
     ShuttingDown,
+    /// A snapshot could not be written or restored (io failure, corrupt
+    /// file, format-version or program-hash mismatch).
+    Snapshot,
 }
 
 impl ErrorCode {
@@ -123,6 +139,7 @@ impl ErrorCode {
             ErrorCode::BadProgram => "bad-program",
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Snapshot => "snapshot-error",
         }
     }
 }
@@ -196,6 +213,16 @@ fn opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, ProtoError> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn opt_str(v: &JsonValue, key: &str) -> Result<Option<String>, ProtoError> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
     }
 }
 
@@ -294,6 +321,22 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
         "slow" => Ok(Request::Slow {
             limit: opt_u64(v, "limit")?,
         }),
+        "snapshot" => Ok(Request::Snapshot {
+            session: need_str(v, "session")?,
+            path: opt_str(v, "path")?,
+        }),
+        "restore" => {
+            if v.get("data").is_some() || v.get("bytes").is_some() {
+                return Err(bad(
+                    "restore takes a server-side \"path\", not an inline payload \
+                     (snapshots exceed the line-length limit)",
+                ));
+            }
+            Ok(Request::Restore {
+                session: need_str(v, "session")?,
+                path: need_str(v, "path")?,
+            })
+        }
         other => Err(ProtoError::new(
             ErrorCode::UnknownOp,
             format!("unknown op {other:?}"),
@@ -393,6 +436,29 @@ pub mod build {
                 ("site", JsonValue::U64(*site)),
             ],
         }
+    }
+
+    /// `{"op":"snapshot","session":...}` — persist a session's memo to a
+    /// server-side file (default path under the server's snapshot dir).
+    pub fn snapshot(session: &str, path: Option<&str>) -> JsonValue {
+        let mut fields = vec![
+            ("op", JsonValue::str("snapshot")),
+            ("session", JsonValue::str(session)),
+        ];
+        if let Some(p) = path {
+            fields.push(("path", JsonValue::str(p)));
+        }
+        obj(fields)
+    }
+
+    /// `{"op":"restore","session":...,"path":...}` — warm-start a session
+    /// from a server-side snapshot file.
+    pub fn restore(session: &str, path: &str) -> JsonValue {
+        obj(vec![
+            ("op", JsonValue::str("restore")),
+            ("session", JsonValue::str(session)),
+            ("path", JsonValue::str(path)),
+        ])
     }
 
     pub fn query(
@@ -522,6 +588,37 @@ mod tests {
             round_trip(&build::slow(None)),
             Request::Slow { limit: None }
         );
+        assert_eq!(
+            round_trip(&build::snapshot("s", None)),
+            Request::Snapshot {
+                session: "s".into(),
+                path: None,
+            }
+        );
+        assert_eq!(
+            round_trip(&build::snapshot("s", Some("/var/snaps/s.snap"))),
+            Request::Snapshot {
+                session: "s".into(),
+                path: Some("/var/snaps/s.snap".into()),
+            }
+        );
+        assert_eq!(
+            round_trip(&build::restore("s", "/var/snaps/s.snap")),
+            Request::Restore {
+                session: "s".into(),
+                path: "/var/snaps/s.snap".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn restore_refuses_inline_payloads() {
+        let v =
+            parse_json("{\"op\":\"restore\",\"session\":\"s\",\"path\":\"f\",\"data\":\"AAAA\"}")
+                .expect("valid JSON");
+        let err = parse_request(&v).expect_err("inline payload refused");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("server-side"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -71,6 +71,20 @@ pub struct ServeConfig {
     /// How many of the slowest query/batch requests the in-memory ring
     /// retains for the `slow` op.
     pub slow_keep: usize,
+    /// Directory for session snapshots: the default target of the
+    /// `snapshot` op, the source scanned by restore-on-open, and the
+    /// output of the periodic snapshotter (`None` = snapshotting has no
+    /// default location; explicit `snapshot` paths still work).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Period of the background snapshotter thread in milliseconds
+    /// (0 = disabled). Requires `snapshot_dir`.
+    pub snapshot_every_ms: u64,
+    /// Warm-start newly opened sessions from
+    /// `<snapshot_dir>/<session>.snap` when that file exists and matches
+    /// the program. Mismatches and corrupt files are counted
+    /// (`snap.reject`) and the open proceeds cold — warm-starting is
+    /// best-effort by design.
+    pub restore_on_open: bool,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +104,9 @@ impl Default for ServeConfig {
             access_log: None,
             slow_ms: 100,
             slow_keep: 32,
+            snapshot_dir: None,
+            snapshot_every_ms: 0,
+            restore_on_open: false,
         }
     }
 }
@@ -105,6 +122,15 @@ struct ServerCounters {
     sessions_closed: Counter,
     invalidations: Counter,
     batch_queries: Counter,
+    /// Snapshot files written (`snapshot` op + periodic snapshotter).
+    snap_writes: Counter,
+    /// Snapshots successfully restored (`restore` op + restore-on-open).
+    snap_loads: Counter,
+    /// Snapshot loads refused: corrupt file, version mismatch, program
+    /// hash mismatch, or unreadable path.
+    snap_rejects: Counter,
+    /// Total snapshot bytes written.
+    snap_bytes: Counter,
 }
 
 impl ServerCounters {
@@ -119,6 +145,10 @@ impl ServerCounters {
             sessions_closed: obs.counter("server.sessions_closed"),
             invalidations: obs.counter("server.invalidations"),
             batch_queries: obs.counter("server.batch_queries"),
+            snap_writes: obs.counter("snap.write"),
+            snap_loads: obs.counter("snap.load"),
+            snap_rejects: obs.counter("snap.reject"),
+            snap_bytes: obs.counter("snap.bytes"),
         }
     }
 }
@@ -266,8 +296,24 @@ impl Server {
     }
 
     /// Runs the accept loop until shutdown; joins every connection thread
-    /// before returning.
+    /// (and the background snapshotter, when configured) before
+    /// returning.
     pub fn run(self) -> std::io::Result<()> {
+        // Periodic durability: a detached ticker writes every session's
+        // snapshot into the snapshot dir, so a crash loses at most one
+        // period of memo growth. It exits (after one final pass) when
+        // the shutdown flag rises.
+        let snapshotter = if self.state.config.snapshot_dir.is_some()
+            && self.state.config.snapshot_every_ms > 0
+        {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("ddpa-serve-snap".to_string())
+                .spawn(move || snapshot_loop(&state))
+                .ok()
+        } else {
+            None
+        };
         let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if self.state.shutting_down() {
@@ -279,6 +325,10 @@ impl Server {
                 Err(e) => {
                     if self.state.shutting_down() {
                         break;
+                    }
+                    self.state.trigger_shutdown();
+                    if let Some(t) = snapshotter {
+                        let _ = t.join();
                     }
                     return Err(e);
                 }
@@ -317,7 +367,93 @@ impl Server {
         for t in threads {
             let _ = t.join();
         }
+        if let Some(t) = snapshotter {
+            let _ = t.join();
+        }
         Ok(())
+    }
+}
+
+/// File name a session snapshots to under the server's snapshot dir.
+/// Session names are client-controlled, so anything outside
+/// `[A-Za-z0-9._-]` is replaced — the result is always a bare file name
+/// that cannot escape the directory.
+fn snapshot_file_name(session: &str) -> String {
+    let safe: String = session
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}.snap")
+}
+
+/// `<snapshot_dir>/<session>.snap`, when a snapshot dir is configured.
+fn default_snapshot_path(state: &ServerState, session: &str) -> Option<PathBuf> {
+    state
+        .config
+        .snapshot_dir
+        .as_ref()
+        .map(|dir| dir.join(snapshot_file_name(session)))
+}
+
+/// Exports one session's completed fixpoints and atomically writes them
+/// to `path`; returns `(entries, bytes, generation)`.
+fn write_session_snapshot(
+    state: &ServerState,
+    session: &Arc<Mutex<Session>>,
+    path: &Path,
+) -> Result<(usize, usize, u64), ddpa_snap::SnapError> {
+    let _span = state.obs.span("snap.write");
+    let s = lock_session(session);
+    let snapshot = s.export_snapshot();
+    let generation = s.generation();
+    drop(s);
+    let entries = snapshot.entries.len();
+    let bytes = ddpa_snap::write_file(&snapshot, path)?;
+    state.counters.snap_writes.inc();
+    state.counters.snap_bytes.add(bytes as u64);
+    Ok((entries, bytes, generation))
+}
+
+/// Writes every live session's snapshot into the snapshot dir. Failures
+/// are counted (`server.errors`) but never fatal: the next tick retries.
+fn snapshot_all_sessions(state: &ServerState) {
+    let sessions: Vec<(String, Arc<Mutex<Session>>)> = lock_sessions(state)
+        .iter()
+        .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+        .collect();
+    for (name, handle) in sessions {
+        if let Some(path) = default_snapshot_path(state, &name) {
+            if write_session_snapshot(state, &handle, &path).is_err() {
+                state.counters.errors.inc();
+            }
+        }
+    }
+}
+
+/// Body of the background snapshotter thread: every `snapshot_every_ms`
+/// persist all sessions, sleeping in [`READ_TICK`] steps so shutdown is
+/// honoured promptly; one final pass runs at shutdown so the freshest
+/// memo state is on disk for the next process.
+fn snapshot_loop(state: &ServerState) {
+    let period = Duration::from_millis(state.config.snapshot_every_ms.max(1));
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < period {
+            if state.shutting_down() {
+                snapshot_all_sessions(state);
+                return;
+            }
+            let step = READ_TICK.min(period - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        snapshot_all_sessions(state);
     }
 }
 
@@ -585,6 +721,8 @@ fn request_summary(request: &Request) -> (&'static str, Option<String>) {
         Request::AddConstraints { session, .. } => ("add-constraints", Some(session.clone())),
         Request::Query { session, .. } => ("query", Some(session.clone())),
         Request::Batch { session, .. } => ("batch", Some(session.clone())),
+        Request::Snapshot { session, .. } => ("snapshot", Some(session.clone())),
+        Request::Restore { session, .. } => ("restore", Some(session.clone())),
     }
 }
 
@@ -825,7 +963,29 @@ fn dispatch(
             budget,
         } => {
             let _span = state.obs.span("server.request.open");
-            let new = Session::open(&program, minic, budget)?;
+            let mut new = Session::open(&program, minic, budget)?;
+            // Best-effort warm start: a matching snapshot in the
+            // snapshot dir seeds the fresh session's shared memo, so its
+            // first queries are share hits instead of cold deduction. A
+            // missing, corrupt, or mismatched snapshot leaves the open
+            // cold — restore failures must never fail an open.
+            let mut restored = 0u64;
+            if state.config.restore_on_open {
+                if let Some(path) = default_snapshot_path(state, &session) {
+                    if path.exists() {
+                        match ddpa_snap::read_file(&path) {
+                            Ok(snapshot) => match new.restore_snapshot(&snapshot) {
+                                Ok(n) => {
+                                    restored = n as u64;
+                                    state.counters.snap_loads.inc();
+                                }
+                                Err(_) => state.counters.snap_rejects.inc(),
+                            },
+                            Err(_) => state.counters.snap_rejects.inc(),
+                        }
+                    }
+                }
+            }
             let (nodes, constraints) = (new.program().num_nodes(), new.program().num_constraints());
             let mut sessions = lock_sessions(state);
             if sessions.contains_key(&session) {
@@ -845,6 +1005,7 @@ fn dispatch(
                         ("nodes", JsonValue::U64(nodes as u64)),
                         ("constraints", JsonValue::U64(constraints as u64)),
                         ("generation", JsonValue::U64(0)),
+                        ("restored", JsonValue::U64(restored)),
                     ],
                 ),
                 After::Continue,
@@ -995,6 +1156,63 @@ fn dispatch(
             }
             *report_out = Some(report);
             Ok((ok_response("batch", fields), After::Continue))
+        }
+        Request::Snapshot { session, path } => {
+            let _span = state.obs.span("server.request.snapshot");
+            let handle = get_session(state, &session)?;
+            let path = match path {
+                Some(p) => PathBuf::from(p),
+                None => default_snapshot_path(state, &session).ok_or_else(|| {
+                    ProtoError::new(
+                        ErrorCode::Snapshot,
+                        "no \"path\" given and the server has no --snapshot-dir",
+                    )
+                })?,
+            };
+            let (entries, bytes, generation) = write_session_snapshot(state, &handle, &path)
+                .map_err(|e| ProtoError::new(ErrorCode::Snapshot, e.to_string()))?;
+            let shown = path.display().to_string();
+            Ok((
+                ok_response(
+                    "snapshot",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("path", JsonValue::str(shown.as_str())),
+                        ("entries", JsonValue::U64(entries as u64)),
+                        ("bytes", JsonValue::U64(bytes as u64)),
+                        ("generation", JsonValue::U64(generation)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
+        Request::Restore { session, path } => {
+            let _span = state.obs.span("server.request.restore");
+            let handle = get_session(state, &session)?;
+            let snapshot = ddpa_snap::read_file(&path).map_err(|e| {
+                state.counters.snap_rejects.inc();
+                ProtoError::new(ErrorCode::Snapshot, format!("cannot restore {path:?}: {e}"))
+            })?;
+            let mut s = lock_session(&handle);
+            let installed = s
+                .restore_snapshot(&snapshot)
+                .inspect_err(|_| state.counters.snap_rejects.inc())?;
+            let generation = s.generation();
+            drop(s);
+            state.counters.snap_loads.inc();
+            Ok((
+                ok_response(
+                    "restore",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("path", JsonValue::str(path.as_str())),
+                        ("installed", JsonValue::U64(installed as u64)),
+                        ("entries", JsonValue::U64(snapshot.entries.len() as u64)),
+                        ("generation", JsonValue::U64(generation)),
+                    ],
+                ),
+                After::Continue,
+            ))
         }
     }
 }

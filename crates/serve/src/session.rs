@@ -343,6 +343,34 @@ impl Session {
         self.engine.tabled_goals()
     }
 
+    /// The shared memo table the warm engine and batch workers publish
+    /// into.
+    pub fn shared_memo(&self) -> &Arc<SharedMemo> {
+        &self.shared
+    }
+
+    /// Captures the session's completed fixpoints as a snapshot, stamped
+    /// with the session's canonical program text. Compacts the shared
+    /// table first, so stale generations are never serialized.
+    pub fn export_snapshot(&self) -> ddpa_snap::Snapshot {
+        ddpa_snap::Snapshot::of_memo(&self.shared, self.source.clone())
+    }
+
+    /// Warm-starts the session from a snapshot: verifies the snapshot's
+    /// program hash against the session's canonical text, then imports
+    /// the fixpoints into the shared table (where the warm engine's next
+    /// activation of each goal finds them at zero cost). Returns how many
+    /// entries were newly installed.
+    pub fn restore_snapshot(
+        &mut self,
+        snapshot: &ddpa_snap::Snapshot,
+    ) -> Result<usize, ProtoError> {
+        snapshot
+            .verify_program(&self.source)
+            .map_err(|e| ProtoError::new(ErrorCode::Snapshot, e.to_string()))?;
+        Ok(snapshot.install(&self.shared))
+    }
+
     /// Appends constraint text to the session's program.
     ///
     /// Re-parses the combined source, atomically swaps the engine onto

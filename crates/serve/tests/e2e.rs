@@ -501,3 +501,259 @@ fn minic_sessions_work_over_the_wire() {
         BTreeSet::from(["g".to_string()])
     );
 }
+
+// ---------------------------------------------------------------------
+// Snapshot / warm-start (ddpa-snap integration)
+// ---------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ddpa-serve-snap-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp snapshot dir");
+    dir
+}
+
+#[test]
+fn snapshot_then_restore_warm_starts_across_server_restarts() {
+    let dir = temp_dir("restart");
+    let program = {
+        let mut text = String::new();
+        for i in 0..12 {
+            text.push_str(&format!("p{i} = &o{i}\nq{i} = p{i}\nr{i} = q{i}\n"));
+        }
+        text
+    };
+    let specs: Vec<QuerySpec> = (0..12)
+        .map(|i| QuerySpec::PointsTo {
+            name: format!("r{i}"),
+        })
+        .collect();
+
+    // First life: warm the session, snapshot it, remember the answers.
+    let mut cold_answers = Vec::new();
+    {
+        let server = TestServer::start(ServeConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let mut c = server.client();
+        c.expect_ok(&build::open("warm", &program, false, None))
+            .expect("open");
+        for spec in &specs {
+            let resp = c
+                .expect_ok(&build::query("warm", spec, None, None))
+                .expect("query");
+            cold_answers.push(result_pts(resp.get("result").expect("result")));
+        }
+        let snap = c
+            .expect_ok(&build::snapshot("warm", None))
+            .expect("snapshot op");
+        assert!(snap.get("entries").and_then(JsonValue::as_u64).unwrap_or(0) > 0);
+        assert!(snap.get("bytes").and_then(JsonValue::as_u64).unwrap_or(0) > 0);
+        assert_eq!(server.obs.counter("snap.write").get(), 1);
+        assert!(server.obs.counter("snap.bytes").get() > 0);
+    }
+    assert!(
+        dir.join("warm.snap").is_file(),
+        "snapshot landed in the dir"
+    );
+
+    // Second life: restore-on-open warm-starts the same session name.
+    let server = TestServer::start(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        restore_on_open: true,
+        ..ServeConfig::default()
+    });
+    let mut c = server.client();
+    let opened = c
+        .expect_ok(&build::open("warm", &program, false, None))
+        .expect("open restores");
+    assert!(
+        opened
+            .get("restored")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "open reports restored entries: {opened}"
+    );
+    assert_eq!(server.obs.counter("snap.load").get(), 1);
+
+    // The first post-restore query is served from the restored memo:
+    // nonzero share hits, zero work, bit-identical answer.
+    for (spec, cold) in specs.iter().zip(&cold_answers) {
+        let resp = c
+            .expect_ok(&build::with_trace(build::query("warm", spec, None, None)))
+            .expect("restored query");
+        let result = resp.get("result").expect("result");
+        assert_eq!(&result_pts(result), cold, "restored answers bit-identical");
+        assert_eq!(result.get("work").and_then(JsonValue::as_u64), Some(0));
+    }
+    assert!(
+        server.obs.counter("demand.share.hits").get() > 0,
+        "post-restore queries report shared-memo hits"
+    );
+
+    // Explicit `restore` op into a *different* session over the same
+    // program works too.
+    c.expect_ok(&build::open("twin", &program, false, None))
+        .expect("open twin");
+    let restored = c
+        .expect_ok(&build::restore(
+            "twin",
+            &dir.join("warm.snap").display().to_string(),
+        ))
+        .expect("restore op");
+    assert!(
+        restored
+            .get("installed")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{restored}"
+    );
+    let resp = c
+        .expect_ok(&build::query("twin", &specs[0], None, None))
+        .expect("twin query");
+    assert_eq!(
+        result_pts(resp.get("result").expect("result")),
+        cold_answers[0]
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_mismatched_snapshots_are_cleanly_refused() {
+    let dir = temp_dir("refuse");
+    let server = TestServer::start(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        restore_on_open: true,
+        ..ServeConfig::default()
+    });
+    let mut c = server.client();
+    c.expect_ok(&build::open("a", "p = &o\nq = p\n", false, None))
+        .expect("open a");
+
+    // A corrupt file: refused with the snapshot error code, server fine.
+    let corrupt = dir.join("corrupt.snap");
+    std::fs::write(&corrupt, b"DDPASNAPgarbage-that-is-not-a-snapshot").expect("write");
+    let resp = c
+        .request(&build::restore("a", &corrupt.display().to_string()))
+        .expect("answered");
+    assert!(!ok(&resp));
+    assert_eq!(error_code(&resp), "snapshot-error");
+    assert_eq!(server.obs.counter("snap.reject").get(), 1);
+
+    // A valid snapshot of a *different* program: program-hash mismatch.
+    c.expect_ok(&build::snapshot(
+        "a",
+        Some(&dir.join("a.snap").display().to_string()),
+    ))
+    .expect("snapshot a");
+    c.expect_ok(&build::open("b", "x = &y\nz = x\n", false, None))
+        .expect("open b");
+    let resp = c
+        .request(&build::restore(
+            "b",
+            &dir.join("a.snap").display().to_string(),
+        ))
+        .expect("answered");
+    assert!(!ok(&resp));
+    assert_eq!(error_code(&resp), "snapshot-error");
+    assert_eq!(server.obs.counter("snap.reject").get(), 2);
+
+    // Restore-on-open over a mismatched snapshot proceeds cold instead
+    // of failing the open.
+    std::fs::copy(dir.join("a.snap"), dir.join("c.snap")).expect("copy");
+    let opened = c
+        .expect_ok(&build::open("c", "m = &n\n", false, None))
+        .expect("open proceeds cold");
+    assert_eq!(opened.get("restored").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(server.obs.counter("snap.reject").get(), 3);
+
+    // The server still answers queries after every refusal.
+    let resp = c
+        .expect_ok(&build::query(
+            "a",
+            &QuerySpec::PointsTo { name: "q".into() },
+            None,
+            None,
+        ))
+        .expect("query");
+    assert_eq!(
+        result_pts(resp.get("result").expect("result")),
+        BTreeSet::from(["o".to_string()])
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_inline_restore_payload_gets_a_clean_error() {
+    // Regression test for the protocol decision that `restore` takes a
+    // server-side path: a client that tries to inline a snapshot payload
+    // larger than max_line_bytes must get a clean `oversized` error and
+    // a usable connection afterwards, not a truncated-frame mess.
+    let server = TestServer::start(ServeConfig {
+        max_line_bytes: 1024,
+        ..ServeConfig::default()
+    });
+    let mut c = server.client();
+    let payload = "A".repeat(8 * 1024); // "snapshot" blob, base64-ish
+    let line = format!("{{\"op\":\"restore\",\"session\":\"s\",\"data\":\"{payload}\"}}");
+    let resp = c.roundtrip_line(&line).expect("answered");
+    let resp = ddpa_obs::parse_json(&resp).expect("valid JSON error");
+    assert!(!ok(&resp));
+    assert_eq!(error_code(&resp), "oversized");
+
+    // The connection resynchronized: the next request works.
+    let resp = c.request(&build::ping()).expect("ping after oversized");
+    assert!(ok(&resp), "{resp}");
+
+    // And an under-limit inline payload is refused by the parser with a
+    // clean bad-request explaining the path-based contract.
+    let resp = c
+        .request(
+            &ddpa_obs::parse_json(
+                "{\"op\":\"restore\",\"session\":\"s\",\"path\":\"f\",\"data\":\"AA\"}",
+            )
+            .expect("valid"),
+        )
+        .expect("answered");
+    assert!(!ok(&resp));
+    assert_eq!(error_code(&resp), "bad-request");
+}
+
+#[test]
+fn periodic_snapshotter_persists_sessions_without_being_asked() {
+    let dir = temp_dir("periodic");
+    let server = TestServer::start(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        snapshot_every_ms: 100,
+        ..ServeConfig::default()
+    });
+    let mut c = server.client();
+    c.expect_ok(&build::open("bg", "p = &o\nq = p\n", false, None))
+        .expect("open");
+    c.expect_ok(&build::query(
+        "bg",
+        &QuerySpec::PointsTo { name: "q".into() },
+        None,
+        None,
+    ))
+    .expect("query");
+    // Wait out a couple of ticks; the snapshotter must write on its own.
+    let path = dir.join("bg.snap");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !path.is_file() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(path.is_file(), "periodic snapshotter wrote {path:?}");
+    assert!(server.obs.counter("snap.write").get() >= 1);
+    // Shutdown runs one final pass and joins the ticker (Drop hangs
+    // otherwise); the file must still parse cleanly afterwards.
+    drop(server);
+    let snap = ddpa_snap::read_file(&path).expect("final snapshot parses");
+    assert!(!snap.entries.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,699 @@
+//! Durable memo snapshots — persisting demand fixpoints across process
+//! lifetimes.
+//!
+//! Every server restart starts cold: the [`SharedMemo`] of completed
+//! fixpoints is process-local and dies with it, so each deploy re-derives
+//! answers that were already at fixpoint. This crate turns the table into
+//! a durable artifact: [`Snapshot`] captures the completed `(goal,
+//! fixpoint)` pairs of the current generation together with the canonical
+//! program text, and [`write_file`]/[`read_file`] persist it in a
+//! versioned, checksummed binary format with atomic
+//! write-temp-then-rename semantics. A fresh process restores the file
+//! into its own table ([`Snapshot::install`]) or directly into an engine
+//! ([`DemandEngine::warm_start`](ddpa_demand::DemandEngine::warm_start)),
+//! and the first query over each restored goal is a shared-memo hit —
+//! zero rule firings.
+//!
+//! # Format
+//!
+//! Little-endian throughout. The header is 16 bytes:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  "DDPASNAP"
+//!      8     4  format version (currently 1)
+//!     12     4  CRC-32 (IEEE) over the payload (bytes 16..end)
+//! ```
+//!
+//! followed by the payload:
+//!
+//! ```text
+//! u64  generation the table was at when exported (informational)
+//! u64  FNV-1a 64 hash of the program text (the consistency token)
+//! u64  program text byte length, then that many UTF-8 bytes
+//! u64  entry count, then per entry:
+//!        u8   goal tag (0 = pts, 1 = ptb)
+//!        u32  node id
+//!        u32  element count
+//!        u32× elements, strictly ascending
+//! ```
+//!
+//! # Consistency rules
+//!
+//! * The magic, version and CRC are checked before anything is parsed;
+//!   a truncated, corrupted or foreign file is rejected with
+//!   [`SnapError::Corrupt`] / [`SnapError::Version`], never a panic.
+//! * The stored program hash must match the FNV-1a hash of the stored
+//!   text (a second corruption check), and — at install time — the hash
+//!   of the *live* program ([`Snapshot::verify_program`]). Fixpoints are
+//!   only valid over the exact constraint program they were derived
+//!   from, so a mismatch is [`SnapError::ProgramMismatch`].
+//! * Element lists must be strictly ascending (the canonical snapshot
+//!   order [`SharedMemo`] exports); violations are treated as corruption.
+//! * The stored generation is informational: [`Snapshot::install`]
+//!   publishes at the *target* table's current generation. The program
+//!   hash, not the generation counter, is the cross-process consistency
+//!   token — generation counters are process-local.
+//! * Hashes are hand-rolled (FNV-1a, CRC-32) rather than
+//!   `DefaultHasher`, whose keys are randomized per process and
+//!   therefore useless for persistence. Everything here is `std`-only.
+//!
+//! Provenance (`CompletedGoal::provenance`) is deliberately **not**
+//! persisted: traces reference watcher identities that are only
+//! meaningful to the deriving engine, and a restored goal answers
+//! `explain` queries by re-deriving on demand.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ddpa_demand::{DemandConfig, DemandEngine, SharedMemo};
+//! use ddpa_snap::Snapshot;
+//!
+//! let text = "p = &g\nq = p\n";
+//! let cp = ddpa_constraints::parse_constraints(text)?;
+//! let canonical = ddpa_constraints::print_constraints(&cp);
+//! let q = cp.node_ids().find(|&n| cp.display_node(n) == "q").expect("q exists");
+//!
+//! // Warm an engine, then capture its shared table.
+//! let shared = Arc::new(SharedMemo::new());
+//! let mut warm = DemandEngine::new(&cp, DemandConfig::default())
+//!     .with_shared_memo(Arc::clone(&shared));
+//! let full = warm.points_to(q);
+//! let snap = Snapshot::of_memo(&shared, canonical.clone());
+//!
+//! // A fresh process round-trips through bytes and warm-starts.
+//! let restored = Snapshot::from_bytes(&snap.to_bytes())?;
+//! restored.verify_program(&canonical)?;
+//! let fresh = Arc::new(SharedMemo::new());
+//! restored.install(&fresh);
+//! let mut cold = DemandEngine::new(&cp, DemandConfig::default())
+//!     .with_shared_memo(Arc::clone(&fresh));
+//! let reused = cold.points_to(q);
+//! assert_eq!(full.pts, reused.pts);
+//! assert_eq!(reused.work, 0); // zero rule firings
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use ddpa_constraints::NodeId;
+use ddpa_demand::goal::Goal;
+use ddpa_demand::{CompletedGoal, SharedMemo};
+
+/// First 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"DDPASNAP";
+
+/// Current format version; bumped on any layout change. Readers reject
+/// other versions outright rather than guessing.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header bytes before the payload: magic + version + crc.
+const HEADER_LEN: usize = 16;
+
+/// Why a snapshot could not be written or restored.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Filesystem-level failure.
+    Io(io::Error),
+    /// The bytes are not a well-formed snapshot (bad magic, checksum
+    /// mismatch, truncation, malformed section). The message says which.
+    Corrupt(String),
+    /// A well-formed snapshot of a format this build does not speak.
+    Version {
+        /// Version stamped in the file.
+        found: u32,
+    },
+    /// The snapshot was taken over a different constraint program, so
+    /// its fixpoints are meaningless here.
+    ProgramMismatch {
+        /// Hash of the live program.
+        expected: u64,
+        /// Hash stored in the snapshot.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapError::Version { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build speaks {FORMAT_VERSION})"
+            ),
+            SnapError::ProgramMismatch { expected, found } => write!(
+                f,
+                "snapshot was taken over a different program \
+                 (live hash {expected:#018x}, snapshot hash {found:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<io::Error> for SnapError {
+    fn from(e: io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash — the snapshot's program-identity hash.
+///
+/// Deliberately hand-rolled: `DefaultHasher` seeds differ per process,
+/// so its output can never be compared across a write and a later read.
+pub fn program_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in text.as_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc: u32 = !0;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// An in-memory snapshot: the completed fixpoints of one generation of a
+/// [`SharedMemo`], plus the canonical text of the program they were
+/// derived over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Table generation at export time. Informational — see the module
+    /// docs; the program hash is the consistency token.
+    pub generation: u64,
+    /// Canonical program text (`ddpa_constraints::print_constraints`).
+    pub program_text: String,
+    /// Completed fixpoints, in the canonical export order.
+    pub entries: Vec<(Goal, CompletedGoal)>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from parts.
+    pub fn new(
+        generation: u64,
+        program_text: impl Into<String>,
+        entries: Vec<(Goal, CompletedGoal)>,
+    ) -> Self {
+        Snapshot {
+            generation,
+            program_text: program_text.into(),
+            entries,
+        }
+    }
+
+    /// Captures `memo`'s current generation: compacts stale entries,
+    /// exports the completed fixpoints in canonical order, and stamps
+    /// the snapshot with the (canonical) program text.
+    pub fn of_memo(memo: &SharedMemo, program_text: impl Into<String>) -> Self {
+        Snapshot {
+            generation: memo.generation(),
+            program_text: program_text.into(),
+            entries: memo.export_completed(),
+        }
+    }
+
+    /// The FNV-1a hash of the stored program text — what gets written to
+    /// (and must match in) the file.
+    pub fn program_hash(&self) -> u64 {
+        program_hash(&self.program_text)
+    }
+
+    /// Checks that this snapshot was taken over exactly `live_text`.
+    pub fn verify_program(&self, live_text: &str) -> Result<(), SnapError> {
+        let expected = program_hash(live_text);
+        let found = self.program_hash();
+        if expected != found {
+            return Err(SnapError::ProgramMismatch { expected, found });
+        }
+        Ok(())
+    }
+
+    /// Installs every entry into `memo` at its current generation;
+    /// returns how many were newly inserted. Callers must
+    /// [`verify_program`](Self::verify_program) first.
+    pub fn install(&self, memo: &SharedMemo) -> usize {
+        memo.import(self.entries.iter().cloned())
+    }
+
+    /// Serializes to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        SnapshotWriter::encode(self)
+    }
+
+    /// Parses and fully validates a snapshot from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        SnapshotReader::new(bytes)?.finish()
+    }
+}
+
+/// Encoder for the snapshot byte format. [`Snapshot::to_bytes`] is the
+/// usual entry point; the writer is exposed for tests and tooling.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    payload: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Encodes `snapshot` into a complete file image (header + payload).
+    pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+        let mut w = SnapshotWriter::default();
+        w.u64(snapshot.generation);
+        w.u64(snapshot.program_hash());
+        w.u64(snapshot.program_text.len() as u64);
+        w.payload
+            .extend_from_slice(snapshot.program_text.as_bytes());
+        w.u64(snapshot.entries.len() as u64);
+        for (goal, result) in &snapshot.entries {
+            let (tag, node) = match goal {
+                Goal::Pts(n) => (0u8, n.as_u32()),
+                Goal::Ptb(n) => (1u8, n.as_u32()),
+            };
+            w.payload.push(tag);
+            w.u32(node);
+            w.u32(result.elems.len() as u32);
+            for &elem in &result.elems {
+                w.u32(elem);
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + w.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&w.payload).to_le_bytes());
+        out.extend_from_slice(&w.payload);
+        out
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.payload.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decoder for the snapshot byte format, with every read bounds-checked
+/// so corrupt input fails with [`SnapError::Corrupt`], never a panic.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the header (magic, version, checksum) of a complete
+    /// file image and positions the reader at the payload.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, SnapError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapError::Corrupt(format!(
+                "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapError::Corrupt("bad magic".to_string()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapError::Version { found: version });
+        }
+        let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        let actual_crc = crc32(payload);
+        if stored_crc != actual_crc {
+            return Err(SnapError::Corrupt(format!(
+                "checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            )));
+        }
+        Ok(SnapshotReader { payload, pos: 0 })
+    }
+
+    /// Parses the payload into a [`Snapshot`], consuming the reader.
+    pub fn finish(mut self) -> Result<Snapshot, SnapError> {
+        let generation = self.u64("generation")?;
+        let stored_hash = self.u64("program hash")?;
+        let text_len = self.len_field("program text length")?;
+        let text_bytes = self.take(text_len, "program text")?;
+        let program_text = std::str::from_utf8(text_bytes)
+            .map_err(|e| SnapError::Corrupt(format!("program text is not UTF-8: {e}")))?
+            .to_string();
+        if program_hash(&program_text) != stored_hash {
+            return Err(SnapError::Corrupt(
+                "stored program hash does not match stored program text".to_string(),
+            ));
+        }
+        let count = self.u64("entry count")?;
+        let mut entries = Vec::new();
+        for i in 0..count {
+            let tag = self.u8("goal tag")?;
+            let node = NodeId::from_u32(self.u32("node id")?);
+            let goal = match tag {
+                0 => Goal::Pts(node),
+                1 => Goal::Ptb(node),
+                other => {
+                    return Err(SnapError::Corrupt(format!(
+                        "entry {i}: unknown goal tag {other}"
+                    )))
+                }
+            };
+            let elem_count = self.u32("element count")? as usize;
+            if elem_count
+                .checked_mul(4)
+                .is_none_or(|b| b > self.remaining())
+            {
+                return Err(SnapError::Corrupt(format!(
+                    "entry {i}: claims {elem_count} elements but only {} payload bytes remain",
+                    self.remaining()
+                )));
+            }
+            let mut elems = Vec::with_capacity(elem_count);
+            for _ in 0..elem_count {
+                let elem = self.u32("element")?;
+                if let Some(&prev) = elems.last() {
+                    if elem <= prev {
+                        return Err(SnapError::Corrupt(format!(
+                            "entry {i}: elements not strictly ascending ({prev} then {elem})"
+                        )));
+                    }
+                }
+                elems.push(elem);
+            }
+            entries.push((
+                goal,
+                CompletedGoal {
+                    elems,
+                    provenance: Vec::new(),
+                },
+            ));
+        }
+        if self.remaining() != 0 {
+            return Err(SnapError::Corrupt(format!(
+                "{} trailing bytes after the last entry",
+                self.remaining()
+            )));
+        }
+        Ok(Snapshot {
+            generation,
+            program_text,
+            entries,
+        })
+    }
+
+    fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], SnapError> {
+        if len > self.remaining() {
+            return Err(SnapError::Corrupt(format!(
+                "truncated {what}: need {len} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.payload[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, SnapError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A u64 length field that must also fit in `usize` and in the
+    /// remaining payload (guards against huge allocations on corrupt
+    /// input).
+    fn len_field(&mut self, what: &str) -> Result<usize, SnapError> {
+        let v = self.u64(what)?;
+        let v = usize::try_from(v)
+            .map_err(|_| SnapError::Corrupt(format!("{what} {v} overflows this platform")))?;
+        if v > self.remaining() {
+            return Err(SnapError::Corrupt(format!(
+                "{what} {v} exceeds the {} remaining payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Atomically persists `snapshot` at `path`: the bytes are written to a
+/// temporary file in the same directory, fsynced, then renamed into
+/// place, so readers only ever observe a complete file. Returns the
+/// byte count written. Parent directories are created as needed.
+pub fn write_file(snapshot: &Snapshot, path: impl AsRef<Path>) -> Result<usize, SnapError> {
+    let path = path.as_ref();
+    let bytes = snapshot.to_bytes();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    fs::create_dir_all(dir)?;
+    let file_name = path.file_name().ok_or_else(|| {
+        SnapError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("snapshot path {path:?} has no file name"),
+        ))
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| -> Result<(), SnapError> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result.map(|()| bytes.len())
+}
+
+/// Reads and fully validates a snapshot file.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Snapshot, SnapError> {
+    let bytes = fs::read(path.as_ref())?;
+    Snapshot::from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn goal(n: u32) -> Goal {
+        Goal::Pts(NodeId::from_u32(n))
+    }
+
+    fn entry(elems: &[u32]) -> CompletedGoal {
+        CompletedGoal {
+            elems: elems.to_vec(),
+            provenance: Vec::new(),
+        }
+    }
+
+    fn sample() -> Snapshot {
+        Snapshot::new(
+            3,
+            "p = &g\nq = p\n",
+            vec![
+                (goal(1), entry(&[4, 9, 200])),
+                (goal(2), entry(&[])),
+                (Goal::Ptb(NodeId::from_u32(5)), entry(&[0])),
+            ],
+        )
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ddpa-snap-test-{}-{tag}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let snap = sample();
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).expect("round trip");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic() {
+        let snap = sample();
+        let path = temp_path("round-trip");
+        let written = write_file(&snap, &path).expect("write");
+        assert_eq!(written, snap.to_bytes().len());
+        assert_eq!(read_file(&path).expect("read"), snap);
+        // No temp droppings next to the file.
+        let dir = path.parent().expect("parent");
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("ddpa-snap-test"))
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            match Snapshot::from_bytes(&bytes[..len]) {
+                Err(SnapError::Corrupt(_)) => {}
+                other => panic!("truncation to {len} bytes not rejected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::Corrupt(msg)) if msg.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::Version { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::Corrupt(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn unsorted_elements_are_rejected() {
+        let snap = Snapshot::new(0, "x = &y\n", vec![(goal(1), entry(&[5, 3]))]);
+        assert!(matches!(
+            Snapshot::from_bytes(&snap.to_bytes()),
+            Err(SnapError::Corrupt(msg)) if msg.contains("ascending")
+        ));
+    }
+
+    #[test]
+    fn duplicate_elements_are_rejected() {
+        let snap = Snapshot::new(0, "x = &y\n", vec![(goal(1), entry(&[3, 3]))]);
+        assert!(matches!(
+            Snapshot::from_bytes(&snap.to_bytes()),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn program_mismatch_is_reported_with_both_hashes() {
+        let snap = sample();
+        snap.verify_program(&snap.program_text).expect("same text");
+        match snap.verify_program("something else\n") {
+            Err(SnapError::ProgramMismatch { expected, found }) => {
+                assert_eq!(expected, program_hash("something else\n"));
+                assert_eq!(found, snap.program_hash());
+            }
+            other => panic!("expected ProgramMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_hash_is_stable_across_runs() {
+        // FNV-1a 64 known-answer test: the whole point is that the hash
+        // is identical across processes and platforms.
+        assert_eq!(program_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(program_hash("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn crc32_known_answers() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn memo_capture_and_install_round_trip() {
+        let memo = SharedMemo::new();
+        memo.publish(0, goal(1), entry(&[2, 8]));
+        memo.publish(0, Goal::Ptb(NodeId::from_u32(4)), entry(&[1]));
+        let snap = Snapshot::of_memo(&memo, "x = &y\n");
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.generation, 0);
+
+        let fresh = SharedMemo::new();
+        assert_eq!(snap.install(&fresh), 2);
+        assert_eq!(fresh.lookup(0, goal(1)).0.expect("hit").elems, vec![2, 8]);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        // Append garbage *and* fix up the crc so only the structural
+        // check can catch it.
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::Corrupt(msg)) if msg.contains("trailing")
+        ));
+    }
+}

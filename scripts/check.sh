@@ -90,4 +90,61 @@ grep -q '"kind":"slow"' "$access_log" \
 grep -q '"trace":"r' "$access_log" \
     || { echo "access log missing request trace ids" >&2; exit 1; }
 
+echo "==> snapshot / warm-start smoke test"
+# First server life: open a session, warm the memo table, snapshot it to
+# disk (both on request and via the periodic background snapshotter).
+# Second life: --restore warm-starts the session from the same directory,
+# so the very first query must be served from installed fixpoints
+# (nonzero demand.share.hits with no prior query in this life).
+snapdir="$tmp/snaps"
+portfile2="$tmp/serve2-port"
+snap_metrics="$tmp/serve-snap-metrics.jsonl"
+cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
+    --port-file "$portfile2" --snapshot-dir "$snapdir" --snapshot-every-ms 200 \
+    > "$tmp/serve2.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$portfile2" ] && break
+    sleep 0.1
+done
+[ -s "$portfile2" ] || { echo "server never wrote $portfile2" >&2; exit 1; }
+addr="$(cat "$portfile2")"
+client open smoke samples/list.mc
+client query smoke main::got data
+client snapshot smoke                    # explicit snapshot into --snapshot-dir
+client shutdown
+wait "$srv_pid"
+[ -s "$snapdir/smoke.snap" ] || { echo "no snapshot written to $snapdir" >&2; exit 1; }
+
+cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
+    --port-file "$portfile2.b" --metrics-out "$snap_metrics" \
+    --snapshot-dir "$snapdir" --restore \
+    > "$tmp/serve3.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$portfile2.b" ] && break
+    sleep 0.1
+done
+[ -s "$portfile2.b" ] || { echo "server never wrote $portfile2.b" >&2; exit 1; }
+addr="$(cat "$portfile2.b")"
+client open smoke samples/list.mc        # --restore warm-starts from smoke.snap
+client query smoke main::got data
+client shutdown
+wait "$srv_pid"
+cargo run -q -p ddpa-cli -- jsonl-check "$snap_metrics"
+grep -q '"name":"snap.load","value":[1-9]' "$snap_metrics" \
+    || { echo "metrics missing a nonzero snap.load after --restore" >&2; exit 1; }
+grep -q '"name":"demand.share.hits","value":[1-9]' "$snap_metrics" \
+    || { echo "restored session answered cold (no demand.share.hits)" >&2; exit 1; }
+
+# A corrupted snapshot must be refused cleanly, offline, at the CLI level.
+cp samples/list.mc "$tmp/snap-prog.mc"
+cli_snap="$tmp/cli.snap"
+cargo run -q -p ddpa-cli -- snapshot "$tmp/snap-prog.mc" --out "$cli_snap" > /dev/null
+cargo run -q -p ddpa-cli -- restore "$tmp/snap-prog.mc" "$cli_snap" > /dev/null
+printf 'garbage' >> "$cli_snap"
+if cargo run -q -p ddpa-cli -- restore "$tmp/snap-prog.mc" "$cli_snap" > /dev/null 2>&1; then
+    echo "corrupted snapshot was not refused" >&2; exit 1
+fi
+
 echo "All checks passed."
