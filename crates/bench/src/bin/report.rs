@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the evaluation as Markdown.
 //!
 //! ```text
-//! report [--quick|--full] [--json-out <path>] [t1 t2 ... t8 f1 f2 f3 a2 ...]
+//! report [--quick|--full] [--json-out <path>] [t1 t2 ... t9 f1 f2 f3 a2 ...]
 //! report --history BENCH_A.json BENCH_B.json ...
 //! ```
 //!
@@ -104,6 +104,7 @@ fn main() {
     run("t6", &mut || t6());
     run("t7", &mut || t7());
     run("t8", &mut || t8(&quick));
+    run("t9", &mut || t9());
     run("f1", &mut || f1(&quick));
     run("f2", &mut || f2(&quick));
     run("f3", &mut || f3(&quick));
@@ -641,6 +642,87 @@ fn t8(benches: &[Benchmark]) -> JsonValue {
     med
 }
 
+fn t9() -> JsonValue {
+    println!("## T9 — Flight recorder overhead + critical-path headroom (cyclic suite)\n");
+    // Best-of-9: single runs are ~1ms, so scheduler noise would swamp
+    // the few-percent recorder overhead at fewer repeats.
+    let data = run_t9(&[4, 6, 8], 9);
+    let med = obj(vec![
+        (
+            "work",
+            JsonValue::F64(median(data.iter().map(|r| r.work as f64).collect())),
+        ),
+        (
+            "span",
+            JsonValue::F64(median(data.iter().map(|r| r.span as f64).collect())),
+        ),
+        (
+            "headroom",
+            JsonValue::F64(median(data.iter().map(|r| r.headroom).collect())),
+        ),
+        (
+            "flight_recorded",
+            JsonValue::F64(median(
+                data.iter().map(|r| r.flight_recorded as f64).collect(),
+            )),
+        ),
+        (
+            "overhead",
+            JsonValue::F64(median(data.iter().map(|r| r.overhead()).collect())),
+        ),
+        (
+            "identical",
+            JsonValue::Bool(data.iter().all(|r| r.identical)),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                count(r.queries),
+                count(r.work as usize),
+                count(r.span as usize),
+                ratio(r.headroom),
+                count(r.goals),
+                count(r.edges),
+                count(r.flight_recorded as usize),
+                count(r.flight_dropped as usize),
+                dur(r.time_off),
+                dur(r.time_on),
+                format!("{:+.1}%", r.overhead() * 100.0),
+                if r.identical {
+                    "identical ✓".into()
+                } else {
+                    "DIFFERS ✗".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "program",
+                "queries",
+                "W (work)",
+                "S (span)",
+                "W/S",
+                "goals",
+                "edges",
+                "recorded",
+                "dropped",
+                "time (off)",
+                "time (on)",
+                "overhead",
+                "answers"
+            ],
+            &rows
+        )
+    );
+    med
+}
+
 fn f1(benches: &[Benchmark]) -> JsonValue {
     println!("## F1 — Per-query cost distribution (rule firings, ≤1000 queries, no cache)\n");
     let data = run_f1(benches, 1000);
@@ -815,97 +897,17 @@ fn a2(benches: &[Benchmark]) -> JsonValue {
     med
 }
 
-/// Renders one numeric (or boolean) summary value for the history table.
-fn history_cell(v: &JsonValue) -> String {
-    match v {
-        JsonValue::U64(n) => format!("{n}"),
-        JsonValue::F64(x) => {
-            if x.fract() == 0.0 && x.abs() < 1e15 {
-                format!("{x:.0}")
-            } else {
-                format!("{x:.3}")
-            }
-        }
-        JsonValue::Bool(b) => (if *b { "✓" } else { "✗" }).to_owned(),
-        JsonValue::Str(s) => s.clone(),
-        _ => "·".to_owned(),
-    }
-}
-
 /// Prints per-experiment trajectory tables from several `--json-out`
 /// summaries (metric rows × one column per file, in argument order).
+/// The heavy lifting lives in [`ddpa_bench::history`] so files missing
+/// newer experiments are tolerated and the rendering is unit-tested.
 fn history(files: &[&str]) {
     assert!(
         !files.is_empty(),
         "usage: report --history <summary.json> [more.json ...]"
     );
-    let docs: Vec<(String, JsonValue)> = files
-        .iter()
-        .map(|path| {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"));
-            let doc = ddpa_obs::parse_json(&text)
-                .unwrap_or_else(|e| panic!("`{path}` is not valid JSON: {e}"));
-            let label = path
-                .rsplit('/')
-                .next()
-                .unwrap_or(path)
-                .trim_end_matches(".json")
-                .to_owned();
-            (label, doc)
-        })
-        .collect();
-
-    println!("# ddpa benchmark trajectory ({} summaries)\n", docs.len());
-
-    // Experiment ids in first-seen order across all files.
-    let mut ids: Vec<String> = Vec::new();
-    for (_, doc) in &docs {
-        if let Some(JsonValue::Object(tables)) = doc.get("tables") {
-            for (id, _) in tables {
-                if !ids.iter().any(|k| k == id) {
-                    ids.push(id.clone());
-                }
-            }
-        }
-    }
-
-    for id in &ids {
-        // Metric names in first-seen order across all files.
-        let mut metrics: Vec<String> = Vec::new();
-        for (_, doc) in &docs {
-            if let Some(JsonValue::Object(fields)) = doc.get("tables").and_then(|t| t.get(id)) {
-                for (m, _) in fields {
-                    if !metrics.iter().any(|k| k == m) {
-                        metrics.push(m.clone());
-                    }
-                }
-            }
-        }
-        if metrics.is_empty() {
-            continue;
-        }
-        println!("## {id}\n");
-        let mut header: Vec<&str> = vec!["metric"];
-        header.extend(docs.iter().map(|(label, _)| label.as_str()));
-        let rows: Vec<Vec<String>> = metrics
-            .iter()
-            .map(|m| {
-                let mut row = vec![m.clone()];
-                for (_, doc) in &docs {
-                    let cell = doc
-                        .get("tables")
-                        .and_then(|t| t.get(id))
-                        .and_then(|fields| fields.get(m))
-                        .map(history_cell)
-                        .unwrap_or_else(|| "·".to_owned());
-                    row.push(cell);
-                }
-                row
-            })
-            .collect();
-        println!("{}", table(&header, &rows));
-    }
+    let docs = ddpa_bench::history::load_summaries(files).unwrap_or_else(|e| panic!("{e}"));
+    print!("{}", ddpa_bench::history::trajectory(&docs));
 }
 
 // Silence the unused-import lint when only some sections are requested.

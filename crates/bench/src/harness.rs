@@ -927,6 +927,107 @@ pub fn run_a2(benches: &[Benchmark], threads: &[usize], max_queries: usize) -> V
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// T9: flight-recorder overhead + critical-path parallelism headroom
+// ---------------------------------------------------------------------
+
+/// One row of the flight-recorder / critical-path table.
+#[derive(Clone, Debug)]
+pub struct T9Row {
+    /// Workload name (`cyc-<scale>`).
+    pub name: String,
+    /// Pointer-variable queries issued.
+    pub queries: usize,
+    /// Total attributed deduction work `W`.
+    pub work: u64,
+    /// Critical-path span `S` over the goal-graph condensation.
+    pub span: u64,
+    /// `W / S` — the parallelism-headroom bound.
+    pub headroom: f64,
+    /// Live goals in the goal graph.
+    pub goals: usize,
+    /// Dependency edges between distinct goals.
+    pub edges: usize,
+    /// Flight events landed in the ring at the default sampling.
+    pub flight_recorded: u64,
+    /// Events evicted by ring wrap-around.
+    pub flight_dropped: u64,
+    /// Wall time with the recorder off (best of the repeats).
+    pub time_off: Duration,
+    /// Wall time with the recorder on (best of the repeats).
+    pub time_on: Duration,
+    /// Every query answer bit-identical recorder on vs off.
+    pub identical: bool,
+}
+
+impl T9Row {
+    /// Recorder overhead relative to the recorder-off wall time
+    /// (0.03 = 3% slower with the recorder on).
+    pub fn overhead(&self) -> f64 {
+        self.time_on.as_secs_f64() / self.time_off.as_secs_f64().max(1e-9) - 1.0
+    }
+}
+
+/// Regenerates table T9: what the deduction flight recorder costs, and
+/// what the goal graph's critical path says about parallelism headroom.
+///
+/// Each scale of the cyclic suite is answered twice — recorder off, then
+/// on at the default capacity/sampling — taking the best wall time of
+/// `repeats` runs per configuration so scheduler noise does not swamp
+/// the few-percent effect being measured. `W` (total attributed work),
+/// `S` (the heaviest dependent chain over the SCC condensation of the
+/// goal graph) and `W/S` come from the recorder-on engine's drained
+/// table. Recording must never change deduction, which the row asserts
+/// via `identical`.
+pub fn run_t9(scales: &[usize], repeats: usize) -> Vec<T9Row> {
+    assert!(repeats > 0, "need at least one timed run");
+    scales
+        .iter()
+        .map(|&scale| {
+            let cp = ddpa_gen::generate_cyclic(&ddpa_gen::CyclicConfig::sized(42, scale));
+            let queries: Vec<NodeId> = cp
+                .node_ids()
+                .filter(|&n| !cp.display_node(n).contains("obj"))
+                .collect();
+            let run = |config: &DemandConfig| {
+                let mut best = Duration::MAX;
+                let mut kept = None;
+                for _ in 0..repeats {
+                    let mut engine = DemandEngine::new(&cp, config.clone());
+                    let start = Instant::now();
+                    let answers: Vec<Vec<NodeId>> =
+                        queries.iter().map(|&q| engine.points_to(q).pts).collect();
+                    best = best.min(start.elapsed());
+                    kept = Some((answers, engine));
+                }
+                let (answers, engine) = kept.expect("at least one run");
+                (answers, best, engine)
+            };
+            let (ans_off, time_off, _) = run(&DemandConfig::default().without_flight_recorder());
+            let (ans_on, time_on, engine) = run(&DemandConfig::default());
+            let cpath = engine.critical_path();
+            let (flight_recorded, flight_dropped) = engine
+                .flight_recorder()
+                .map(|f| (f.recorded(), f.dropped()))
+                .unwrap_or((0, 0));
+            T9Row {
+                name: format!("cyc-{scale}"),
+                queries: queries.len(),
+                work: cpath.work,
+                span: cpath.span,
+                headroom: cpath.headroom,
+                goals: cpath.goals,
+                edges: cpath.edges,
+                flight_recorded,
+                flight_dropped,
+                time_off,
+                time_on,
+                identical: ans_on == ans_off,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1038,6 +1139,20 @@ mod tests {
                 r.speedup() >= 2.0,
                 "warm start must beat cold deduction clearly: {r:?}"
             );
+        }
+    }
+
+    #[test]
+    fn t9_reports_headroom_and_identical_answers() {
+        let rows = run_t9(&[6, 8], 1);
+        for r in &rows {
+            assert!(r.identical, "recording must not change answers: {r:?}");
+            assert!(r.work > 0 && r.span > 0, "work attributed: {r:?}");
+            assert!(r.span <= r.work, "span bounded by total work: {r:?}");
+            assert!(r.headroom >= 1.0 - 1e-9, "headroom is W/S >= 1: {r:?}");
+            assert!((r.headroom - r.work as f64 / r.span as f64).abs() < 1e-9);
+            assert!(r.goals > 0, "live goals in the graph: {r:?}");
+            assert!(r.flight_recorded > 0, "recorder captured events: {r:?}");
         }
     }
 

@@ -7,6 +7,7 @@
 //! the same workloads with statistical rigor.
 
 pub mod harness;
+pub mod history;
 pub mod render;
 
 pub use harness::*;

@@ -17,6 +17,11 @@
 //! ddpa restore   <file> <snap> [names…]            warm-start from a snapshot
 //! ddpa serve     --addr HOST:PORT [--threads N]    persistent demand-query server
 //! ddpa client    --addr HOST:PORT <op> [args…]     talk to a running server
+//! ddpa top       <session> --addr HOST:PORT        live engine view (hottest goals,
+//!                                                  critical path, hit rates)
+//! ddpa graph     <session> --addr HOST:PORT [--dot]  goal dependency graph
+//! ddpa flight    <session> --addr HOST:PORT        flight-recorder events as JSONL
+//! ddpa scrape    --addr HOST:PORT                  server + session metrics as JSONL
 //! ```
 //!
 //! `solve`, `query`, `callgraph`, `audit` and `stackret` additionally take
@@ -96,7 +101,18 @@ commands:
             snapshot <session> [--out <server-side path>]
             restore <session> <server-side path>
             slow [limit]                the server's slowest requests
+            inspect <session> [--top K] | flight <session> [--limit N]
+            graph <session> [--dot] | scrape
             (multi-name query sends one batch; see docs/SERVER.md)
+  top       <session> --addr HOST:PORT  live engine view: hottest goals,
+            critical path, hit rates [--iters N (0 = until interrupted)]
+            [--interval-ms T] [--top K]
+  graph     <session> --addr HOST:PORT [--dot]  goal dependency graph
+            (JSON by default, Graphviz with --dot)
+  flight    <session> --addr HOST:PORT [--limit N] [--out <path>]
+            flight-recorder events as JSONL (validates with jsonl-check)
+  scrape    --addr HOST:PORT [--out <path>]  server + per-session metrics
+            as JSONL (validates with jsonl-check)
 
 solve/query/callgraph/audit/stackret also take:
   --profile             print the span profile tree after the command
@@ -131,6 +147,11 @@ struct Options {
     snapshot_every_ms: Option<u64>,
     restore: bool,
     out: Option<String>,
+    dot: bool,
+    iters: u64,
+    interval_ms: Option<u64>,
+    top: Option<u64>,
+    limit: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -219,6 +240,25 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     Some(v.parse().map_err(|_| err(format!("bad interval `{v}`")))?);
             }
             "--restore" => opts.restore = true,
+            "--dot" => opts.dot = true,
+            "--iters" => {
+                let v = iter.next().ok_or_else(|| err("--iters needs a value"))?;
+                opts.iters = v.parse().map_err(|_| err(format!("bad iters `{v}`")))?;
+            }
+            "--interval-ms" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--interval-ms needs a value"))?;
+                opts.interval_ms = Some(v.parse().map_err(|_| err(format!("bad interval `{v}`")))?);
+            }
+            "--top" => {
+                let v = iter.next().ok_or_else(|| err("--top needs a value"))?;
+                opts.top = Some(v.parse().map_err(|_| err(format!("bad top `{v}`")))?);
+            }
+            "--limit" => {
+                let v = iter.next().ok_or_else(|| err("--limit needs a value"))?;
+                opts.limit = Some(v.parse().map_err(|_| err(format!("bad limit `{v}`")))?);
+            }
             "--out" => {
                 let v = iter.next().ok_or_else(|| err("--out needs a path"))?;
                 opts.out = Some(v.clone());
@@ -532,8 +572,12 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             let text = std::fs::read_to_string(path)?;
             let mut lines = 0usize;
             for (i, line) in text.lines().enumerate() {
+                // Name the offending line so a failing CI export is
+                // greppable without re-running the check under a shell
+                // loop; the kind (or parse failure) comes from the
+                // validator's own message.
                 ddpa::obs::validate_metrics_line(line)
-                    .map_err(|e| err(format!("{path}:{}: {e}", i + 1)))?;
+                    .map_err(|e| err(format!("{path}: line {}: {e}", i + 1)))?;
                 lines += 1;
             }
             if lines == 0 {
@@ -693,6 +737,137 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
                 return Err(err(format!("server error {code}: {message}")));
             }
         }
+        "top" => {
+            let addr = opts
+                .addr
+                .as_deref()
+                .ok_or_else(|| err("top needs --addr HOST:PORT"))?;
+            let session = opts
+                .positional
+                .first()
+                .ok_or_else(|| err("top needs a session name"))?;
+            let mut client = ddpa::serve::Client::connect(addr)
+                .map_err(|e| err(format!("cannot connect to `{addr}`: {e}")))?;
+            let interval = std::time::Duration::from_millis(opts.interval_ms.unwrap_or(1000));
+            let mut round = 0u64;
+            loop {
+                round += 1;
+                let stats = request_ok(&mut client, &ddpa::serve::proto::build::stats())?;
+                let inspect = request_ok(
+                    &mut client,
+                    &ddpa::serve::proto::build::inspect(session, opts.top),
+                )?;
+                if round > 1 {
+                    // ANSI home+clear keeps the refresh flicker-free.
+                    write!(out, "\x1b[H\x1b[2J")?;
+                }
+                render_top(out, addr, session, &stats, &inspect)?;
+                out.flush()?;
+                if opts.iters != 0 && round >= opts.iters {
+                    break;
+                }
+                std::thread::sleep(interval);
+            }
+        }
+        "graph" => {
+            let addr = opts
+                .addr
+                .as_deref()
+                .ok_or_else(|| err("graph needs --addr HOST:PORT"))?;
+            let session = opts
+                .positional
+                .first()
+                .ok_or_else(|| err("graph needs a session name"))?;
+            let mut client = ddpa::serve::Client::connect(addr)
+                .map_err(|e| err(format!("cannot connect to `{addr}`: {e}")))?;
+            let response = request_ok(
+                &mut client,
+                &ddpa::serve::proto::build::graph(session, opts.dot),
+            )?;
+            if opts.dot {
+                let text = response
+                    .get("text")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| err("graph response missing DOT text"))?;
+                write!(out, "{text}")?;
+            } else {
+                let graph = response
+                    .get("graph")
+                    .ok_or_else(|| err("graph response missing graph object"))?;
+                writeln!(out, "{graph}")?;
+            }
+        }
+        "flight" => {
+            let addr = opts
+                .addr
+                .as_deref()
+                .ok_or_else(|| err("flight needs --addr HOST:PORT"))?;
+            let session = opts
+                .positional
+                .first()
+                .ok_or_else(|| err("flight needs a session name"))?;
+            let mut client = ddpa::serve::Client::connect(addr)
+                .map_err(|e| err(format!("cannot connect to `{addr}`: {e}")))?;
+            let response = request_ok(
+                &mut client,
+                &ddpa::serve::proto::build::flight(session, opts.limit),
+            )?;
+            let empty: &[JsonValue] = &[];
+            let events = response
+                .get("events")
+                .and_then(JsonValue::as_array)
+                .unwrap_or(empty);
+            if let Some(path) = opts.out.as_deref() {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
+                let mut w = std::io::BufWriter::new(file);
+                for event in events {
+                    writeln!(w, "{event}")?;
+                }
+                w.flush()?;
+                let recorded = response
+                    .get("recorded")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                let dropped = response
+                    .get("dropped")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                writeln!(
+                    out,
+                    "wrote {} flight event(s) to {path} ({recorded} recorded, {dropped} dropped by the ring)",
+                    events.len(),
+                )?;
+            } else {
+                for event in events {
+                    writeln!(out, "{event}")?;
+                }
+            }
+        }
+        "scrape" => {
+            let addr = opts
+                .addr
+                .as_deref()
+                .ok_or_else(|| err("scrape needs --addr HOST:PORT"))?;
+            let mut client = ddpa::serve::Client::connect(addr)
+                .map_err(|e| err(format!("cannot connect to `{addr}`: {e}")))?;
+            let response = request_ok(&mut client, &ddpa::serve::proto::build::scrape())?;
+            let text = response
+                .get("text")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| err("scrape response missing text"))?;
+            if let Some(path) = opts.out.as_deref() {
+                std::fs::write(path, text)
+                    .map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
+                let lines = response
+                    .get("lines")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or_else(|| text.lines().count() as u64);
+                writeln!(out, "wrote {lines} metric line(s) to {path}")?;
+            } else {
+                write!(out, "{text}")?;
+            }
+        }
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
         }
@@ -709,6 +884,112 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             opts.positional.first().map(String::as_str),
             path,
         )?;
+    }
+    Ok(())
+}
+
+/// Sends one request and unwraps the ok envelope, surfacing server-side
+/// failures as CLI errors.
+fn request_ok(
+    client: &mut ddpa::serve::Client,
+    request: &JsonValue,
+) -> Result<JsonValue, CliError> {
+    let response = client.request(request)?;
+    if response.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+        return Ok(response);
+    }
+    let code = response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("unknown");
+    let message = response
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("");
+    Err(err(format!("server error {code}: {message}")))
+}
+
+/// Renders one `ddpa top` frame: server health, the session's engine
+/// counters, the critical-path summary, and the hottest-goals table.
+fn render_top(
+    out: &mut impl Write,
+    addr: &str,
+    session: &str,
+    stats: &JsonValue,
+    inspect: &JsonValue,
+) -> Result<(), CliError> {
+    let num = |v: Option<&JsonValue>| v.and_then(JsonValue::as_u64).unwrap_or(0);
+    let counters = stats.get("counters");
+    writeln!(
+        out,
+        "ddpa top — {addr}  session `{session}`  [{} request(s), {} error(s), {} timeout(s)]",
+        num(counters.and_then(|c| c.get("requests"))),
+        num(counters.and_then(|c| c.get("errors"))),
+        num(counters.and_then(|c| c.get("timeouts"))),
+    )?;
+    if let Some(q) = stats.get("latency").and_then(|l| l.get("query_us")) {
+        writeln!(
+            out,
+            "query latency: p50 {}us  p90 {}us  p99 {}us  max {}us  over {} query(s)",
+            num(q.get("p50")),
+            num(q.get("p90")),
+            num(q.get("p99")),
+            num(q.get("max")),
+            num(q.get("count")),
+        )?;
+    }
+    if let Some(s) = stats.get("sessions").and_then(|all| all.get(session)) {
+        let queries = num(s.get("queries"));
+        let hits = num(s.get("cache_hits")) + num(s.get("share_hits"));
+        let rate = if queries > 0 {
+            100.0 * hits as f64 / queries as f64
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "engine: {} query(s)  work {}  fires {}  tabled goals {}  \
+             hit rate {rate:.1}% ({} cache + {} share)",
+            fmt_count(queries),
+            fmt_count(num(s.get("work"))),
+            fmt_count(num(s.get("fires"))),
+            fmt_count(num(s.get("tabled_goals"))),
+            num(s.get("cache_hits")),
+            num(s.get("share_hits")),
+        )?;
+    }
+    if let Some(cp) = inspect.get("critical_path") {
+        let headroom = match cp.get("headroom") {
+            Some(JsonValue::F64(x)) => *x,
+            Some(JsonValue::U64(n)) => *n as f64,
+            _ => 1.0,
+        };
+        writeln!(
+            out,
+            "critical path: work {}  span {}  parallelism headroom {headroom:.2}x",
+            fmt_count(num(cp.get("work"))),
+            fmt_count(num(cp.get("span"))),
+        )?;
+    }
+    writeln!(out)?;
+    writeln!(out, "  {:<36} {:>10} {:>8}  state", "goal", "work", "fires")?;
+    if let Some(hottest) = inspect.get("hottest").and_then(JsonValue::as_array) {
+        for g in hottest {
+            let name = g.get("goal").and_then(JsonValue::as_str).unwrap_or("?");
+            let state = if g.get("complete").and_then(JsonValue::as_bool) == Some(true) {
+                "done"
+            } else {
+                "open"
+            };
+            writeln!(
+                out,
+                "  {name:<36} {:>10} {:>8}  {state}",
+                num(g.get("work")),
+                num(g.get("fires")),
+            )?;
+        }
     }
     Ok(())
 }
@@ -813,6 +1094,10 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
                 opts.timeout_ms,
             )))
         }
+        "inspect" => Ok(build::inspect(session(1)?, opts.top)),
+        "flight" => Ok(build::flight(session(1)?, opts.limit)),
+        "graph" => Ok(build::graph(session(1)?, opts.dot)),
+        "scrape" => Ok(build::scrape()),
         "snapshot" => Ok(build::snapshot(session(1)?, opts.out.as_deref())),
         "restore" => {
             let path = pos
@@ -1144,16 +1429,23 @@ mod tests {
         let out = run_to_string(&["jsonl-check", j]).expect("valid export");
         assert!(out.contains("valid JSONL line"), "got: {out}");
 
+        // A failing check names the offending line.
         let bad = write_temp("t14-bad.jsonl", "{\"kind\":\"meta\"}\nnot json\n");
         let b = bad.to_str().expect("utf8 path");
         let err = run_to_string(&["jsonl-check", b]).expect_err("invalid line rejected");
-        assert!(err.to_string().contains(":2:"), "got: {err}");
+        assert!(err.to_string().contains("line 2"), "got: {err}");
 
-        // Structurally valid JSON with an unknown kind is rejected too.
-        let bad_kind = write_temp("t14-kind.jsonl", "{\"kind\":\"frobnicate\"}\n");
+        // Structurally valid JSON with an unknown kind is rejected too,
+        // and the message names both the line and the kind.
+        let bad_kind = write_temp(
+            "t14-kind.jsonl",
+            "{\"kind\":\"meta\"}\n{\"kind\":\"counter\",\"name\":\"x\",\"value\":1}\n{\"kind\":\"frobnicate\"}\n",
+        );
         let b = bad_kind.to_str().expect("utf8 path");
         let err = run_to_string(&["jsonl-check", b]).expect_err("unknown kind rejected");
+        assert!(err.to_string().contains("line 3"), "got: {err}");
         assert!(err.to_string().contains("unknown kind"), "got: {err}");
+        assert!(err.to_string().contains("frobnicate"), "got: {err}");
     }
 
     /// Starts `ddpa serve` on an ephemeral port in a background thread
@@ -1371,6 +1663,75 @@ mod tests {
             .expect("server thread")
             .expect("clean shutdown");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_graph_flight_scrape_against_live_server() {
+        let (addr, server) = start_serve("t19");
+        let cons = write_temp("t19.cons", "p = &a\np = &b\nq = p\nr = *q\n*q = p\n");
+        let c = cons.to_str().expect("utf8 path");
+        run_to_string(&["client", "--addr", &addr, "open", "s", c]).expect("open");
+        run_to_string(&["client", "--addr", &addr, "query", "s", "r"]).expect("query");
+
+        // One `top` frame shows server health, the engine counters, the
+        // critical-path summary, and a hottest-goals table.
+        let out = run_to_string(&["top", "s", "--addr", &addr, "--iters", "1", "--top", "5"])
+            .expect("top");
+        assert!(out.contains("ddpa top"), "got: {out}");
+        assert!(out.contains("critical path: work"), "got: {out}");
+        assert!(out.contains("parallelism headroom"), "got: {out}");
+        assert!(out.contains("hit rate"), "got: {out}");
+        assert!(
+            out.contains("pts(") || out.contains("ptb("),
+            "hottest goals listed, got: {out}"
+        );
+
+        // The goal graph exports as JSON and as Graphviz DOT.
+        let out = run_to_string(&["graph", "s", "--addr", &addr]).expect("graph json");
+        assert!(out.contains("\"nodes\":["), "got: {out}");
+        assert!(out.contains("\"edges\":["), "got: {out}");
+        let out = run_to_string(&["graph", "s", "--addr", &addr, "--dot"]).expect("graph dot");
+        assert!(out.starts_with("digraph goals {"), "got: {out}");
+        assert!(out.contains("->"), "got: {out}");
+
+        // Flight events written with --out validate as a metrics export.
+        let flight = write_temp("t19-flight.jsonl", "");
+        let f = flight.to_str().expect("utf8 path");
+        let out =
+            run_to_string(&["flight", "s", "--addr", &addr, "--out", f]).expect("flight export");
+        assert!(out.contains("flight event(s)"), "got: {out}");
+        let text = std::fs::read_to_string(&flight).expect("flight written");
+        assert!(!text.is_empty(), "recorder captured the query");
+        assert!(text.contains("\"kind\":\"flight\""), "got: {text}");
+        run_to_string(&["jsonl-check", f]).expect("flight export validates");
+
+        // Without --out the events stream to stdout.
+        let out = run_to_string(&["flight", "s", "--addr", &addr, "--limit", "3"])
+            .expect("flight stdout");
+        assert!(out.lines().count() <= 3, "got: {out}");
+        assert!(out.contains("\"kind\":\"flight\""), "got: {out}");
+
+        // A scrape is a valid JSONL export covering server and session.
+        let scrape = write_temp("t19-scrape.jsonl", "");
+        let m = scrape.to_str().expect("utf8 path");
+        let out = run_to_string(&["scrape", "--addr", &addr, "--out", m]).expect("scrape");
+        assert!(out.contains("metric line(s)"), "got: {out}");
+        let text = std::fs::read_to_string(&scrape).expect("scrape written");
+        assert!(text.contains("server.requests"), "got: {text}");
+        assert!(text.contains("session.s.flight_events"), "got: {text}");
+        run_to_string(&["jsonl-check", m]).expect("scrape validates");
+
+        // The client passthrough ops answer too.
+        let out = run_to_string(&["client", "--addr", &addr, "inspect", "s", "--top", "2"])
+            .expect("client inspect");
+        assert!(out.contains("\"hottest\":["), "got: {out}");
+        assert!(out.contains("\"critical_path\":"), "got: {out}");
+
+        run_to_string(&["client", "--addr", &addr, "shutdown"]).expect("shutdown");
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
     }
 
     #[test]

@@ -22,6 +22,18 @@ pub struct DemandConfig {
     /// Number of newly discovered copy edges between SCC passes. Lower
     /// values collapse cycles sooner at the cost of more frequent passes.
     pub collapse_threshold: u32,
+    /// Record structured engine events into the deduction flight recorder
+    /// (on by default — the ring is bounded and rule firings are sampled,
+    /// so the cost is a few percent at worst; see `docs/OBSERVABILITY.md`).
+    /// Recording never feeds back into deduction, so answers are
+    /// bit-identical either way.
+    pub flight: bool,
+    /// Flight-recorder ring capacity in events (rounded up to a power of
+    /// two, minimum 8).
+    pub flight_capacity: usize,
+    /// Flight-recorder fire-sampling stride: every `N`-th rule firing is
+    /// recorded (structural events are always recorded; clamped to ≥ 1).
+    pub flight_sample: u32,
 }
 
 impl Default for DemandConfig {
@@ -32,6 +44,9 @@ impl Default for DemandConfig {
             trace: false,
             collapse_cycles: true,
             collapse_threshold: 32,
+            flight: true,
+            flight_capacity: 8192,
+            flight_sample: 64,
         }
     }
 }
@@ -72,6 +87,21 @@ impl DemandConfig {
         self.collapse_threshold = threshold.max(1);
         self
     }
+
+    /// Disables the deduction flight recorder (the overhead-measurement
+    /// baseline for the T9 experiment).
+    pub fn without_flight_recorder(mut self) -> Self {
+        self.flight = false;
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity and fire-sampling stride.
+    pub fn with_flight(mut self, capacity: usize, sample: u32) -> Self {
+        self.flight = true;
+        self.flight_capacity = capacity;
+        self.flight_sample = sample;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +125,17 @@ mod tests {
         assert!(!c.collapse_cycles);
         let t = DemandConfig::new().with_collapse_threshold(0);
         assert_eq!(t.collapse_threshold, 1, "threshold clamps to 1");
+    }
+
+    #[test]
+    fn flight_builders() {
+        let d = DemandConfig::default();
+        assert!(d.flight, "flight recorder defaults to on");
+        let off = DemandConfig::new().without_flight_recorder();
+        assert!(!off.flight);
+        let sized = DemandConfig::new().with_flight(1024, 16);
+        assert!(sized.flight);
+        assert_eq!(sized.flight_capacity, 1024);
+        assert_eq!(sized.flight_sample, 16);
     }
 }

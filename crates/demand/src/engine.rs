@@ -53,7 +53,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind};
-use ddpa_obs::{Counter, Obs};
+use ddpa_obs::{Counter, FlightConfig, FlightEventKind, FlightRecorder, Obs};
 
 use crate::budget::Budget;
 use crate::config::DemandConfig;
@@ -86,9 +86,9 @@ use crate::trace::{Explanation, Origin, TraceStep};
 pub struct DemandEngine<'p> {
     cp: &'p ConstraintProgram,
     config: DemandConfig,
-    goals: Vec<GoalState>,
-    keys: Vec<Goal>,
-    index: HashMap<Goal, u32>,
+    pub(crate) goals: Vec<GoalState>,
+    pub(crate) keys: Vec<Goal>,
+    pub(crate) index: HashMap<Goal, u32>,
     queue: VecDeque<u32>,
     obs: Obs,
     counters: EngineCounters,
@@ -96,7 +96,7 @@ pub struct DemandEngine<'p> {
     generation: u64,
     /// Copy-graph edges and the goal-merging union-find; every goal-index
     /// lookup routes through [`CopyGraph::find`].
-    cycles: CopyGraph,
+    pub(crate) cycles: CopyGraph,
     /// Cross-engine memo table, when attached
     /// ([`DemandEngine::with_shared_memo`]); ignored while
     /// [`DemandConfig::caching`] is off.
@@ -108,6 +108,24 @@ pub struct DemandEngine<'p> {
     /// Goals already published to (or installed from) the shared table,
     /// so a drain never re-publishes the whole table.
     published: HashSet<Goal>,
+    /// The deduction flight recorder, when enabled
+    /// ([`DemandConfig::flight`]). Recording is append-only and never
+    /// feeds back into deduction, so answers are identical either way.
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
+    /// Per-goal attribution, parallel to `goals`: how much work and how
+    /// many rule firings each goal's processing consumed. Folded into the
+    /// representative when a cycle merges. Drives the top-k "hottest
+    /// goals" view and the critical-path analyzer ([`crate::inspect`]).
+    pub(crate) costs: Vec<GoalCost>,
+}
+
+/// Work/fires attributed to one goal (see [`crate::inspect`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GoalCost {
+    /// Work ticks charged while processing this goal (init + firings).
+    pub work: u64,
+    /// Rule firings delivered while processing this goal.
+    pub fires: u64,
 }
 
 /// Pre-resolved counter handles — the hot path never does a name lookup.
@@ -126,6 +144,7 @@ struct EngineCounters {
     share_misses: Counter,
     share_publishes: Counter,
     share_evictions: Counter,
+    flight_events: Counter,
     /// Per-[`Watcher`] variant fire counts, indexed by
     /// [`Watcher::kind_index`].
     fires_by_kind: [Counter; 12],
@@ -147,6 +166,7 @@ impl EngineCounters {
             share_misses: obs.counter("demand.share.misses"),
             share_publishes: obs.counter("demand.share.publishes"),
             share_evictions: obs.counter("demand.share.evictions"),
+            flight_events: obs.counter("demand.flight.events"),
             fires_by_kind: std::array::from_fn(|i| {
                 obs.counter(&format!("demand.fires.{}", Watcher::KIND_NAMES[i]))
             }),
@@ -165,6 +185,12 @@ impl<'p> DemandEngine<'p> {
     pub fn with_obs(cp: &'p ConstraintProgram, config: DemandConfig, obs: Obs) -> Self {
         let counters = EngineCounters::new(&obs);
         let cycles = CopyGraph::new(config.collapse_cycles, config.collapse_threshold);
+        let flight = config.flight.then(|| {
+            Arc::new(FlightRecorder::new(FlightConfig {
+                capacity: config.flight_capacity,
+                sample: config.flight_sample,
+            }))
+        });
         DemandEngine {
             cp,
             config,
@@ -180,6 +206,24 @@ impl<'p> DemandEngine<'p> {
             shared: None,
             shared_gen: 0,
             published: HashSet::new(),
+            flight,
+            costs: Vec::new(),
+        }
+    }
+
+    /// The deduction flight recorder, when enabled
+    /// ([`DemandConfig::flight`]). Snapshot it at any time to reconstruct
+    /// recent engine activity; see `docs/OBSERVABILITY.md`.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// Records one flight event (no-op when the recorder is off).
+    #[inline]
+    fn flight_record(&self, kind: FlightEventKind, a: u32, b: u32, work: u32) {
+        if let Some(flight) = &self.flight {
+            flight.record(kind, a, b, work);
+            self.counters.flight_events.inc();
         }
     }
 
@@ -253,6 +297,7 @@ impl<'p> DemandEngine<'p> {
             share_misses: self.counters.share_misses.get(),
             share_publishes: self.counters.share_publishes.get(),
             share_evictions: self.counters.share_evictions.get(),
+            flight_events: self.counters.flight_events.get(),
         }
     }
 
@@ -281,6 +326,7 @@ impl<'p> DemandEngine<'p> {
         self.queue.clear();
         self.provenance.clear();
         self.published.clear();
+        self.costs.clear();
         self.cycles = CopyGraph::new(self.config.collapse_cycles, self.config.collapse_threshold);
     }
 
@@ -468,9 +514,11 @@ impl<'p> DemandEngine<'p> {
         self.goals.push(GoalState::new());
         self.keys.push(goal);
         self.index.insert(goal, gi);
+        self.costs.push(GoalCost::default());
         let slot = self.cycles.push();
         debug_assert_eq!(slot, gi, "union-find aligned with goal table");
         self.counters.goals_activated.inc();
+        self.flight_record(FlightEventKind::Activated, gi, 0, 0);
         if let Some(hit) = self.shared_lookup(goal) {
             // Install the published fixpoint as a completed goal: no
             // static rules, no enqueue — the whole subtree below `goal`
@@ -489,6 +537,7 @@ impl<'p> DemandEngine<'p> {
                 }
             }
             self.published.insert(goal);
+            self.flight_record(FlightEventKind::MemoHit, gi, 1, 0);
             return gi;
         }
         self.enqueue(gi);
@@ -589,9 +638,11 @@ impl<'p> DemandEngine<'p> {
         self.goals.push(GoalState::new());
         self.keys.push(goal);
         self.index.insert(goal, gi);
+        self.costs.push(GoalCost::default());
         let slot = self.cycles.push();
         debug_assert_eq!(slot, gi, "union-find aligned with goal table");
         self.counters.goals_activated.inc();
+        self.flight_record(FlightEventKind::Activated, gi, 0, 0);
         let state = &mut self.goals[gi as usize];
         for &v in &result.elems {
             state.members.insert(v);
@@ -678,6 +729,15 @@ impl<'p> DemandEngine<'p> {
             state.cursors.push(0);
             if let Watcher::CopyTo { dst } = watcher {
                 self.cycles.record_edge(gi, dst);
+            }
+            if self.flight.is_some() {
+                // The consumer goal now blocks on new elements of `gi`.
+                let consumer = self
+                    .index
+                    .get(&watcher.consumer())
+                    .map(|&ci| self.cycles.find_readonly(ci))
+                    .unwrap_or(u32::MAX);
+                self.flight_record(FlightEventKind::Blocked, gi, consumer, 0);
             }
             self.enqueue(gi);
         }
@@ -913,9 +973,11 @@ impl<'p> DemandEngine<'p> {
         if self.goals[gi as usize].needs_init {
             if !budget.charge(1) {
                 self.requeue_front(gi);
+                self.flight_record(FlightEventKind::Resumed, gi, 0, 0);
                 return false;
             }
             self.counters.work.inc();
+            self.costs[gi as usize].work += 1;
             self.goals[gi as usize].needs_init = false;
             let _span = self.obs.span("demand.query.goal_init");
             match self.keys[gi as usize] {
@@ -935,6 +997,7 @@ impl<'p> DemandEngine<'p> {
                     }
                     if !budget.charge(1) {
                         self.requeue_front(gi);
+                        self.flight_record(FlightEventKind::Resumed, gi, 0, 0);
                         return false;
                     }
                     let elem = state.elems[cursor];
@@ -943,6 +1006,16 @@ impl<'p> DemandEngine<'p> {
                     self.counters.fires.inc();
                     self.counters.fires_by_kind[watcher.kind_index()].inc();
                     self.counters.work.inc();
+                    {
+                        let cost = &mut self.costs[gi as usize];
+                        cost.work += 1;
+                        cost.fires += 1;
+                    }
+                    if let Some(flight) = &self.flight {
+                        if flight.maybe_record_fire(gi, watcher.kind_index() as u32) {
+                            self.counters.flight_events.inc();
+                        }
+                    }
                     self.cycles.tick();
                     let src = self.keys[gi as usize];
                     self.fire(src, watcher, elem);
@@ -975,12 +1048,21 @@ impl<'p> DemandEngine<'p> {
         }
         // Global fixpoint: memoize everything as complete. Merged shells
         // hold no state of their own — their representative does.
-        for state in &mut self.goals {
+        for gi in 0..self.goals.len() {
+            let state = &mut self.goals[gi];
             if state.merged {
                 continue;
             }
             debug_assert!(state.quiescent(), "drained queue but goal not quiescent");
+            if state.complete {
+                continue;
+            }
             state.complete = true;
+            if self.flight.is_some() {
+                let elems = self.goals[gi].elems.len().min(u32::MAX as usize) as u32;
+                let work = self.costs[gi].work.min(u32::MAX as u64) as u32;
+                self.flight_record(FlightEventKind::Completed, gi as u32, elems, work);
+            }
         }
         self.shared_publish_completed();
         true
@@ -1010,6 +1092,7 @@ impl<'p> DemandEngine<'p> {
                 if self.goals[g as usize].needs_init {
                     self.goals[g as usize].needs_init = false;
                     self.counters.work.inc();
+                    self.costs[g as usize].work += 1;
                     match self.keys[g as usize] {
                         Goal::Pts(x) => self.install_pts(x),
                         Goal::Ptb(o) => self.install_ptb(o),
@@ -1019,6 +1102,12 @@ impl<'p> DemandEngine<'p> {
             let rep = self.cycles.union_all(&comp);
             self.counters.cycles_collapsed.inc();
             self.counters.cycles_merged_goals.add(comp.len() as u64 - 1);
+            self.flight_record(
+                FlightEventKind::CycleMerged,
+                rep,
+                comp.len().min(u32::MAX as usize) as u32,
+                0,
+            );
             self.merge_component(&comp, rep);
         }
     }
@@ -1038,6 +1127,10 @@ impl<'p> DemandEngine<'p> {
             let shell = &mut self.goals[g as usize];
             shell.merged = true;
             shell.needs_init = false;
+            // Attribution follows the state into the representative.
+            let cost = std::mem::take(&mut self.costs[g as usize]);
+            self.costs[rep as usize].work += cost.work;
+            self.costs[rep as usize].fires += cost.fires;
             merged.aliases.push(self.keys[g as usize]);
             merged.aliases.extend(state.aliases.iter().copied());
             for &v in &state.elems {
@@ -1093,6 +1186,7 @@ impl<'p> DemandEngine<'p> {
         if self.goals[gi as usize].complete {
             self.counters.cache_hits.inc();
             self.counters.complete_queries.inc();
+            self.flight_record(FlightEventKind::MemoHit, gi, 0, 0);
             return QueryResult {
                 pts: self.snapshot(gi),
                 complete: true,

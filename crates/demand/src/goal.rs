@@ -168,6 +168,29 @@ impl Watcher {
     pub fn kind_name(&self) -> &'static str {
         Self::KIND_NAMES[self.kind_index()]
     }
+
+    /// The goal this rule instance delivers facts *into* — the consumer
+    /// side of the dependency edge `producer → consumer` the watcher
+    /// realizes. The producer is the goal the watcher is installed on,
+    /// so a goal's watcher list *is* its outgoing dependency edges; the
+    /// introspection layer ([`crate::inspect`]) walks exactly this
+    /// mapping to reconstruct the goal graph post-hoc.
+    pub fn consumer(&self) -> Goal {
+        match *self {
+            Watcher::CopyTo { dst } => Goal::Pts(dst),
+            Watcher::LoadDst { dst } => Goal::Pts(dst),
+            Watcher::StoreInto { obj } => Goal::Pts(obj),
+            Watcher::CallFormal { formal, .. } => Goal::Pts(formal),
+            Watcher::CallRet { dst } => Goal::Pts(dst),
+            Watcher::FwdProp { obj } => Goal::Ptb(obj),
+            Watcher::StoreSpread { obj } => Goal::Ptb(obj),
+            Watcher::LoadSpread { obj } => Goal::Ptb(obj),
+            Watcher::ArgSpread { obj, .. } => Goal::Ptb(obj),
+            Watcher::RetSpread { obj, .. } => Goal::Ptb(obj),
+            Watcher::FieldOf { dst, .. } => Goal::Pts(dst),
+            Watcher::FieldPtb { obj, .. } => Goal::Ptb(obj),
+        }
+    }
 }
 
 /// The table entry for one goal.

@@ -45,6 +45,7 @@ pub mod config;
 pub mod cycles;
 pub mod engine;
 pub mod goal;
+pub mod inspect;
 pub mod ladder;
 pub mod parallel;
 pub mod pool;
@@ -58,6 +59,7 @@ pub use budget::Budget;
 pub use config::DemandConfig;
 pub use cycles::CopyGraph;
 pub use engine::DemandEngine;
+pub use inspect::{display_goal, CriticalPath, GoalGraph, GoalProfile};
 pub use ladder::BudgetLadder;
 pub use parallel::{points_to_on_pool, points_to_parallel};
 pub use pool::ThreadPool;

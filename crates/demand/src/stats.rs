@@ -37,6 +37,9 @@ pub struct EngineStats {
     /// Stale (old-generation) shared entries lazily evicted by this
     /// engine's lookups and publishes.
     pub share_evictions: u64,
+    /// Events recorded into the deduction flight recorder
+    /// (see [`crate::DemandEngine::flight_recorder`]).
+    pub flight_events: u64,
 }
 
 impl EngineStats {
@@ -75,6 +78,7 @@ impl EngineStats {
             share_misses: self.share_misses.saturating_sub(before.share_misses),
             share_publishes: self.share_publishes.saturating_sub(before.share_publishes),
             share_evictions: self.share_evictions.saturating_sub(before.share_evictions),
+            flight_events: self.flight_events.saturating_sub(before.flight_events),
         }
     }
 }

@@ -157,8 +157,13 @@ impl Histogram {
     }
 
     /// Folds `other`'s samples into `self`. Per-bucket counts add, so the
-    /// merge is exact (no re-bucketing error) and associative.
+    /// merge is exact (no re-bucketing error) and associative. Merging a
+    /// histogram into itself (including a clone sharing the same buckets)
+    /// is a no-op rather than a silent doubling of every count.
     pub fn merge_from(&self, other: &Histogram) {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return;
+        }
         for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
             let n = theirs.load(Ordering::Relaxed);
             if n > 0 {
@@ -307,6 +312,59 @@ mod tests {
         assert_eq!(left.sum(), right.sum());
         assert_eq!(left.max(), right.max());
         assert_eq!(left.count(), 10);
+    }
+
+    #[test]
+    fn merge_empty_into_empty_stays_empty() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        a.merge_from(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.quantile(0.99), 0);
+        assert!(a.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_saturated_max_bucket() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        b.record(u64::MAX);
+        b.record(u64::MAX - 1);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), u64::MAX);
+        // Both samples land in the top bucket; the quantile clamps to the
+        // exact max instead of overflowing past it.
+        assert_eq!(a.quantile(1.0), u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        let top: u64 = a.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(top, 2, "no sample lost at the saturated end of the range");
+        // Sum wraps (documented counter-like behavior) but must match the
+        // wrapping sum of the inputs, not drift.
+        assert_eq!(a.sum(), u64::MAX.wrapping_add(u64::MAX - 1));
+    }
+
+    #[test]
+    fn self_merge_is_a_no_op() {
+        let h = Histogram::detached();
+        h.record(5);
+        h.record(900);
+        h.merge_from(&h);
+        assert_eq!(h.count(), 2, "self-merge must not double counts");
+        assert_eq!(h.sum(), 905);
+        // A clone shares the same buckets — merging it in is the same
+        // aliasing hazard and must also be a no-op.
+        let alias = h.clone();
+        h.merge_from(&alias);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonzero_buckets().iter().map(|&(_, n)| n).sum::<u64>(), 2);
+        // A genuinely distinct histogram with equal contents still merges.
+        let other = Histogram::detached();
+        other.record(5);
+        h.merge_from(&other);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

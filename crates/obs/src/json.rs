@@ -197,7 +197,7 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
 /// drift — a typo'd kind, a new emitter nobody documented — fails CI
 /// instead of silently passing as "some JSON object".
 pub const KNOWN_KINDS: &[&str] = &[
-    "meta", "counter", "gauge", "hist", "span", "event", "access", "slow",
+    "meta", "counter", "gauge", "hist", "span", "event", "access", "slow", "flight",
 ];
 
 /// [`validate_jsonl_line`] plus the schema check: the object must carry a

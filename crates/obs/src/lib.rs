@@ -40,12 +40,14 @@
 //! assert_eq!(tree[0].children[0].name, "solve.propagate");
 //! ```
 
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod profile;
 pub mod registry;
 pub mod sink;
 
+pub use flight::{FlightConfig, FlightEvent, FlightEventKind, FlightRecorder, FlightSnapshot};
 pub use hist::Histogram;
 pub use json::{
     escape_into, escaped, parse_json, validate_jsonl_line, validate_metrics_line, JsonValue,

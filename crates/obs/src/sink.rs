@@ -13,7 +13,9 @@
 //!   — one per profile-tree node, `path` being the root-to-node names;
 //! * `{"kind":"event", ...}` — ad-hoc engine events;
 //! * `{"kind":"access", ...}` / `{"kind":"slow", ...}` — `ddpa-serve`
-//!   request logs (see `docs/SERVER.md`).
+//!   request logs (see `docs/SERVER.md`);
+//! * `{"kind":"flight","seq":...,"event":...,"goal":...,...}` — one per
+//!   exported [`crate::FlightRecorder`] event (see `docs/OBSERVABILITY.md`).
 //!
 //! Keys are `&str` borrows serialized straight into the line buffer, so
 //! per-line emission allocates no key `String`s — snapshot exports with

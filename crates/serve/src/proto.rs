@@ -95,6 +95,30 @@ pub enum Request {
     /// snapshot payload would trip the bounded line reader
     /// (`max_line_bytes`) and be truncated mid-frame.
     Restore { session: String, path: String },
+    /// Goal-graph introspection for a session: the hottest goals by
+    /// attributed work plus the critical-path profile (`W`, `S`, `W/S`).
+    Inspect {
+        session: String,
+        /// Cap on returned hottest goals (defaults to 10).
+        top: Option<u64>,
+    },
+    /// The session engine's flight-recorder contents, newest last.
+    Flight {
+        session: String,
+        /// Cap on returned events (defaults to the whole ring).
+        limit: Option<u64>,
+    },
+    /// The session's goal dependency graph, as JSON or Graphviz DOT.
+    Graph {
+        session: String,
+        /// `true` → respond with a DOT `"text"` field instead of JSON
+        /// nodes/edges.
+        dot: bool,
+    },
+    /// Server-wide metrics scrape: the whole observability registry as
+    /// metrics-JSONL text (one line per counter/gauge/histogram),
+    /// embedded in the response's `"text"` field.
+    Scrape,
 }
 
 /// Stable machine-readable error codes.
@@ -337,6 +361,19 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
                 path: need_str(v, "path")?,
             })
         }
+        "inspect" => Ok(Request::Inspect {
+            session: need_str(v, "session")?,
+            top: opt_u64(v, "top")?,
+        }),
+        "flight" => Ok(Request::Flight {
+            session: need_str(v, "session")?,
+            limit: opt_u64(v, "limit")?,
+        }),
+        "graph" => Ok(Request::Graph {
+            session: need_str(v, "session")?,
+            dot: opt_bool(v, "dot")?.unwrap_or(false),
+        }),
+        "scrape" => Ok(Request::Scrape),
         other => Err(ProtoError::new(
             ErrorCode::UnknownOp,
             format!("unknown op {other:?}"),
@@ -459,6 +496,50 @@ pub mod build {
             ("session", JsonValue::str(session)),
             ("path", JsonValue::str(path)),
         ])
+    }
+
+    /// `{"op":"inspect","session":...}` — hottest goals and the
+    /// critical-path profile.
+    pub fn inspect(session: &str, top: Option<u64>) -> JsonValue {
+        let mut fields = vec![
+            ("op", JsonValue::str("inspect")),
+            ("session", JsonValue::str(session)),
+        ];
+        if let Some(n) = top {
+            fields.push(("top", JsonValue::U64(n)));
+        }
+        obj(fields)
+    }
+
+    /// `{"op":"flight","session":...}` — the session's flight-recorder
+    /// contents.
+    pub fn flight(session: &str, limit: Option<u64>) -> JsonValue {
+        let mut fields = vec![
+            ("op", JsonValue::str("flight")),
+            ("session", JsonValue::str(session)),
+        ];
+        if let Some(n) = limit {
+            fields.push(("limit", JsonValue::U64(n)));
+        }
+        obj(fields)
+    }
+
+    /// `{"op":"graph","session":...}` — the session's goal dependency
+    /// graph (JSON, or DOT text with `dot=true`).
+    pub fn graph(session: &str, dot: bool) -> JsonValue {
+        let mut fields = vec![
+            ("op", JsonValue::str("graph")),
+            ("session", JsonValue::str(session)),
+        ];
+        if dot {
+            fields.push(("dot", JsonValue::Bool(true)));
+        }
+        obj(fields)
+    }
+
+    /// `{"op":"scrape"}` — the server's metrics registry as JSONL text.
+    pub fn scrape() -> JsonValue {
+        obj(vec![("op", JsonValue::str("scrape"))])
     }
 
     pub fn query(
@@ -609,6 +690,42 @@ mod tests {
                 path: "/var/snaps/s.snap".into(),
             }
         );
+        assert_eq!(
+            round_trip(&build::inspect("s", Some(5))),
+            Request::Inspect {
+                session: "s".into(),
+                top: Some(5),
+            }
+        );
+        assert_eq!(
+            round_trip(&build::inspect("s", None)),
+            Request::Inspect {
+                session: "s".into(),
+                top: None,
+            }
+        );
+        assert_eq!(
+            round_trip(&build::flight("s", Some(100))),
+            Request::Flight {
+                session: "s".into(),
+                limit: Some(100),
+            }
+        );
+        assert_eq!(
+            round_trip(&build::graph("s", true)),
+            Request::Graph {
+                session: "s".into(),
+                dot: true,
+            }
+        );
+        assert_eq!(
+            round_trip(&build::graph("s", false)),
+            Request::Graph {
+                session: "s".into(),
+                dot: false,
+            }
+        );
+        assert_eq!(round_trip(&build::scrape()), Request::Scrape);
     }
 
     #[test]

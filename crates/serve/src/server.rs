@@ -723,6 +723,10 @@ fn request_summary(request: &Request) -> (&'static str, Option<String>) {
         Request::Batch { session, .. } => ("batch", Some(session.clone())),
         Request::Snapshot { session, .. } => ("snapshot", Some(session.clone())),
         Request::Restore { session, .. } => ("restore", Some(session.clone())),
+        Request::Inspect { session, .. } => ("inspect", Some(session.clone())),
+        Request::Flight { session, .. } => ("flight", Some(session.clone())),
+        Request::Graph { session, .. } => ("graph", Some(session.clone())),
+        Request::Scrape => ("scrape", None),
     }
 }
 
@@ -1186,6 +1190,122 @@ fn dispatch(
                 After::Continue,
             ))
         }
+        Request::Inspect { session, top } => {
+            let _span = state.obs.span("server.request.inspect");
+            let handle = get_session(state, &session)?;
+            let s = lock_session(&handle);
+            let (hottest, critical_path) = s.inspect_json(top.unwrap_or(10) as usize);
+            let (generation, tabled) = (s.generation(), s.tabled_goals());
+            drop(s);
+            Ok((
+                ok_response(
+                    "inspect",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("hottest", hottest),
+                        ("critical_path", critical_path),
+                        ("tabled_goals", JsonValue::U64(tabled as u64)),
+                        ("generation", JsonValue::U64(generation)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
+        Request::Flight { session, limit } => {
+            let _span = state.obs.span("server.request.flight");
+            let handle = get_session(state, &session)?;
+            let s = lock_session(&handle);
+            let (events, recorded, dropped) =
+                s.flight_json(limit.map_or(usize::MAX, |l| l as usize));
+            let generation = s.generation();
+            drop(s);
+            Ok((
+                ok_response(
+                    "flight",
+                    vec![
+                        ("session", JsonValue::str(session.as_str())),
+                        ("events", JsonValue::Array(events)),
+                        ("recorded", JsonValue::U64(recorded)),
+                        ("dropped", JsonValue::U64(dropped)),
+                        ("generation", JsonValue::U64(generation)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
+        Request::Graph { session, dot } => {
+            let _span = state.obs.span("server.request.graph");
+            let handle = get_session(state, &session)?;
+            let s = lock_session(&handle);
+            let generation = s.generation();
+            let mut fields = vec![("session", JsonValue::str(session.as_str()))];
+            if dot {
+                let text = s.graph_dot();
+                drop(s);
+                fields.push(("text", JsonValue::str(text)));
+            } else {
+                let graph = s.graph_json();
+                drop(s);
+                fields.push(("graph", graph));
+            }
+            fields.push(("generation", JsonValue::U64(generation)));
+            Ok((ok_response("graph", fields), After::Continue))
+        }
+        Request::Scrape => {
+            let _span = state.obs.span("server.request.scrape");
+            let mut sink = JsonlSink::new(Vec::new());
+            let _ = sink.emit_registry(&state.obs.registry);
+            // Session engines keep their own registries; surface each
+            // engine's headline counters under a session-scoped name so
+            // one scrape covers the whole process.
+            let sessions: Vec<(String, Arc<Mutex<Session>>)> = lock_sessions(state)
+                .iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect();
+            for (name, handle) in sessions {
+                let s = lock_session(&handle);
+                let stats = s.engine_stats();
+                let tabled = s.tabled_goals() as u64;
+                drop(s);
+                let counters = [
+                    ("queries", stats.queries),
+                    ("work", stats.work),
+                    ("fires", stats.fires),
+                    ("flight_events", stats.flight_events),
+                ];
+                for (key, value) in counters {
+                    let _ = sink.emit(
+                        "counter",
+                        &[
+                            ("name", JsonValue::str(format!("session.{name}.{key}"))),
+                            ("value", JsonValue::U64(value)),
+                        ],
+                    );
+                }
+                let _ = sink.emit(
+                    "gauge",
+                    &[
+                        (
+                            "name",
+                            JsonValue::str(format!("session.{name}.tabled_goals")),
+                        ),
+                        ("value", JsonValue::U64(tabled)),
+                    ],
+                );
+            }
+            let text = String::from_utf8(sink.into_inner()).unwrap_or_default();
+            let lines = text.lines().count() as u64;
+            Ok((
+                ok_response(
+                    "scrape",
+                    vec![
+                        ("text", JsonValue::str(text)),
+                        ("lines", JsonValue::U64(lines)),
+                    ],
+                ),
+                After::Continue,
+            ))
+        }
         Request::Restore { session, path } => {
             let _span = state.obs.span("server.request.restore");
             let handle = get_session(state, &session)?;
@@ -1485,6 +1605,97 @@ mod tests {
                 .and_then(JsonValue::as_array)
                 .map(<[JsonValue]>::len),
             Some(2)
+        );
+
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
+    }
+
+    #[test]
+    fn introspection_ops_end_to_end() {
+        use crate::client::Client;
+        use crate::proto::build;
+
+        let config = ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut c = Client::connect(addr).expect("connect");
+        c.expect_ok(&build::open(
+            "s",
+            "p = &a\np = &b\nq = p\nr = *q\n*q = p\n",
+            false,
+            None,
+        ))
+        .expect("open");
+        let spec = QuerySpec::PointsTo { name: "r".into() };
+        c.expect_ok(&build::query("s", &spec, None, None))
+            .expect("query");
+
+        // inspect: hottest goals attributed, critical path carries W/S.
+        let v = c.expect_ok(&build::inspect("s", Some(3))).expect("inspect");
+        let hottest = v
+            .get("hottest")
+            .and_then(JsonValue::as_array)
+            .expect("hottest array");
+        assert!(!hottest.is_empty() && hottest.len() <= 3);
+        assert!(hottest[0]
+            .get("goal")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|g| g.starts_with("pts(") || g.starts_with("ptb(")));
+        let cp = v.get("critical_path").expect("critical path");
+        let work = cp.get("work").and_then(JsonValue::as_u64).expect("work");
+        let span = cp.get("span").and_then(JsonValue::as_u64).expect("span");
+        assert!(work >= span && span > 0, "W={work} >= S={span} > 0");
+        assert!(cp.get("headroom").is_some());
+
+        // flight: structured events with resolved goal names.
+        let v = c.expect_ok(&build::flight("s", Some(50))).expect("flight");
+        let events = v
+            .get("events")
+            .and_then(JsonValue::as_array)
+            .expect("events array");
+        assert!(!events.is_empty() && events.len() <= 50);
+        for e in events {
+            assert_eq!(e.get("kind").and_then(JsonValue::as_str), Some("flight"));
+            assert!(e.get("seq").and_then(JsonValue::as_u64).is_some());
+            ddpa_obs::validate_metrics_line(&e.to_string()).expect("flight line validates");
+        }
+        assert!(v.get("recorded").and_then(JsonValue::as_u64).unwrap_or(0) > 0);
+
+        // graph: JSON nodes/edges, and DOT text on request.
+        let v = c.expect_ok(&build::graph("s", false)).expect("graph json");
+        let graph = v.get("graph").expect("graph object");
+        assert!(graph
+            .get("nodes")
+            .and_then(JsonValue::as_array)
+            .is_some_and(|n| !n.is_empty()));
+        assert!(graph.get("edges").and_then(JsonValue::as_array).is_some());
+        let v = c.expect_ok(&build::graph("s", true)).expect("graph dot");
+        let text = v.get("text").and_then(JsonValue::as_str).expect("dot text");
+        assert!(text.starts_with("digraph goals {"), "{text}");
+        assert!(text.contains("->"), "dot has edges: {text}");
+
+        // scrape: strict metrics-JSONL covering server and session counters.
+        let v = c.expect_ok(&build::scrape()).expect("scrape");
+        let text = v.get("text").and_then(JsonValue::as_str).expect("text");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            v.get("lines").and_then(JsonValue::as_u64),
+            Some(lines.len() as u64)
+        );
+        for line in &lines {
+            ddpa_obs::validate_metrics_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(text.contains("\"server.requests\""));
+        assert!(
+            text.contains("\"session.s.flight_events\""),
+            "scrape carries per-session flight counters:\n{text}"
         );
 
         handle.shutdown();

@@ -343,6 +343,56 @@ impl Session {
         self.engine.tabled_goals()
     }
 
+    /// The warm engine's hottest goals plus critical-path profile,
+    /// rendered for the wire (`inspect` op): `(hottest array, critical
+    /// path object)`.
+    pub fn inspect_json(&self, top: usize) -> (ddpa_obs::JsonValue, ddpa_obs::JsonValue) {
+        use ddpa_obs::JsonValue;
+        let cp = self.engine.program();
+        let hottest = self
+            .engine
+            .hottest_goals(top)
+            .into_iter()
+            .map(|p| {
+                JsonValue::Object(vec![
+                    (
+                        "goal".to_owned(),
+                        JsonValue::str(ddpa_demand::display_goal(cp, p.goal)),
+                    ),
+                    ("work".to_owned(), JsonValue::U64(p.work)),
+                    ("fires".to_owned(), JsonValue::U64(p.fires)),
+                    ("complete".to_owned(), JsonValue::Bool(p.complete)),
+                    ("elems".to_owned(), JsonValue::U64(p.elems as u64)),
+                    ("watchers".to_owned(), JsonValue::U64(p.watchers as u64)),
+                ])
+            })
+            .collect();
+        let profile = self.engine.critical_path();
+        (JsonValue::Array(hottest), profile.to_json(cp))
+    }
+
+    /// The warm engine's flight-recorder contents, newest last, plus the
+    /// (recorded, dropped) totals (`flight` op). Empty when the recorder
+    /// is off.
+    pub fn flight_json(&self, limit: usize) -> (Vec<ddpa_obs::JsonValue>, u64, u64) {
+        let (recorded, dropped) = self
+            .engine
+            .flight_recorder()
+            .map(|f| (f.recorded(), f.dropped()))
+            .unwrap_or((0, 0));
+        (self.engine.flight_events_json(limit), recorded, dropped)
+    }
+
+    /// The warm engine's goal dependency graph as Graphviz DOT.
+    pub fn graph_dot(&self) -> String {
+        self.engine.goal_graph().to_dot(self.engine.program())
+    }
+
+    /// The warm engine's goal dependency graph as a JSON object.
+    pub fn graph_json(&self) -> ddpa_obs::JsonValue {
+        self.engine.goal_graph().to_json(self.engine.program())
+    }
+
     /// The shared memo table the warm engine and batch workers publish
     /// into.
     pub fn shared_memo(&self) -> &Arc<SharedMemo> {

@@ -90,6 +90,51 @@ grep -q '"kind":"slow"' "$access_log" \
 grep -q '"trace":"r' "$access_log" \
     || { echo "access log missing request trace ids" >&2; exit 1; }
 
+echo "==> flight recorder / introspection smoke test"
+# Against a live server with the recorder on (the default): a traced
+# query populates the ring, the flight export and the scrape both pass
+# jsonl-check, the scrape shows nonzero flight events, and the live
+# views (top, graph --dot) render.
+portfile3="$tmp/serve-flight-port"
+flight_out="$tmp/flight.jsonl"
+scrape_out="$tmp/scrape.jsonl"
+cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
+    --port-file "$portfile3" \
+    > "$tmp/serve-flight.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$portfile3" ] && break
+    sleep 0.1
+done
+[ -s "$portfile3" ] || { echo "server never wrote $portfile3" >&2; exit 1; }
+addr="$(cat "$portfile3")"
+client open smoke samples/list.mc
+client query smoke main::got --trace
+cargo run -q -p ddpa-cli -- flight smoke --addr "$addr" --out "$flight_out"
+cargo run -q -p ddpa-cli -- jsonl-check "$flight_out"
+grep -q '"kind":"flight"' "$flight_out" \
+    || { echo "flight export has no flight events" >&2; exit 1; }
+cargo run -q -p ddpa-cli -- scrape --addr "$addr" --out "$scrape_out"
+cargo run -q -p ddpa-cli -- jsonl-check "$scrape_out"
+grep -Eq '"name":"session\.smoke\.flight_events","value":[1-9]' "$scrape_out" \
+    || { echo "scrape missing a nonzero session.smoke.flight_events" >&2; exit 1; }
+cargo run -q -p ddpa-cli -- top smoke --addr "$addr" --iters 1 \
+    | grep -q 'critical path: work' \
+    || { echo "ddpa top did not render the critical path" >&2; exit 1; }
+cargo run -q -p ddpa-cli -- graph smoke --addr "$addr" --dot \
+    | head -1 | grep -q 'digraph goals' \
+    || { echo "ddpa graph --dot did not render DOT" >&2; exit 1; }
+client shutdown
+wait "$srv_pid"
+# A local traced query with the recorder on (the default) exports a
+# nonzero demand.flight.events counter.
+flight_metrics="$tmp/flight-local-metrics.jsonl"
+cargo run -q -p ddpa-cli -- query samples/list.mc main::got \
+    --metrics-out "$flight_metrics" > /dev/null
+cargo run -q -p ddpa-cli -- jsonl-check "$flight_metrics"
+grep -q '"name":"demand.flight.events","value":[1-9]' "$flight_metrics" \
+    || { echo "metrics missing a nonzero demand.flight.events" >&2; exit 1; }
+
 echo "==> snapshot / warm-start smoke test"
 # First server life: open a session, warm the memo table, snapshot it to
 # disk (both on request and via the periodic background snapshotter).
