@@ -117,6 +117,56 @@ pub fn trajectory(docs: &[(String, JsonValue)]) -> String {
             .collect();
         let _ = writeln!(out, "{}", table(&header, &rows));
     }
+    out.push_str(&parallelism_section(docs));
+    out
+}
+
+/// The T9-vs-T10 cross-cut: the critical-path `W/S` *bound* next to the
+/// speedup the frame scheduler actually *measured*, one column per
+/// summary. Rendered only when at least one summary carries either
+/// table; absent values dot out as everywhere else.
+fn parallelism_section(docs: &[(String, JsonValue)]) -> String {
+    use std::fmt::Write as _;
+
+    let lookup = |doc: &JsonValue, id: &str, metric: &str| {
+        doc.get("tables")
+            .and_then(|t| t.get(id))
+            .and_then(|fields| fields.get(metric))
+            .map(cell)
+    };
+    let rows_spec: [(&str, &str, &str); 5] = [
+        ("T9 W/S headroom (bound)", "t9", "headroom"),
+        ("T10 measured speedup", "t10", "speedup"),
+        (
+            "T10 speedup (W/S > 1.5 rows)",
+            "t10",
+            "rich_headroom_speedup",
+        ),
+        ("T10 workers", "t10", "workers"),
+        ("T10 work ratio (par/seq)", "t10", "work_ratio"),
+    ];
+    if !docs.iter().any(|(_, doc)| {
+        rows_spec
+            .iter()
+            .any(|(_, id, m)| lookup(doc, id, m).is_some())
+    }) {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## parallelism — headroom bound vs measured speedup\n");
+    let mut header: Vec<&str> = vec!["metric"];
+    header.extend(docs.iter().map(|(label, _)| label.as_str()));
+    let rows: Vec<Vec<String>> = rows_spec
+        .iter()
+        .map(|(label, id, metric)| {
+            let mut row = vec![(*label).to_owned()];
+            for (_, doc) in docs {
+                row.push(lookup(doc, id, metric).unwrap_or_else(|| "·".to_owned()));
+            }
+            row
+        })
+        .collect();
+    let _ = writeln!(out, "{}", table(&header, &rows));
     out
 }
 
@@ -191,6 +241,47 @@ mod tests {
             .expect("new metric row present");
         assert!(merged_row.contains('·'), "got: {merged_row}");
         assert!(merged_row.contains("12"), "got: {merged_row}");
+    }
+
+    #[test]
+    fn parallelism_section_pairs_t9_bound_with_t10_measurement() {
+        let old = doc(vec![("t9", vec![("headroom", JsonValue::F64(2.5))])]);
+        let new = doc(vec![
+            ("t9", vec![("headroom", JsonValue::F64(3.1))]),
+            (
+                "t10",
+                vec![
+                    ("workers", JsonValue::U64(8)),
+                    ("speedup", JsonValue::F64(2.2)),
+                    ("rich_headroom_speedup", JsonValue::F64(2.9)),
+                    ("work_ratio", JsonValue::F64(1.0)),
+                ],
+            ),
+        ]);
+        let out = trajectory(&[("BENCH_old".into(), old), ("BENCH_new".into(), new)]);
+        let section = out
+            .split("## parallelism")
+            .nth(1)
+            .expect("cross-cut section present");
+        assert!(section.contains("T9 W/S headroom"), "got: {section}");
+        assert!(section.contains("T10 measured speedup"), "got: {section}");
+        assert!(section.contains("2.500"), "the bound column: {section}");
+        assert!(section.contains("2.200"), "the measured column: {section}");
+        let speedup_row = section
+            .lines()
+            .find(|l| l.contains("T10 measured speedup"))
+            .expect("speedup row");
+        assert!(
+            speedup_row.contains('·'),
+            "pre-T10 summaries dot out: {speedup_row}"
+        );
+    }
+
+    #[test]
+    fn no_parallelism_section_without_either_table() {
+        let only_t6 = doc(vec![("t6", vec![("work_on", JsonValue::F64(1.0))])]);
+        let out = trajectory(&[("a".into(), only_t6)]);
+        assert!(!out.contains("## parallelism"), "got: {out}");
     }
 
     #[test]

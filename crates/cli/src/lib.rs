@@ -36,7 +36,7 @@ use std::fmt;
 use std::io::Write;
 
 use ddpa::constraints::{ConstraintProgram, NodeId};
-use ddpa::demand::{DemandConfig, DemandEngine};
+use ddpa::demand::{DemandConfig, DemandEngine, SchedPolicy};
 use ddpa::obs::{JsonValue, JsonlSink, Obs};
 use ddpa::support::stats::fmt_count;
 
@@ -72,6 +72,7 @@ commands:
   solve     <file> [names...]           exhaustive points-to sets
   query     <file> <names...>           demand points-to queries
             [--budget N] [--no-cache] [--ptb]
+            [--workers N] [--sched-policy dfs|bfs]  intra-query parallelism
   explain   <file> <node> <target>      derivation of target ∈ pts(node)
   cs        <file> <names...> [--k N]   context-sensitive points-to (default k=1)
   callgraph <file> [--budget N]         resolve all call sites on demand
@@ -79,7 +80,8 @@ commands:
   stackret  <file> [--budget N]         stack-return (dangling pointer) lint
   profile   <file> [--json <path>]      run both analyses, report metrics + spans
   jsonl-check <file>                    validate a JSONL metrics export
-  gen       [--size N] [--seed S] [--minic]  emit a generated workload
+  gen       [--size N] [--seed S] [--minic] [--wide]  emit a generated
+            workload (--wide: many independent chains, high W/S headroom)
   snapshot  <file> [names...] --out <path>   answer queries (default: all
             locations), then write the completed fixpoints as a durable
             snapshot (see docs/PERSISTENCE.md)
@@ -87,15 +89,16 @@ commands:
             answer queries with zero deduction work
   serve     --addr HOST:PORT            persistent demand-query server
             [--threads N] [--budget N] [--timeout-ms T]
+            [--workers N] [--sched-policy dfs|bfs]  intra-query parallelism
             [--port-file <path>] [--stdin-shutdown] [--metrics-out <path>]
             [--access-log <path>] [--slow-ms N]
             [--snapshot-dir <dir>] [--snapshot-every-ms N] [--restore]
   client    --addr HOST:PORT <op>       one request against a running server:
             ping | stats | shutdown | close <session>
-            open <session> <file> [--budget N]
+            open <session> <file> [--budget N] [--parallel-query]
             add <session> <file>
             query <session> <names...> [--ptb] [--parallel] [--trace]
-                  [--budget N] [--timeout-ms T]
+                  [--budget N] [--timeout-ms T] [--parallel-query]
             alias <session> <a> <b> [--trace]
             targets <session> <site> [--trace]
             snapshot <session> [--out <server-side path>]
@@ -136,6 +139,10 @@ struct Options {
     json: Option<String>,
     addr: Option<String>,
     threads: Option<usize>,
+    workers: Option<usize>,
+    sched_policy: Option<SchedPolicy>,
+    parallel_query: bool,
+    wide: bool,
     timeout_ms: Option<u64>,
     parallel: bool,
     stdin_shutdown: bool,
@@ -203,6 +210,18 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let v = iter.next().ok_or_else(|| err("--threads needs a value"))?;
                 opts.threads = Some(v.parse().map_err(|_| err(format!("bad threads `{v}`")))?);
             }
+            "--workers" => {
+                let v = iter.next().ok_or_else(|| err("--workers needs a value"))?;
+                opts.workers = Some(v.parse().map_err(|_| err(format!("bad workers `{v}`")))?);
+            }
+            "--sched-policy" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| err("--sched-policy needs dfs or bfs"))?;
+                opts.sched_policy = Some(v.parse().map_err(|e: String| err(e))?);
+            }
+            "--parallel-query" => opts.parallel_query = true,
+            "--wide" => opts.wide = true,
             "--timeout-ms" => {
                 let v = iter
                     .next()
@@ -360,6 +379,8 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             let mut config = DemandConfig {
                 budget: opts.budget,
                 caching: !opts.no_cache,
+                workers: opts.workers.unwrap_or(1).max(1),
+                sched_policy: opts.sched_policy.unwrap_or_default(),
                 ..DemandConfig::default()
             };
             if opts.no_cache {
@@ -586,7 +607,11 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             writeln!(out, "{path}: {lines} valid JSONL line(s)")?;
         }
         "gen" => {
-            if opts.minic == Some(true) {
+            if opts.wide {
+                let cp =
+                    ddpa::gen::generate_wide(&ddpa::gen::WideConfig::sized(opts.seed, opts.size));
+                write!(out, "{}", ddpa::constraints::print_constraints(&cp))?;
+            } else if opts.minic == Some(true) {
                 let program = ddpa::gen::generate_minic(&ddpa::gen::MiniCConfig::sized(
                     opts.seed,
                     opts.size.max(4) / 12,
@@ -676,6 +701,12 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             let mut config = ddpa::serve::ServeConfig::default();
             if let Some(t) = opts.threads {
                 config.threads = t.max(1);
+            }
+            if let Some(w) = opts.workers {
+                config.workers = w.max(1);
+            }
+            if let Some(p) = opts.sched_policy {
+                config.sched_policy = p;
             }
             config.default_budget = opts.budget;
             if let Some(t) = opts.timeout_ms {
@@ -966,9 +997,17 @@ fn render_top(
             Some(JsonValue::U64(n)) => *n as f64,
             _ => 1.0,
         };
+        // The configured scheduler next to the headroom bound it could
+        // exploit: workers beyond W/S cannot help this workload.
+        let workers = num(stats.get("workers")).max(1);
+        let policy = stats
+            .get("sched_policy")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("dfs");
         writeln!(
             out,
-            "critical path: work {}  span {}  parallelism headroom {headroom:.2}x",
+            "critical path: work {}  span {}  parallelism headroom {headroom:.2}x  \
+             [{workers} worker(s), {policy} policy]",
             fmt_count(num(cp.get("work"))),
             fmt_count(num(cp.get("span"))),
         )?;
@@ -1018,6 +1057,11 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
         Ok((text, minic))
     };
     let traced = |request: JsonValue| {
+        let request = if opts.parallel_query {
+            build::with_parallel_query(request)
+        } else {
+            request
+        };
         if opts.trace {
             build::with_trace(request)
         } else {
@@ -1041,7 +1085,12 @@ fn client_request(opts: &Options) -> Result<JsonValue, CliError> {
         "close" => Ok(build::close(session(1)?)),
         "open" => {
             let (text, minic) = file_text(2)?;
-            Ok(build::open(session(1)?, &text, minic, opts.budget))
+            let request = build::open(session(1)?, &text, minic, opts.budget);
+            Ok(if opts.parallel_query {
+                build::with_parallel_query(request)
+            } else {
+                request
+            })
         }
         "add" => {
             let (text, _) = file_text(2)?;
@@ -1298,6 +1347,23 @@ mod tests {
         let out = run_to_string(&["gen", "--minic", "--size", "200"]).expect("gen minic");
         let program = ddpa::ir::parse(&out).expect("parses");
         ddpa::ir::check(&program).expect("checks");
+    }
+
+    #[test]
+    fn wide_gen_and_parallel_query_flags() {
+        let wide = run_to_string(&["gen", "--wide", "--size", "400", "--seed", "5"]).expect("gen");
+        assert!(wide.contains("hub = "), "hub joins the chains: {wide}");
+        let cp = ddpa::constraints::parse_constraints(&wide).expect("reparses");
+        assert!(cp.num_constraints() > 200);
+        let path = write_temp("t12.cons", &wide);
+        let p = path.to_str().expect("utf8 path");
+        let seq = run_to_string(&["query", p, "hub"]).expect("sequential");
+        let par = run_to_string(&["query", p, "hub", "--workers", "4"]).expect("parallel");
+        assert_eq!(seq, par, "scheduler answers are bit-identical");
+        let bfs = run_to_string(&["query", p, "hub", "--workers", "4", "--sched-policy", "bfs"])
+            .expect("bfs");
+        assert_eq!(seq, bfs);
+        assert!(run_to_string(&["query", p, "hub", "--sched-policy", "lifo"]).is_err());
     }
 
     #[test]

@@ -52,7 +52,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId, NodeKind};
+use ddpa_constraints::{CalleeRef, ConstraintProgram, FuncId, NodeId};
 use ddpa_obs::{Counter, FlightConfig, FlightEventKind, FlightRecorder, Obs};
 
 use crate::budget::Budget;
@@ -60,6 +60,8 @@ use crate::config::DemandConfig;
 use crate::cycles::CopyGraph;
 use crate::goal::{Goal, GoalState, Watcher};
 use crate::query::{AliasResult, CallTargets, QueryResult};
+use crate::rules::Deduce;
+use crate::sched::{EngineView, Scheduler};
 use crate::share::{CompletedGoal, SharedMemo};
 use crate::stats::EngineStats;
 use crate::trace::{Explanation, Origin, TraceStep};
@@ -145,6 +147,10 @@ struct EngineCounters {
     share_publishes: Counter,
     share_evictions: Counter,
     flight_events: Counter,
+    sched_parked: Counter,
+    sched_resumed: Counter,
+    sched_steals: Counter,
+    sched_wakeups: Counter,
     /// Per-[`Watcher`] variant fire counts, indexed by
     /// [`Watcher::kind_index`].
     fires_by_kind: [Counter; 12],
@@ -167,6 +173,10 @@ impl EngineCounters {
             share_publishes: obs.counter("demand.share.publishes"),
             share_evictions: obs.counter("demand.share.evictions"),
             flight_events: obs.counter("demand.flight.events"),
+            sched_parked: obs.counter("demand.sched.parked"),
+            sched_resumed: obs.counter("demand.sched.resumed"),
+            sched_steals: obs.counter("demand.sched.steals"),
+            sched_wakeups: obs.counter("demand.sched.wakeups"),
             fires_by_kind: std::array::from_fn(|i| {
                 obs.counter(&format!("demand.fires.{}", Watcher::KIND_NAMES[i]))
             }),
@@ -278,6 +288,17 @@ impl<'p> DemandEngine<'p> {
         self.config.budget = budget;
     }
 
+    /// Adjusts only the per-query worker count (clamped to ≥ 1). Used by
+    /// hosts that toggle intra-query parallelism per request.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.workers = workers.max(1);
+    }
+
+    /// Adjusts the scheduler policy used by parallel queries.
+    pub fn set_sched_policy(&mut self, policy: crate::config::SchedPolicy) {
+        self.config.sched_policy = policy;
+    }
+
     /// A snapshot of the cumulative statistics across all queries so far.
     ///
     /// Counts reflect only this engine unless the [`Obs`] passed to
@@ -298,6 +319,10 @@ impl<'p> DemandEngine<'p> {
             share_publishes: self.counters.share_publishes.get(),
             share_evictions: self.counters.share_evictions.get(),
             flight_events: self.counters.flight_events.get(),
+            sched_parked: self.counters.sched_parked.get(),
+            sched_resumed: self.counters.sched_resumed.get(),
+            sched_steals: self.counters.sched_steals.get(),
+            sched_wakeups: self.counters.sched_wakeups.get(),
         }
     }
 
@@ -688,8 +713,9 @@ impl<'p> DemandEngine<'p> {
     }
 
     /// Adds `value` to `goal`'s set, recording its derivation when
-    /// tracing is enabled.
-    fn add(&mut self, goal: Goal, value: u32, origin: Origin) {
+    /// tracing is enabled. (The [`Deduce`] impl routes rule-produced
+    /// facts here.)
+    fn add_fact(&mut self, goal: Goal, value: u32, origin: Origin) {
         let gi = self.activate(goal);
         let state = &mut self.goals[gi as usize];
         let inserted = state.add(value);
@@ -713,7 +739,7 @@ impl<'p> DemandEngine<'p> {
     /// ([`CopyGraph::record_edge`]); one that targets the subscribed
     /// goal's own state — a self copy, or a copy inside an already
     /// collapsed cycle — is the identity and is suppressed.
-    fn subscribe(&mut self, goal: Goal, watcher: Watcher) {
+    fn subscribe_watcher(&mut self, goal: Goal, watcher: Watcher) {
         let gi = self.activate(goal);
         if let Watcher::CopyTo { dst } = watcher {
             if let Some(&di) = self.index.get(&Goal::Pts(dst)) {
@@ -740,230 +766,6 @@ impl<'p> DemandEngine<'p> {
                 self.flight_record(FlightEventKind::Blocked, gi, consumer, 0);
             }
             self.enqueue(gi);
-        }
-    }
-
-    /// Installs the static `pts` rules for `x`.
-    fn install_pts(&mut self, x: NodeId) {
-        let cp = self.cp;
-        // [ADDR]
-        for i in 0..cp.addr_objs_of(x).len() {
-            let o = cp.addr_objs_of(x)[i];
-            self.add(Goal::Pts(x), o.as_u32(), Origin::Base);
-        }
-        // [COPY]
-        for i in 0..cp.copy_srcs_of(x).len() {
-            let s = cp.copy_srcs_of(x)[i];
-            self.subscribe(Goal::Pts(s), Watcher::CopyTo { dst: x });
-        }
-        // [LOAD]
-        for i in 0..cp.load_ptrs_of(x).len() {
-            let p = cp.load_ptrs_of(x)[i];
-            self.subscribe(Goal::Pts(p), Watcher::LoadDst { dst: x });
-        }
-        // [STORE] — only pointable locations can be written through pointers.
-        if cp.is_address_taken(x) {
-            self.subscribe(Goal::Ptb(x), Watcher::StoreInto { obj: x });
-        }
-        // [FIELD] — x = &base->field
-        for i in 0..cp.field_addrs_of(x).len() {
-            let (base, field) = cp.field_addrs_of(x)[i];
-            self.subscribe(Goal::Pts(base), Watcher::FieldOf { dst: x, field });
-        }
-        // [PARAM]
-        if let NodeKind::Formal { func, index } = cp.node(x).kind {
-            let func_obj = cp.func(func).object;
-            for i in 0..cp.direct_callsites_of(func).len() {
-                let cs = cp.direct_callsites_of(func)[i];
-                if let Some(Some(a)) = cp.callsite(cs).args.get(index as usize) {
-                    let a = *a;
-                    self.subscribe(Goal::Pts(a), Watcher::CopyTo { dst: x });
-                }
-            }
-            for i in 0..cp.indirect_callsites().len() {
-                let cs = cp.indirect_callsites()[i];
-                let site = cp.callsite(cs);
-                if let CalleeRef::Indirect(fp) = site.callee {
-                    if let Some(Some(a)) = site.args.get(index as usize) {
-                        let a = *a;
-                        self.subscribe(
-                            Goal::Pts(fp),
-                            Watcher::CallFormal {
-                                func_obj,
-                                formal: x,
-                                arg: a,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-        // [RET]
-        for i in 0..cp.ret_dst_uses_of(x).len() {
-            let cs = cp.ret_dst_uses_of(x)[i];
-            match cp.callsite(cs).callee {
-                CalleeRef::Direct(f) => {
-                    let ret = cp.func(f).ret;
-                    self.subscribe(Goal::Pts(ret), Watcher::CopyTo { dst: x });
-                }
-                CalleeRef::Indirect(fp) => {
-                    self.subscribe(Goal::Pts(fp), Watcher::CallRet { dst: x });
-                }
-            }
-        }
-    }
-
-    /// Installs the static `ptb` rules for `o`.
-    fn install_ptb(&mut self, o: NodeId) {
-        // [ADDR⁻¹]
-        for i in 0..self.cp.addr_dsts_of(o).len() {
-            let d = self.cp.addr_dsts_of(o)[i];
-            self.add(Goal::Ptb(o), d.as_u32(), Origin::Base);
-        }
-        // [FIELD⁻¹] — a field node is pointed to by the destinations of
-        // field-address constraints whose base points at its parent.
-        if let NodeKind::Field { parent, field } = self.cp.node(o).kind {
-            self.subscribe(Goal::Ptb(parent), Watcher::FieldPtb { obj: o, field });
-        }
-        // Rules (a)–(e) fire per element via self-subscription.
-        self.subscribe(Goal::Ptb(o), Watcher::FwdProp { obj: o });
-    }
-
-    /// Fires one watcher on one element.
-    fn fire(&mut self, src: Goal, watcher: Watcher, elem: u32) {
-        let cp = self.cp;
-        let origin = Origin::Rule { watcher, src, elem };
-        match watcher {
-            Watcher::CopyTo { dst } => {
-                self.add(Goal::Pts(dst), elem, origin);
-            }
-            Watcher::LoadDst { dst } => {
-                let o = NodeId::from_u32(elem);
-                self.subscribe(Goal::Pts(o), Watcher::CopyTo { dst });
-            }
-            Watcher::StoreInto { obj } => {
-                let w = NodeId::from_u32(elem);
-                for i in 0..cp.store_srcs_of(w).len() {
-                    let s = cp.store_srcs_of(w)[i];
-                    self.subscribe(Goal::Pts(s), Watcher::CopyTo { dst: obj });
-                }
-            }
-            Watcher::CallFormal {
-                func_obj,
-                formal,
-                arg,
-            } => {
-                if elem == func_obj.as_u32() {
-                    self.subscribe(Goal::Pts(arg), Watcher::CopyTo { dst: formal });
-                }
-            }
-            Watcher::CallRet { dst } => {
-                if let Some(f) = cp.node(NodeId::from_u32(elem)).as_func() {
-                    let ret = cp.func(f).ret;
-                    self.subscribe(Goal::Pts(ret), Watcher::CopyTo { dst });
-                }
-            }
-            Watcher::FwdProp { obj } => {
-                self.fwd_prop(obj, NodeId::from_u32(elem), origin);
-            }
-            Watcher::StoreSpread { obj } => {
-                self.add(Goal::Ptb(obj), elem, origin);
-            }
-            Watcher::LoadSpread { obj } => {
-                let q = NodeId::from_u32(elem);
-                for i in 0..cp.load_dsts_of(q).len() {
-                    let d = cp.load_dsts_of(q)[i];
-                    self.add(Goal::Ptb(obj), d.as_u32(), origin);
-                }
-            }
-            Watcher::ArgSpread { obj, pos } => {
-                if let Some(f) = cp.node(NodeId::from_u32(elem)).as_func() {
-                    if let Some(&formal) = cp.func(f).formals.get(pos as usize) {
-                        self.add(Goal::Ptb(obj), formal.as_u32(), origin);
-                    }
-                }
-            }
-            Watcher::RetSpread {
-                obj,
-                func_obj,
-                ret_dst,
-            } => {
-                if elem == func_obj.as_u32() {
-                    self.add(Goal::Ptb(obj), ret_dst.as_u32(), origin);
-                }
-            }
-            Watcher::FieldOf { dst, field } => {
-                if let Some(fld) = cp.field_of(NodeId::from_u32(elem), field) {
-                    self.add(Goal::Pts(dst), fld.as_u32(), origin);
-                }
-            }
-            Watcher::FieldPtb { obj, field } => {
-                let base = NodeId::from_u32(elem);
-                for i in 0..cp.field_addrs_from(base).len() {
-                    let (f, dst) = cp.field_addrs_from(base)[i];
-                    if f == field {
-                        self.add(Goal::Ptb(obj), dst.as_u32(), origin);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Rules (a)–(e): forward-propagates the new pointer `w ∈ ptb(obj)`.
-    fn fwd_prop(&mut self, obj: NodeId, w: NodeId, origin: Origin) {
-        let cp = self.cp;
-        // (a) copies d = w
-        for i in 0..cp.copy_dsts_of(w).len() {
-            let d = cp.copy_dsts_of(w)[i];
-            self.add(Goal::Ptb(obj), d.as_u32(), origin);
-        }
-        // (b) stores *p = w: everything p points to gains obj
-        for i in 0..cp.store_ptrs_of(w).len() {
-            let p = cp.store_ptrs_of(w)[i];
-            self.subscribe(Goal::Pts(p), Watcher::StoreSpread { obj });
-        }
-        // (c) w may itself be pointed to; loads through such pointers
-        //     propagate obj onward
-        if cp.is_address_taken(w) {
-            self.subscribe(Goal::Ptb(w), Watcher::LoadSpread { obj });
-        }
-        // (d) w passed as an argument
-        for i in 0..cp.arg_uses_of(w).len() {
-            let (cs, pos) = cp.arg_uses_of(w)[i];
-            match cp.callsite(cs).callee {
-                CalleeRef::Direct(f) => {
-                    if let Some(&formal) = cp.func(f).formals.get(pos as usize) {
-                        self.add(Goal::Ptb(obj), formal.as_u32(), origin);
-                    }
-                }
-                CalleeRef::Indirect(fp) => {
-                    self.subscribe(Goal::Pts(fp), Watcher::ArgSpread { obj, pos });
-                }
-            }
-        }
-        // (e) w is a return slot: flows to every caller's result
-        if let NodeKind::Ret { func } = cp.node(w).kind {
-            for i in 0..cp.direct_callsites_of(func).len() {
-                let cs = cp.direct_callsites_of(func)[i];
-                if let Some(d) = cp.callsite(cs).ret_dst {
-                    self.add(Goal::Ptb(obj), d.as_u32(), origin);
-                }
-            }
-            let func_obj = cp.func(func).object;
-            for i in 0..cp.indirect_callsites().len() {
-                let cs = cp.indirect_callsites()[i];
-                let site = cp.callsite(cs);
-                if let (CalleeRef::Indirect(fp), Some(d)) = (site.callee, site.ret_dst) {
-                    self.subscribe(
-                        Goal::Pts(fp),
-                        Watcher::RetSpread {
-                            obj,
-                            func_obj,
-                            ret_dst: d,
-                        },
-                    );
-                }
-            }
         }
     }
 
@@ -1182,6 +984,26 @@ impl<'p> DemandEngine<'p> {
             self.clear();
         }
         self.counters.queries.inc();
+        // Parallel dispatch, decided *before* activation touches the
+        // queue: eligible queries are unbudgeted (frames cannot abort
+        // mid-step deterministically), untraced (no cross-thread
+        // provenance map), and start from a drained queue (no suspended
+        // sequential work to interleave with). Already-answered goals
+        // fall through to the sequential cache-hit path.
+        if self.config.workers > 1
+            && self.config.budget.is_none()
+            && !self.config.trace
+            && self.queue.is_empty()
+        {
+            let cached = self
+                .index
+                .get(&goal)
+                .map(|&gi| self.cycles.find_readonly(gi))
+                .is_some_and(|gi| self.goals[gi as usize].complete);
+            if !cached {
+                return self.run_parallel(goal);
+            }
+        }
         let gi = self.activate(goal);
         if self.goals[gi as usize].complete {
             self.counters.cache_hits.inc();
@@ -1210,12 +1032,105 @@ impl<'p> DemandEngine<'p> {
         }
     }
 
+    /// Answers `goal` with the frame scheduler ([`crate::sched`]) on
+    /// [`DemandConfig::workers`] threads, seeding frames from this
+    /// engine's completed goals, then folds the scheduler's counters and
+    /// newly completed fixpoints back into the engine (and the attached
+    /// [`SharedMemo`], when caching). Answers are bit-identical to the
+    /// sequential drain — see the module docs of [`crate::sched`].
+    fn run_parallel(&mut self, goal: Goal) -> QueryResult {
+        let _span = self.obs.span("demand.query.parallel");
+        let mut sched = Scheduler::new(self.cp, self.config.clone()).with_obs(self.obs.clone());
+        if let Some(flight) = &self.flight {
+            sched = sched.with_flight(Arc::clone(flight));
+        }
+        if self.config.caching {
+            if let Some(shared) = &self.shared {
+                sched = sched.with_shared(Arc::clone(shared), self.shared_gen);
+            }
+        }
+        let outcome = {
+            let view = EngineView {
+                goals: &self.goals,
+                index: &self.index,
+                cycles: &self.cycles,
+            };
+            sched.solve_seeded(goal, Some(&view))
+        };
+        let stats = &outcome.stats;
+        self.counters.work.add(stats.work);
+        self.counters.fires.add(stats.fires);
+        for (i, &n) in stats.fires_by_kind.iter().enumerate() {
+            if n > 0 {
+                self.counters.fires_by_kind[i].add(n);
+            }
+        }
+        self.counters.share_hits.add(stats.share_hits);
+        self.counters.share_misses.add(stats.share_misses);
+        self.counters.share_evictions.add(stats.share_evictions);
+        self.counters.sched_parked.add(stats.parked);
+        self.counters.sched_resumed.add(stats.resumed);
+        self.counters.sched_steals.add(stats.steals);
+        self.counters.sched_wakeups.add(stats.wakeups);
+        self.counters.flight_events.add(stats.flight_events);
+        let work = stats.work;
+        if self.config.caching {
+            if let Some(shared) = &self.shared {
+                let shared = Arc::clone(shared);
+                for (g, entry) in &outcome.completed {
+                    if self.published.contains(g) {
+                        continue;
+                    }
+                    let (published, evicted) = shared.publish(self.shared_gen, *g, entry.clone());
+                    if evicted > 0 {
+                        self.counters.share_evictions.add(evicted);
+                    }
+                    if published {
+                        self.counters.share_publishes.inc();
+                    }
+                }
+            }
+            // Table the fixpoints locally so later queries (parallel or
+            // sequential) answer from the memo. Goals the engine already
+            // tables (e.g. incomplete from an old budgeted query) are
+            // left untouched.
+            for (g, entry) in &outcome.completed {
+                self.install_completed(*g, entry);
+            }
+        } else {
+            self.counters.goals_activated.add(stats.activated);
+        }
+        self.counters.complete_queries.inc();
+        QueryResult {
+            pts: outcome.pts,
+            complete: true,
+            work,
+        }
+    }
+
     fn snapshot(&self, gi: u32) -> Vec<NodeId> {
         self.goals[gi as usize]
             .members
             .iter()
             .map(NodeId::from_u32)
             .collect()
+    }
+}
+
+/// The sequential engine evaluates the shared rule system
+/// ([`crate::rules`]) against its tabled goal states; the scheduler's
+/// workers ([`crate::sched`]) implement the same trait against frames.
+impl<'p> Deduce<'p> for DemandEngine<'p> {
+    fn cp(&self) -> &'p ConstraintProgram {
+        self.cp
+    }
+
+    fn add(&mut self, goal: Goal, value: u32, origin: Origin) {
+        self.add_fact(goal, value, origin);
+    }
+
+    fn subscribe(&mut self, goal: Goal, watcher: Watcher) {
+        self.subscribe_watcher(goal, watcher);
     }
 }
 

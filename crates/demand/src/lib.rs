@@ -51,20 +51,23 @@ pub mod parallel;
 pub mod pool;
 pub mod qtrace;
 pub mod query;
+pub mod rules;
+pub mod sched;
 pub mod share;
 pub mod stats;
 pub mod trace;
 
 pub use budget::Budget;
-pub use config::DemandConfig;
+pub use config::{DemandConfig, SchedPolicy};
 pub use cycles::CopyGraph;
 pub use engine::DemandEngine;
 pub use inspect::{display_goal, CriticalPath, GoalGraph, GoalProfile};
 pub use ladder::BudgetLadder;
 pub use parallel::{points_to_on_pool, points_to_parallel};
-pub use pool::ThreadPool;
+pub use pool::{StealQueue, ThreadPool};
 pub use qtrace::{QueryTrace, TraceReport};
 pub use query::{AliasResult, CallTargets, QueryResult};
+pub use sched::{SchedStats, Scheduler, SolveOutcome};
 pub use share::{CompletedGoal, SharedMemo};
 pub use stats::EngineStats;
 pub use trace::{Explanation, Origin, TraceStep};

@@ -57,7 +57,10 @@ pub fn points_to_parallel(
 ) -> Vec<QueryResult> {
     assert!(threads > 0, "need at least one worker thread");
     if threads == 1 || queries.len() <= 1 {
-        let mut engine = DemandEngine::new(cp, config.clone());
+        // One query with several threads: parallelize *inside* the query
+        // via the frame scheduler instead of across queries.
+        let workers = if queries.len() == 1 { threads } else { 1 };
+        let mut engine = DemandEngine::new(cp, config.clone().with_workers(workers));
         return queries.iter().map(|&q| engine.points_to(q)).collect();
     }
     let pool = ThreadPool::new(threads);
@@ -77,7 +80,12 @@ pub fn points_to_on_pool(
     config: &DemandConfig,
 ) -> Vec<QueryResult> {
     if queries.len() <= 1 || pool.threads() == 1 {
-        let mut engine = DemandEngine::new(cp, config.clone());
+        let workers = if queries.len() == 1 {
+            pool.threads()
+        } else {
+            1
+        };
+        let mut engine = DemandEngine::new(cp, config.clone().with_workers(workers));
         return queries.iter().map(|&q| engine.points_to(q)).collect();
     }
     let shared = config.caching.then(|| Arc::new(SharedMemo::new()));
@@ -101,7 +109,9 @@ pub fn points_to_on_pool(
         let config = config.clone();
         let shared = shared.clone();
         Box::new(move || {
-            let mut engine = DemandEngine::new(cp, config);
+            // Worker engines stay sequential: nesting a frame scheduler
+            // inside each pool worker would oversubscribe the machine.
+            let mut engine = DemandEngine::new(cp, config.with_workers(1));
             if let Some(shared) = shared {
                 engine = engine.with_shared_memo(shared);
             }
@@ -159,6 +169,19 @@ mod tests {
                 assert_eq!(s.complete, p.complete);
             }
         }
+    }
+
+    #[test]
+    fn single_query_uses_intra_query_parallelism() {
+        let cp = chain_program(64);
+        let q = cp
+            .node_ids()
+            .find(|&n| cp.display_node(n) == "v63")
+            .expect("v63");
+        let sequential = points_to_parallel(&cp, &[q], 1, &DemandConfig::default());
+        let parallel = points_to_parallel(&cp, &[q], 4, &DemandConfig::default());
+        assert_eq!(sequential[0].pts, parallel[0].pts);
+        assert!(parallel[0].complete);
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct EngineStats {
     /// Events recorded into the deduction flight recorder
     /// (see [`crate::DemandEngine::flight_recorder`]).
     pub flight_events: u64,
+    /// Scheduler frames parked awaiting new facts (parallel queries).
+    pub sched_parked: u64,
+    /// Scheduler steps of a previously stepped frame (parallel queries).
+    pub sched_resumed: u64,
+    /// Frames stolen between scheduler workers (parallel queries).
+    pub sched_steals: u64,
+    /// Parked frames rescheduled by new facts/watchers (parallel queries).
+    pub sched_wakeups: u64,
 }
 
 impl EngineStats {
@@ -79,6 +87,10 @@ impl EngineStats {
             share_publishes: self.share_publishes.saturating_sub(before.share_publishes),
             share_evictions: self.share_evictions.saturating_sub(before.share_evictions),
             flight_events: self.flight_events.saturating_sub(before.flight_events),
+            sched_parked: self.sched_parked.saturating_sub(before.sched_parked),
+            sched_resumed: self.sched_resumed.saturating_sub(before.sched_resumed),
+            sched_steals: self.sched_steals.saturating_sub(before.sched_steals),
+            sched_wakeups: self.sched_wakeups.saturating_sub(before.sched_wakeups),
         }
     }
 }

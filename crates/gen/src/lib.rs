@@ -14,6 +14,8 @@
 //! * [`minic`] — structured MiniC source programs (layered call graphs,
 //!   function-pointer dispatch tables), exercised through the full
 //!   parse → check → lower pipeline;
+//! * [`wide`] — wide independent-chain programs maximizing single-query
+//!   parallel headroom (bench table T10);
 //! * [`mod@suite`] — the named benchmark suite used by every experiment.
 //!
 //! All generators take explicit seeds; the same seed reproduces the same
@@ -23,8 +25,10 @@ pub mod cyclic;
 pub mod minic;
 pub mod random;
 pub mod suite;
+pub mod wide;
 
 pub use cyclic::{generate_cyclic, CyclicConfig};
 pub use minic::{generate_minic, MiniCConfig};
 pub use random::{generate_random, RandomConfig};
 pub use suite::{quick_suite, suite, Benchmark, WorkloadKind};
+pub use wide::{generate_wide, WideConfig};

@@ -62,11 +62,22 @@ pub enum FlightEventKind {
     /// watcher kind index, `work` = sampling stride (each recorded firing
     /// stands for `work` real ones).
     Fire,
+    /// A scheduler frame quiesced and left the runnable set, waiting for
+    /// a producer goal to publish new facts. `a` = frame slot, `b` =
+    /// worker id. (Parallel queries only; slots are frame addresses, not
+    /// engine goal indices.)
+    Parked,
+    /// A worker stole a runnable frame from another worker's deque. `a` =
+    /// frame slot, `b` = thief worker id.
+    Stolen,
+    /// A parked frame was rescheduled because a goal it watches published
+    /// new facts. `a` = frame slot, `b` = scheduling worker id.
+    Woken,
 }
 
 impl FlightEventKind {
     /// Schema names, indexed by discriminant.
-    pub const KIND_NAMES: [&'static str; 7] = [
+    pub const KIND_NAMES: [&'static str; 10] = [
         "activated",
         "blocked",
         "resumed",
@@ -74,6 +85,9 @@ impl FlightEventKind {
         "memo_hit",
         "cycle_merged",
         "fire",
+        "parked",
+        "stolen",
+        "woken",
     ];
 
     /// The event's schema name.
@@ -90,6 +104,9 @@ impl FlightEventKind {
             4 => Some(FlightEventKind::MemoHit),
             5 => Some(FlightEventKind::CycleMerged),
             6 => Some(FlightEventKind::Fire),
+            7 => Some(FlightEventKind::Parked),
+            8 => Some(FlightEventKind::Stolen),
+            9 => Some(FlightEventKind::Woken),
             _ => None,
         }
     }
@@ -406,7 +423,7 @@ mod tests {
             let k = FlightEventKind::from_u32(i as u32).expect("valid discriminant");
             assert_eq!(k.as_str(), *name);
         }
-        assert!(FlightEventKind::from_u32(7).is_none());
+        assert!(FlightEventKind::from_u32(10).is_none());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub enum Request {
         minic: bool,
         /// Default deduction budget for queries on this session.
         budget: Option<u64>,
+        /// Session default for intra-query parallelism: when `true`,
+        /// queries on this session run on the frame scheduler with the
+        /// server's configured worker count unless a request overrides it.
+        parallel_query: bool,
     },
     /// Drop a session.
     Close { session: String },
@@ -63,6 +67,9 @@ pub enum Request {
         /// `"trace": true` — attach a per-request trace object (trace ID,
         /// wall time, work deltas) to the response.
         trace: bool,
+        /// `"parallel_query": true/false` — per-request override of the
+        /// session's intra-query parallelism default (`None` inherits it).
+        parallel_query: Option<bool>,
     },
     /// Many queries against a session, answered in order.
     Batch {
@@ -311,6 +318,7 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
                 program: need_str(v, "program")?,
                 minic: format,
                 budget: opt_u64(v, "budget")?,
+                parallel_query: opt_bool(v, "parallel_query")?.unwrap_or(false),
             })
         }
         "close" => Ok(Request::Close {
@@ -326,6 +334,7 @@ pub fn parse_request(v: &JsonValue) -> Result<Request, ProtoError> {
             budget: opt_u64(v, "budget")?,
             timeout_ms: opt_u64(v, "timeout_ms")?,
             trace: opt_bool(v, "trace")?.unwrap_or(false),
+            parallel_query: opt_bool(v, "parallel_query")?,
         }),
         "batch" => {
             let queries = v
@@ -415,6 +424,19 @@ pub mod build {
         match request {
             JsonValue::Object(mut fields) => {
                 fields.push(("trace".to_owned(), JsonValue::Bool(true)));
+                JsonValue::Object(fields)
+            }
+            other => other,
+        }
+    }
+
+    /// Appends `"parallel_query": true` to a built `open`/`query` request:
+    /// on `open` it becomes the session default, on `query` a per-request
+    /// override of that default.
+    pub fn with_parallel_query(request: JsonValue) -> JsonValue {
+        match request {
+            JsonValue::Object(mut fields) => {
+                fields.push(("parallel_query".to_owned(), JsonValue::Bool(true)));
                 JsonValue::Object(fields)
             }
             other => other,
@@ -614,6 +636,19 @@ mod tests {
                 program: "p = &o\n".into(),
                 minic: false,
                 budget: Some(100),
+                parallel_query: false,
+            }
+        );
+        assert_eq!(
+            round_trip(&build::with_parallel_query(build::open(
+                "s", "p = &o\n", false, None
+            ))),
+            Request::Open {
+                session: "s".into(),
+                program: "p = &o\n".into(),
+                minic: false,
+                budget: None,
+                parallel_query: true,
             }
         );
         assert_eq!(
@@ -647,9 +682,23 @@ mod tests {
                     budget: None,
                     timeout_ms: Some(50),
                     trace: false,
+                    parallel_query: None,
                 }
             );
         }
+        assert_eq!(
+            round_trip(&build::with_parallel_query(build::query(
+                "s", &specs[0], None, None,
+            ))),
+            Request::Query {
+                session: "s".into(),
+                spec: specs[0].clone(),
+                budget: None,
+                timeout_ms: None,
+                trace: false,
+                parallel_query: Some(true),
+            }
+        );
         assert_eq!(
             round_trip(&build::batch("s", &specs, true, Some(9), None)),
             Request::Batch {

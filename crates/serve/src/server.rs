@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use ddpa_demand::{EngineStats, ThreadPool, TraceReport};
+use ddpa_demand::{EngineStats, SchedPolicy, ThreadPool, TraceReport};
 use ddpa_obs::{Counter, Histogram, JsonValue, JsonlSink, Obs};
 
 use crate::proto::{error_response, ok_response, parse_request, ErrorCode, ProtoError, Request};
@@ -46,6 +46,11 @@ const READ_TICK: Duration = Duration::from_millis(100);
 pub struct ServeConfig {
     /// Worker threads in the shared pool for parallel batches.
     pub threads: usize,
+    /// Frame-scheduler width for intra-query parallelism (`parallel_query`
+    /// requests); 1 disables the scheduler.
+    pub workers: usize,
+    /// Scheduling policy (DFS/BFS) for parallel queries.
+    pub sched_policy: SchedPolicy,
     /// Default per-query deduction budget (`None` = unlimited).
     pub default_budget: Option<u64>,
     /// Default per-request wall-clock timeout in milliseconds (0 = none);
@@ -95,6 +100,8 @@ impl Default for ServeConfig {
             .min(8);
         ServeConfig {
             threads,
+            workers: 1,
+            sched_policy: SchedPolicy::default(),
             default_budget: None,
             default_timeout_ms: 10_000,
             max_line_bytes: 4 << 20,
@@ -870,6 +877,10 @@ fn record_query_obs(state: &ServerState, session_name: &str, delta: &EngineStats
         ("demand.share.misses", delta.share_misses),
         ("demand.share.publishes", delta.share_publishes),
         ("demand.share.evictions", delta.share_evictions),
+        ("demand.sched.parked", delta.sched_parked),
+        ("demand.sched.resumed", delta.sched_resumed),
+        ("demand.sched.steals", delta.sched_steals),
+        ("demand.sched.wakeups", delta.sched_wakeups),
     ];
     for (name, d) in share {
         if d > 0 {
@@ -965,9 +976,14 @@ fn dispatch(
             program,
             minic,
             budget,
+            parallel_query,
         } => {
             let _span = state.obs.span("server.request.open");
-            let mut new = Session::open(&program, minic, budget)?;
+            let mut new = Session::open(&program, minic, budget)?.with_parallel(
+                state.config.workers,
+                state.config.sched_policy,
+                parallel_query,
+            );
             // Best-effort warm start: a matching snapshot in the
             // snapshot dir seeds the fresh session's shared memo, so its
             // first queries are share hits instead of cold deduction. A
@@ -1055,6 +1071,7 @@ fn dispatch(
             budget,
             timeout_ms,
             trace: want_trace,
+            parallel_query,
         } => {
             let _span = state.obs.span("server.request.query");
             let handle = get_session(state, &session)?;
@@ -1062,7 +1079,7 @@ fn dispatch(
             let mut s = lock_session(&handle);
             let resolved = s.resolve(&spec)?;
             let bracket = s.begin_trace(trace_id);
-            let answer = s.query(resolved, budget, deadline);
+            let answer = s.query_opt(resolved, budget, deadline, parallel_query);
             let report = s.finish_trace(bracket);
             let generation = s.generation();
             drop(s);
@@ -1433,6 +1450,11 @@ fn stats_response(state: &ServerState) -> JsonValue {
             ("latency", latency),
             ("slow", slow),
             ("threads", JsonValue::U64(state.config.threads as u64)),
+            ("workers", JsonValue::U64(state.config.workers as u64)),
+            (
+                "sched_policy",
+                JsonValue::str(state.config.sched_policy.as_str()),
+            ),
         ],
     )
 }
@@ -1696,6 +1718,75 @@ mod tests {
         assert!(
             text.contains("\"session.s.flight_events\""),
             "scrape carries per-session flight counters:\n{text}"
+        );
+
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
+    }
+
+    #[test]
+    fn parallel_query_requests_run_on_the_scheduler() {
+        use crate::client::Client;
+        use crate::proto::build;
+
+        let config = ServeConfig {
+            threads: 1,
+            workers: 4,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut c = Client::connect(addr).expect("connect");
+        let mut program = String::from("v0 = &obj\n");
+        for i in 1..150 {
+            program.push_str(&format!("v{} = v{}\n", i, i - 1));
+        }
+        c.expect_ok(&build::open("s", &program, false, None))
+            .expect("open");
+        // Per-request opt-in on a session whose default is sequential.
+        let spec = QuerySpec::PointsTo {
+            name: "v149".into(),
+        };
+        let v = c
+            .expect_ok(&build::with_parallel_query(build::query(
+                "s", &spec, None, None,
+            )))
+            .expect("parallel query");
+        let result = v.get("result").expect("result");
+        assert_eq!(
+            result
+                .get("pts")
+                .and_then(JsonValue::as_array)
+                .map(|a| a.iter().filter_map(JsonValue::as_str).collect::<Vec<_>>()),
+            Some(vec!["obj"]),
+        );
+        assert_eq!(
+            result.get("complete").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        // A session opened with parallel_query applies it by default.
+        c.expect_ok(&build::with_parallel_query(build::open(
+            "par", &program, false, None,
+        )))
+        .expect("open parallel-default session");
+        let v = c
+            .expect_ok(&build::query("par", &spec, None, None))
+            .expect("default-parallel query");
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("complete"))
+                .and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        // Stats surface the scheduler knobs next to the pool width.
+        let stats = c.expect_ok(&build::stats()).expect("stats");
+        assert_eq!(stats.get("workers").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(
+            stats.get("sched_policy").and_then(JsonValue::as_str),
+            Some("dfs")
         );
 
         handle.shutdown();

@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use ddpa_constraints::{CallSiteId, ConstraintProgram, NodeId};
 use ddpa_demand::{
-    DemandConfig, DemandEngine, EngineStats, QueryTrace, SharedMemo, ThreadPool, TraceReport,
+    DemandConfig, DemandEngine, EngineStats, QueryTrace, SchedPolicy, SharedMemo, ThreadPool,
+    TraceReport,
 };
 
 use crate::proto::{ErrorCode, ProtoError, QuerySpec};
@@ -252,6 +253,11 @@ pub struct Session {
     /// batch computes warm later requests for free). `add-constraints`
     /// bumps its generation through [`DemandEngine::reload`].
     shared: Arc<SharedMemo>,
+    /// Frame-scheduler width for parallel queries (1 = scheduler off).
+    workers: usize,
+    /// Session default for intra-query parallelism: applied when a query
+    /// request carries no `parallel_query` override.
+    parallel_default: bool,
 }
 
 // Compile-time proof that sessions may move between connection threads:
@@ -298,7 +304,29 @@ impl Session {
             names,
             default_budget,
             shared,
+            workers: 1,
+            parallel_default: false,
         })
+    }
+
+    /// Configures intra-query parallelism: the frame-scheduler width and
+    /// policy (from the server's `--workers`/`--sched-policy` knobs) plus
+    /// the session's `parallel_query` default from `open`.
+    pub fn with_parallel(mut self, workers: usize, policy: SchedPolicy, default_on: bool) -> Self {
+        self.workers = workers.max(1);
+        self.parallel_default = default_on;
+        self.engine.set_sched_policy(policy);
+        self
+    }
+
+    /// The configured frame-scheduler width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The session's `parallel_query` default.
+    pub fn parallel_default(&self) -> bool {
+        self.parallel_default
     }
 
     /// The loaded program.
@@ -482,12 +510,43 @@ impl Session {
         budget: Option<u64>,
         deadline: Option<Instant>,
     ) -> QueryAnswer {
+        self.query_opt(spec, budget, deadline, None)
+    }
+
+    /// [`Session::query`] with a per-request `parallel_query` override
+    /// (`None` inherits the session default).
+    ///
+    /// A parallel query runs on the frame scheduler only when no budget
+    /// applies (neither per-request nor session default): budget slicing
+    /// needs the sequential engine's resumption guarantee. The scheduler
+    /// runs each query to its fixpoint, so a deadline is checked between
+    /// queries but cannot preempt one mid-flight (documented in
+    /// `docs/SERVER.md`).
+    pub fn query_opt(
+        &mut self,
+        spec: ResolvedSpec,
+        budget: Option<u64>,
+        deadline: Option<Instant>,
+        parallel: Option<bool>,
+    ) -> QueryAnswer {
         let budget = budget.or(self.default_budget);
+        let parallel = parallel.unwrap_or(self.parallel_default) && self.workers > 1;
         // SAFETY-free re-borrow dance: `run_resolved` needs the engine
         // (`&mut`) and the program (`&`) at once; the engine's own copy
         // of the program reference is handed out to avoid aliasing
         // `self.program` while `self.engine` is mutably borrowed.
         let cp = self.engine.program();
+        if parallel && budget.is_none() {
+            // Serve memoized/expired-deadline answers through the normal
+            // path; everything else runs unbudgeted on the scheduler.
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            if !expired {
+                self.engine.set_workers(self.workers);
+                let answer = run_resolved(&mut self.engine, cp, spec, None, None);
+                self.engine.set_workers(1);
+                return answer;
+            }
+        }
         run_resolved(&mut self.engine, cp, spec, budget, deadline)
     }
 
@@ -792,6 +851,45 @@ mod tests {
             set_names(&s.query(spec(&s, "tail"), None, None)),
             ["o1", "o2"]
         );
+    }
+
+    #[test]
+    fn parallel_queries_match_sequential_and_count_scheduler_work() {
+        let mut text = String::from("v0 = &obj\n");
+        for i in 1..120 {
+            text.push_str(&format!("v{} = v{}\n", i, i - 1));
+        }
+        let mut seq = Session::open(&text, false, None).expect("valid chain");
+        let mut par = Session::open(&text, false, None)
+            .expect("valid chain")
+            .with_parallel(4, SchedPolicy::Dfs, true);
+        assert_eq!(par.workers(), 4);
+        assert!(par.parallel_default());
+        for name in ["v119", "v60", "v0"] {
+            let spec = |s: &Session| {
+                s.resolve(&QuerySpec::PointsTo { name: name.into() })
+                    .expect("resolvable")
+            };
+            let a = seq.query(spec(&seq), None, None);
+            let b = par.query(spec(&par), None, None); // inherits the default
+            assert_eq!(set_names(&a), set_names(&b), "{name}");
+        }
+        // The per-request override forces the sequential path even on a
+        // parallel-default session (and vice versa).
+        let spec = par
+            .resolve(&QuerySpec::PointsTo {
+                name: "v119".into(),
+            })
+            .expect("resolvable");
+        let off = par.query_opt(spec, None, None, Some(false));
+        assert_eq!(set_names(&off), vec!["obj"]);
+        // A budget pins the query to the sequential engine: partial
+        // answers require the resumption guarantee.
+        let limited = par.query_opt(spec, Some(3), None, Some(true));
+        match limited {
+            QueryAnswer::Set { complete, .. } => assert!(complete, "memoized by now"),
+            other => panic!("expected set answer, got {other:?}"),
+        }
     }
 
     #[test]

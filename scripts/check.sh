@@ -118,11 +118,13 @@ cargo run -q -p ddpa-cli -- scrape --addr "$addr" --out "$scrape_out"
 cargo run -q -p ddpa-cli -- jsonl-check "$scrape_out"
 grep -Eq '"name":"session\.smoke\.flight_events","value":[1-9]' "$scrape_out" \
     || { echo "scrape missing a nonzero session.smoke.flight_events" >&2; exit 1; }
-cargo run -q -p ddpa-cli -- top smoke --addr "$addr" --iters 1 \
-    | grep -q 'critical path: work' \
+# Capture before grepping: `grep -q` exits on first match, and under
+# pipefail the writer's resulting EPIPE would fail the pipeline.
+cargo run -q -p ddpa-cli -- top smoke --addr "$addr" --iters 1 > "$tmp/top.out"
+grep -q 'critical path: work' "$tmp/top.out" \
     || { echo "ddpa top did not render the critical path" >&2; exit 1; }
-cargo run -q -p ddpa-cli -- graph smoke --addr "$addr" --dot \
-    | head -1 | grep -q 'digraph goals' \
+cargo run -q -p ddpa-cli -- graph smoke --addr "$addr" --dot > "$tmp/graph.dot"
+head -1 "$tmp/graph.dot" | grep -q 'digraph goals' \
     || { echo "ddpa graph --dot did not render DOT" >&2; exit 1; }
 client shutdown
 wait "$srv_pid"
@@ -191,5 +193,63 @@ printf 'garbage' >> "$cli_snap"
 if cargo run -q -p ddpa-cli -- restore "$tmp/snap-prog.mc" "$cli_snap" > /dev/null 2>&1; then
     echo "corrupted snapshot was not refused" >&2; exit 1
 fi
+
+echo "==> parallel scheduler smoke test"
+# The differential suite (fixed seeds) proves the frame scheduler is
+# exact — {sequential, DFS×1..N, BFS×1..N} all match the wave solver,
+# including across add-constraints generations. Run it at the sequential
+# boundary and at the CI worker count via the env knob.
+DDPA_SCHED_WORKERS=1 cargo test -q -p ddpa-demand --test sched_differential
+DDPA_SCHED_WORKERS=4 cargo test -q -p ddpa-demand --test sched_differential
+# End-to-end: a traced parallel_query against a live --workers 4 server
+# over a wide (headroom-rich) workload must actually steal — the
+# mirrored demand.sched.steals counter lands in the metrics export.
+wide="$tmp/wide.cons"
+# Big enough that the solve outlives an OS timeslice: on a one-core
+# host a short solve can be drained entirely by one worker, and then
+# nothing steals.
+cargo run -q -p ddpa-cli -- gen --wide --size 8000 --seed 7 > "$wide"
+portfile4="$tmp/serve-sched-port"
+sched_metrics="$tmp/serve-sched-metrics.jsonl"
+cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
+    --port-file "$portfile4" --metrics-out "$sched_metrics" \
+    --workers 4 \
+    > "$tmp/serve-sched.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$portfile4" ] && break
+    sleep 0.1
+done
+[ -s "$portfile4" ] || { echo "server never wrote $portfile4" >&2; exit 1; }
+addr="$(cat "$portfile4")"
+client open smoke "$wide"
+client query smoke hub --parallel-query --trace
+cargo run -q -p ddpa-cli -- top smoke --addr "$addr" --iters 1 > "$tmp/top-sched.out"
+grep -q '4 worker(s), dfs policy' "$tmp/top-sched.out" \
+    || { echo "ddpa top did not show the scheduler configuration" >&2; exit 1; }
+# Whether a given solve steals is a scheduling race (on a one-core host
+# a single worker can drain the whole goal graph before the others run),
+# so retry across fresh sessions — each `open` gets its own memo table,
+# hence a fresh scheduler run — until the live scrape shows a steal.
+sched_scrape="$tmp/sched-scrape.jsonl"
+stole=""
+for i in $(seq 1 12); do
+    client open "smoke$i" "$wide"
+    client query "smoke$i" hub --parallel-query
+    cargo run -q -p ddpa-cli -- scrape --addr "$addr" --out "$sched_scrape"
+    if grep -q '"name":"demand.sched.steals","value":[1-9]' "$sched_scrape"; then
+        stole=1
+        break
+    fi
+done
+[ -n "$stole" ] \
+    || { echo "no nonzero demand.sched.steals after 12 parallel solves" >&2; exit 1; }
+client shutdown
+wait "$srv_pid"
+cargo run -q -p ddpa-cli -- jsonl-check "$sched_metrics"
+grep -q '"name":"demand.sched.steals","value":[1-9]' "$sched_metrics" \
+    || { echo "metrics missing a nonzero demand.sched.steals" >&2; exit 1; }
+grep -q '"name":"demand.sched.parked","value":[1-9]' "$sched_metrics" \
+    || { echo "metrics missing a nonzero demand.sched.parked" >&2; exit 1; }
 
 echo "All checks passed."
