@@ -106,6 +106,7 @@ fn main() {
     run("t8", &mut || t8(&quick));
     run("t9", &mut || t9());
     run("t10", &mut || t10(full));
+    run("t11", &mut || t11(full));
     run("f1", &mut || f1(&quick));
     run("f2", &mut || f2(&quick));
     run("f3", &mut || f3(&quick));
@@ -813,6 +814,82 @@ fn t10(full: bool) -> JsonValue {
                 "steals",
                 "parked",
                 "wakeups",
+                "answers"
+            ],
+            &rows
+        )
+    );
+    med
+}
+
+fn t11(full: bool) -> JsonValue {
+    println!("## T11 — Edit-heavy sessions: selective invalidation vs full reload\n");
+    // Disjoint copy chains; each edit repoints one chain head, so the
+    // support-set machinery should keep (chains-1)/chains of the table
+    // warm per edit and the re-answer pass should beat a cold engine.
+    let data = if full {
+        run_t11(&[(16, 64), (48, 96), (96, 128)], 12, 3)
+    } else {
+        run_t11(&[(16, 64), (48, 96)], 8, 3)
+    };
+    let med = obj(vec![
+        (
+            "retained_frac",
+            JsonValue::F64(median(data.iter().map(|r| r.retained_frac).collect())),
+        ),
+        (
+            "speedup",
+            JsonValue::F64(median(data.iter().map(|r| r.speedup()).collect())),
+        ),
+        (
+            "time_incremental_ms",
+            JsonValue::F64(median(
+                data.iter().map(|r| ms(r.time_incremental)).collect(),
+            )),
+        ),
+        (
+            "time_full_ms",
+            JsonValue::F64(median(data.iter().map(|r| ms(r.time_full)).collect())),
+        ),
+        (
+            "identical",
+            JsonValue::Bool(data.iter().all(|r| r.identical)),
+        ),
+    ]);
+    let rows: Vec<Vec<String>> = data
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.edits.to_string(),
+                r.queries.to_string(),
+                pct(r.retained_frac),
+                count(r.retained),
+                count(r.invalidated),
+                dur(r.time_incremental),
+                dur(r.time_full),
+                ratio(r.speedup()),
+                if r.identical {
+                    "identical ✓".into()
+                } else {
+                    "DIFFERS ✗".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "workload",
+                "edits",
+                "queries/edit",
+                "retained",
+                "goals kept",
+                "goals dirtied",
+                "incremental",
+                "full reload",
+                "speedup",
                 "answers"
             ],
             &rows

@@ -1161,12 +1161,170 @@ pub fn run_t10(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// T11: edit-heavy sessions — selective invalidation vs full reload
+// ---------------------------------------------------------------------
+
+/// One row of the edit-heavy workload table.
+#[derive(Clone, Debug)]
+pub struct T11Row {
+    /// Workload name (`edit-<chains>x<len>`).
+    pub name: String,
+    /// Single-constraint edits applied in the script.
+    pub edits: usize,
+    /// Queries re-answered after every edit (one per chain tail).
+    pub queries: usize,
+    /// Mean fraction of completed goals kept warm across the edits.
+    pub retained_frac: f64,
+    /// Goals invalidated, summed over the script.
+    pub invalidated: usize,
+    /// Goals retained, summed over the script.
+    pub retained: usize,
+    /// Total wall time to apply every edit incrementally and re-answer
+    /// the query set after each (best of the repeats).
+    pub time_incremental: Duration,
+    /// Same script with full invalidation: a cold engine per edit
+    /// re-answers the query set (best of the repeats).
+    pub time_full: Duration,
+    /// Incremental answers bit-identical to the cold engine's at every
+    /// generation.
+    pub identical: bool,
+}
+
+impl T11Row {
+    /// Wall-clock advantage of keeping untouched goals warm.
+    pub fn speedup(&self) -> f64 {
+        self.time_full.as_secs_f64() / self.time_incremental.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Builds generation `upto` of the T11 workload: `chains` disjoint copy
+/// chains of length `len`, where edit `k` repoints the head of chain
+/// `k % chains` at a fresh object — dirtying exactly that chain's goals
+/// and leaving every other chain's fixpoints warm.
+fn edit_workload(chains: usize, len: usize, upto: usize) -> ConstraintProgram {
+    let mut b = ddpa_constraints::ConstraintBuilder::new();
+    let mut tails = Vec::new();
+    for c in 0..chains {
+        let obj = b.var(&format!("obj{c}"));
+        let mut prev = b.var(&format!("c{c}_0"));
+        b.addr_of(prev, obj);
+        for i in 1..len {
+            let v = b.var(&format!("c{c}_{i}"));
+            b.copy(v, prev);
+            prev = v;
+        }
+        tails.push(prev);
+    }
+    for k in 0..upto {
+        let obj = b.var(&format!("eobj{k}"));
+        let head = format!("c{}_0", k % chains);
+        let head = b.var(&head); // existing name: returns the minted node
+        b.addr_of(head, obj);
+    }
+    b.build()
+}
+
+/// Regenerates table T11: the `add-constraints` path under an edit-heavy
+/// session. A warm engine steps through `edits` single-constraint edits
+/// via `reload_incremental`, re-answering one query per chain tail after
+/// each; the baseline pays full invalidation (a cold engine per edit)
+/// for the same answers. Support-set dirtying keeps `(chains-1)/chains`
+/// of the table warm per edit, which is where the speedup comes from.
+pub fn run_t11(shapes: &[(usize, usize)], edits: usize, repeats: usize) -> Vec<T11Row> {
+    assert!(repeats > 0, "need at least one timed run");
+    shapes
+        .iter()
+        .map(|&(chains, len)| {
+            let gens: Vec<ConstraintProgram> =
+                (0..=edits).map(|g| edit_workload(chains, len, g)).collect();
+            let tails: Vec<Vec<NodeId>> = gens
+                .iter()
+                .map(|cp| {
+                    (0..chains)
+                        .map(|c| {
+                            let name = format!("c{c}_{}", len - 1);
+                            cp.node_ids()
+                                .find(|&n| cp.display_node(n) == name)
+                                .expect("chain tail exists")
+                        })
+                        .collect()
+                })
+                .collect();
+
+            let mut best_inc = Duration::MAX;
+            let mut best_full = Duration::MAX;
+            let (mut invalidated, mut retained) = (0usize, 0usize);
+            let mut retained_fracs = Vec::new();
+            let mut identical = true;
+            for rep in 0..repeats {
+                let mut engine = DemandEngine::new(&gens[0], DemandConfig::default());
+                for &t in &tails[0] {
+                    let _ = engine.points_to(t);
+                }
+                let mut time_inc = Duration::ZERO;
+                let mut time_full = Duration::ZERO;
+                for g in 1..=edits {
+                    let start = Instant::now();
+                    let diff = ddpa_constraints::diff_programs(&gens[g - 1], &gens[g]);
+                    let stats = engine.reload_incremental(&gens[g], &diff);
+                    let warm: Vec<_> = tails[g].iter().map(|&t| engine.points_to(t)).collect();
+                    time_inc += start.elapsed();
+                    assert!(!stats.full, "append-only edit stays incremental");
+                    if rep == 0 {
+                        invalidated += stats.invalidated;
+                        retained += stats.retained;
+                        let total = stats.invalidated + stats.retained;
+                        retained_fracs.push(stats.retained as f64 / total.max(1) as f64);
+                    }
+
+                    let start = Instant::now();
+                    let mut cold = DemandEngine::new(&gens[g], DemandConfig::default());
+                    let full: Vec<_> = tails[g].iter().map(|&t| cold.points_to(t)).collect();
+                    time_full += start.elapsed();
+                    identical &= warm
+                        .iter()
+                        .zip(&full)
+                        .all(|(w, f)| w.pts == f.pts && w.complete && f.complete);
+                }
+                best_inc = best_inc.min(time_inc);
+                best_full = best_full.min(time_full);
+            }
+            T11Row {
+                name: format!("edit-{chains}x{len}"),
+                edits,
+                queries: chains,
+                retained_frac: retained_fracs.iter().sum::<f64>()
+                    / retained_fracs.len().max(1) as f64,
+                invalidated,
+                retained,
+                time_incremental: best_inc,
+                time_full: best_full,
+                identical,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny() -> Vec<Benchmark> {
         vec![ddpa_gen::suite().into_iter().nth(1).expect("syn-1k exists")]
+    }
+
+    #[test]
+    fn t11_edits_retain_goals_and_stay_exact() {
+        let rows = run_t11(&[(8, 12)], 4, 1);
+        let r = &rows[0];
+        assert!(r.identical, "incremental answers match cold engines: {r:?}");
+        assert!(r.retained > 0, "untouched chains stay warm: {r:?}");
+        assert!(
+            r.retained_frac > 0.5,
+            "single-chain edits keep most of the table: {r:?}"
+        );
+        assert!(r.invalidated > 0, "the edited chain is dirtied: {r:?}");
     }
 
     #[test]

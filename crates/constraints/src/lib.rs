@@ -39,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod diff;
 pub mod dot;
 pub mod lower;
 pub mod model;
@@ -46,6 +47,7 @@ pub mod program;
 pub mod stats;
 pub mod text;
 
+pub use diff::{diff_programs, ProgramDiff};
 pub use dot::to_dot;
 pub use lower::{lower, lower_with_obs, LowerError};
 pub use model::{CallSite, CallSiteId, CalleeRef, FuncId, FuncInfo, NodeId, NodeInfo, NodeKind};

@@ -119,6 +119,26 @@ pub struct DemandEngine<'p> {
     /// representative when a cycle merges. Drives the top-k "hottest
     /// goals" view and the critical-path analyzer ([`crate::inspect`]).
     pub(crate) costs: Vec<GoalCost>,
+    /// Whether the most recent query dispatched to the frame scheduler.
+    /// Hosts that request parallel execution read this to report a
+    /// sequential fallback honestly instead of implying parallelism.
+    last_parallel: bool,
+}
+
+/// What an incremental edit ([`DemandEngine::reload_incremental`]) did
+/// to the memoized state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EditStats {
+    /// Completed entries dropped because the edit transitively dirtied
+    /// them (or, on the full path, every completed entry).
+    pub invalidated: usize,
+    /// Completed entries kept warm and re-installed.
+    pub retained: usize,
+    /// Dependency edges the dirty propagation traversed.
+    pub dirty_edges: u64,
+    /// `true` when the engine fell back to full invalidation
+    /// (incompatible diff or caching off).
+    pub full: bool,
 }
 
 /// Work/fires attributed to one goal (see [`crate::inspect`]).
@@ -218,7 +238,16 @@ impl<'p> DemandEngine<'p> {
             published: HashSet::new(),
             flight,
             costs: Vec::new(),
+            last_parallel: false,
         }
+    }
+
+    /// Whether the most recent query ran on the frame scheduler
+    /// ([`crate::sched`]) rather than the sequential drain. False for
+    /// cache hits and for queries the engine pinned to the sequential
+    /// path (budgeted, traced, or resuming suspended work).
+    pub fn last_query_parallel(&self) -> bool {
+        self.last_parallel
     }
 
     /// The deduction flight recorder, when enabled
@@ -391,6 +420,86 @@ impl<'p> DemandEngine<'p> {
         self.invalidate();
     }
 
+    /// Swaps in an updated program, invalidating *only* the transitively
+    /// dirtied fixpoints and keeping everything else warm — the
+    /// incremental counterpart of [`reload`](Self::reload).
+    ///
+    /// `diff` must be `diff_programs(old, cp)` for this engine's current
+    /// program `old`. Entries whose support set misses the edit (and
+    /// whose producers all survive) are bit-identical fixpoints under
+    /// `cp`, so they are re-installed as completed goals; the rest — plus
+    /// any entry with no recorded support, conservatively — are dropped
+    /// and re-derived on demand. An attached [`SharedMemo`] gets the same
+    /// treatment via [`SharedMemo::invalidate_entries`]: per-entry
+    /// removal *without* a generation bump, so surviving entries keep
+    /// serving other engines that move to the new program.
+    ///
+    /// Falls back to full invalidation ([`reload`](Self::reload)) when
+    /// the diff is incompatible (old node ids don't survive into `cp`) or
+    /// caching is off; `EditStats::full` reports which path ran. The
+    /// engine generation is bumped either way — retention is invisible to
+    /// generation-stamped protocols except as less work.
+    pub fn reload_incremental(
+        &mut self,
+        cp: &'p ConstraintProgram,
+        diff: &ddpa_constraints::ProgramDiff,
+    ) -> EditStats {
+        if !diff.compatible || !self.config.caching {
+            let dropped = self
+                .goals
+                .iter()
+                .filter(|s| !s.merged && s.complete)
+                .count();
+            self.reload(cp);
+            return EditStats {
+                invalidated: dropped,
+                retained: 0,
+                dirty_edges: 0,
+                full: true,
+            };
+        }
+        // Candidates: the local completed table plus anything other
+        // workers published to the shared table that this engine never
+        // tabled itself.
+        let mut entries = self.export_local_completed();
+        if let Some(shared) = &self.shared {
+            let seen: HashSet<Goal> = entries.iter().map(|&(g, _)| g).collect();
+            for (g, e) in shared.export_completed() {
+                if !seen.contains(&g) {
+                    entries.push((g, e));
+                }
+            }
+        }
+        let (dirty, dirty_edges) = crate::share::dirty_closure(&entries, diff);
+        let retained: Vec<(Goal, CompletedGoal)> = entries
+            .into_iter()
+            .filter(|(g, _)| !dirty.contains(g))
+            .collect();
+        self.clear();
+        self.generation += 1;
+        self.cp = cp;
+        if let Some(shared) = &self.shared {
+            let shared = Arc::clone(shared);
+            let (_removed, compacted) = shared.invalidate_entries(&dirty);
+            if compacted > 0 {
+                self.counters.share_evictions.add(compacted);
+            }
+            // No generation bump: survivors stay valid for the new
+            // program, and this engine keeps publishing under the same
+            // shared generation.
+            self.shared_gen = shared.generation();
+        }
+        for (g, e) in &retained {
+            self.install_completed(*g, e);
+        }
+        EditStats {
+            invalidated: dirty.len(),
+            retained: retained.len(),
+            dirty_edges,
+            full: false,
+        }
+    }
+
     /// Computes `pts(node)` on demand.
     pub fn points_to(&mut self, node: NodeId) -> QueryResult {
         self.run(Goal::Pts(node))
@@ -554,6 +663,11 @@ impl<'p> DemandEngine<'p> {
                 state.members.insert(v);
                 state.elems.push(v);
             }
+            for &n in &hit.support {
+                state.support.insert(n);
+            }
+            state.deps = hit.deps.clone();
+            state.reads_indirect = hit.reads_indirect;
             state.needs_init = false;
             state.complete = true;
             if self.config.trace {
@@ -616,20 +730,7 @@ impl<'p> DemandEngine<'p> {
                 if !self.published.insert(target) {
                     continue;
                 }
-                let entry = entry.get_or_insert_with(|| {
-                    let elems: Vec<u32> = self.goals[gi].members.iter().collect();
-                    let provenance = if self.config.trace {
-                        elems
-                            .iter()
-                            .filter_map(|&v| {
-                                self.provenance.get(&(key, v)).map(|&origin| (v, origin))
-                            })
-                            .collect()
-                    } else {
-                        Vec::new()
-                    };
-                    CompletedGoal { elems, provenance }
-                });
+                let entry = entry.get_or_insert_with(|| self.completed_entry(gi, key));
                 let (published, evicted) = shared.publish(self.shared_gen, target, entry.clone());
                 if evicted > 0 {
                     self.counters.share_evictions.add(evicted);
@@ -639,6 +740,55 @@ impl<'p> DemandEngine<'p> {
                 }
             }
         }
+    }
+
+    /// Materializes the publishable [`CompletedGoal`] for the complete
+    /// goal at `gi` (provenance looked up under `key`). Member, support,
+    /// and dep orders are canonical, so entries are byte-stable
+    /// regardless of derivation order.
+    fn completed_entry(&self, gi: usize, key: Goal) -> CompletedGoal {
+        let state = &self.goals[gi];
+        let elems: Vec<u32> = state.members.iter().collect();
+        let provenance = if self.config.trace {
+            elems
+                .iter()
+                .filter_map(|&v| self.provenance.get(&(key, v)).map(|&origin| (v, origin)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let support: Vec<u32> = state.support.iter().collect();
+        let mut deps = state.deps.clone();
+        deps.sort_by_key(|g| match *g {
+            Goal::Pts(n) => (0u8, n.as_u32()),
+            Goal::Ptb(n) => (1u8, n.as_u32()),
+        });
+        CompletedGoal {
+            elems,
+            provenance,
+            support,
+            deps,
+            reads_indirect: state.reads_indirect,
+        }
+    }
+
+    /// Every completed, non-merged local fixpoint as `(goal, entry)`
+    /// pairs — one entry per canonical key *and* per merged-in alias, so
+    /// the list is keyed exactly like the shared table.
+    fn export_local_completed(&self) -> Vec<(Goal, CompletedGoal)> {
+        let mut out = Vec::new();
+        for gi in 0..self.goals.len() {
+            let state = &self.goals[gi];
+            if state.merged || !state.complete {
+                continue;
+            }
+            let key = self.keys[gi];
+            let entry = self.completed_entry(gi, key);
+            for target in std::iter::once(key).chain(state.aliases.iter().copied()) {
+                out.push((target, entry.clone()));
+            }
+        }
+        out
     }
 
     /// Installs a completed fixpoint as a tabled, complete goal without
@@ -673,6 +823,11 @@ impl<'p> DemandEngine<'p> {
             state.members.insert(v);
             state.elems.push(v);
         }
+        for &n in &result.support {
+            state.support.insert(n);
+        }
+        state.deps = result.deps.clone();
+        state.reads_indirect = result.reads_indirect;
         state.needs_init = false;
         state.complete = true;
         if self.config.trace {
@@ -741,6 +896,17 @@ impl<'p> DemandEngine<'p> {
     /// collapsed cycle — is the identity and is suppressed.
     fn subscribe_watcher(&mut self, goal: Goal, watcher: Watcher) {
         let gi = self.activate(goal);
+        // The consumer's fixpoint reads the producer's set: record the
+        // dependency edge so an edit dirtying the producer transitively
+        // dirties the consumer (see `reload_incremental`). Recorded even
+        // for suppressed/duplicate subscriptions — `add_dep` dedups, and
+        // a same-family edge (consumer routed to `gi` itself) is skipped.
+        if let Some(&ci) = self.index.get(&watcher.consumer()) {
+            let ci = self.cycles.find(ci);
+            if ci != gi {
+                self.goals[ci as usize].add_dep(goal);
+            }
+        }
         if let Watcher::CopyTo { dst } = watcher {
             if let Some(&di) = self.index.get(&Goal::Pts(dst)) {
                 if self.cycles.find(di) == gi {
@@ -951,6 +1117,17 @@ impl<'p> DemandEngine<'p> {
             for w in state.registered {
                 merged.registered.insert(w);
             }
+            // The merged fixpoint read everything its members read: the
+            // representative's support/deps must cover them all, or an
+            // edit touching one member's rows would fail to dirty the
+            // family's shared entry.
+            for n in state.support.iter() {
+                merged.support.insert(n);
+            }
+            for dep in state.deps {
+                merged.add_dep(dep);
+            }
+            merged.reads_indirect |= state.reads_indirect;
         }
         // Copy edges that now point inside the merged family are the
         // identity: drop them from the active list. They stay
@@ -980,6 +1157,7 @@ impl<'p> DemandEngine<'p> {
 
     fn run(&mut self, goal: Goal) -> QueryResult {
         let _span = self.obs.span("demand.query");
+        self.last_parallel = false;
         if !self.config.caching {
             self.clear();
         }
@@ -1040,6 +1218,7 @@ impl<'p> DemandEngine<'p> {
     /// sequential drain — see the module docs of [`crate::sched`].
     fn run_parallel(&mut self, goal: Goal) -> QueryResult {
         let _span = self.obs.span("demand.query.parallel");
+        self.last_parallel = true;
         let mut sched = Scheduler::new(self.cp, self.config.clone()).with_obs(self.obs.clone());
         if let Some(flight) = &self.flight {
             sched = sched.with_flight(Arc::clone(flight));
@@ -1131,6 +1310,20 @@ impl<'p> Deduce<'p> for DemandEngine<'p> {
 
     fn subscribe(&mut self, goal: Goal, watcher: Watcher) {
         self.subscribe_watcher(goal, watcher);
+    }
+
+    fn note_support(&mut self, goal: Goal, node: NodeId) {
+        if let Some(&gi) = self.index.get(&goal) {
+            let gi = self.cycles.find(gi);
+            self.goals[gi as usize].support.insert(node.as_u32());
+        }
+    }
+
+    fn note_indirect(&mut self, goal: Goal) {
+        if let Some(&gi) = self.index.get(&goal) {
+            let gi = self.cycles.find(gi);
+            self.goals[gi as usize].reads_indirect = true;
+        }
     }
 }
 
@@ -1362,6 +1555,105 @@ mod tests {
             "the added p = &o2 edge is visible, not the stale memo"
         );
         assert!(r2.work > 0, "answer was re-deduced, not cache-served");
+    }
+
+    #[test]
+    fn incremental_reload_keeps_untouched_goals_warm() {
+        // Two independent chains; editing one must not evict the other.
+        let before =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\nr = &u\n").expect("parses");
+        let after =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\nr = &u\ns = r\n").expect("parses");
+        let mut engine = DemandEngine::new(&before, DemandConfig::default());
+        assert!(engine.points_to(node(&before, "q")).complete);
+        assert!(engine.points_to(node(&before, "r")).complete);
+
+        let diff = ddpa_constraints::diff_programs(&before, &after);
+        let stats = engine.reload_incremental(&after, &diff);
+        assert!(!stats.full);
+        assert!(stats.retained > 0, "the p/q chain survives the edit");
+        assert!(stats.invalidated > 0, "r's row changed, so pts(r) is dirty");
+        assert_eq!(engine.generation(), 1, "edits still bump the generation");
+
+        let q = engine.points_to(node(&after, "q"));
+        assert_eq!(names(&after, &q.pts), vec!["o"]);
+        assert_eq!(q.work, 0, "untouched goal answers from the warm table");
+        let s = engine.points_to(node(&after, "s"));
+        assert_eq!(names(&after, &s.pts), vec!["u"], "new edge is visible");
+    }
+
+    #[test]
+    fn incremental_reload_dirties_transitive_consumers() {
+        // pts(q) depends on pts(p); editing p's addr row must dirty both.
+        let before = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
+        let after =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\np = &o2\n").expect("parses");
+        let mut engine = DemandEngine::new(&before, DemandConfig::default());
+        assert_eq!(
+            names(&before, &engine.points_to(node(&before, "q")).pts),
+            vec!["o"]
+        );
+
+        let diff = ddpa_constraints::diff_programs(&before, &after);
+        let stats = engine.reload_incremental(&after, &diff);
+        assert!(!stats.full);
+        assert!(stats.invalidated > 0);
+
+        let q = engine.points_to(node(&after, "q"));
+        assert_eq!(
+            names(&after, &q.pts),
+            vec!["o", "o2"],
+            "consumer of the edited goal was re-derived"
+        );
+        assert!(
+            q.work > 0,
+            "dirtied answer was re-deduced, not cache-served"
+        );
+    }
+
+    #[test]
+    fn incremental_reload_falls_back_on_incompatible_diff() {
+        let before = ddpa_constraints::parse_constraints("p = &o\nq = p\n").expect("parses");
+        let after = ddpa_constraints::parse_constraints("z = &w\np = z\n").expect("parses");
+        let mut engine = DemandEngine::new(&before, DemandConfig::default());
+        assert!(engine.points_to(node(&before, "q")).complete);
+
+        let diff = ddpa_constraints::diff_programs(&before, &after);
+        assert!(!diff.compatible);
+        let stats = engine.reload_incremental(&after, &diff);
+        assert!(
+            stats.full,
+            "incompatible node spaces force full invalidation"
+        );
+        assert_eq!(stats.retained, 0);
+        assert_eq!(engine.tabled_goals(), 0);
+    }
+
+    #[test]
+    fn incremental_reload_keeps_shared_survivors_without_generation_bump() {
+        let before =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\nr = &u\n").expect("parses");
+        let after =
+            ddpa_constraints::parse_constraints("p = &o\nq = p\nr = &u\ns = r\n").expect("parses");
+        let shared = std::sync::Arc::new(crate::SharedMemo::new());
+        let mut engine = DemandEngine::new(&before, DemandConfig::default())
+            .with_shared_memo(std::sync::Arc::clone(&shared));
+        assert!(engine.points_to(node(&before, "q")).complete);
+        assert!(engine.points_to(node(&before, "r")).complete);
+        let gen_before = shared.generation();
+
+        let diff = ddpa_constraints::diff_programs(&before, &after);
+        let stats = engine.reload_incremental(&after, &diff);
+        assert!(!stats.full);
+        assert_eq!(
+            shared.generation(),
+            gen_before,
+            "per-entry invalidation must not bump the shared generation"
+        );
+        // Survivors are still served; dirtied entries are gone.
+        let kept = shared.export_completed();
+        assert!(kept.iter().any(|(g, _)| *g == Goal::Pts(node(&after, "q"))));
+        assert!(!kept.iter().any(|(g, _)| *g == Goal::Pts(node(&after, "r"))));
     }
 
     #[test]

@@ -221,6 +221,18 @@ pub struct GoalState {
     /// before the merge live under these keys, so explanation lookup tries
     /// them after the canonical key.
     pub aliases: Vec<Goal>,
+    /// Support set: nodes whose program rows this goal's fixpoint read.
+    /// An edit that changes any of these rows dirties the goal; an edit
+    /// that changes none of them (and no dirty producer, see `deps`)
+    /// leaves the memoized result valid for the new program.
+    pub support: HybridSet,
+    /// Producer goals this goal consumed facts from (the reverse of the
+    /// watcher edges): transitive dirtying follows these edges forward,
+    /// from a dirty producer to every consumer.
+    pub deps: Vec<Goal>,
+    /// The fixpoint scanned the global indirect-callsite list ([PARAM] /
+    /// fwd-prop rule (e)), so any edit adding an indirect call dirties it.
+    pub reads_indirect: bool,
 }
 
 impl GoalState {
@@ -237,6 +249,16 @@ impl GoalState {
             on_list: false,
             merged: false,
             aliases: Vec::new(),
+            support: HybridSet::new(),
+            deps: Vec::new(),
+            reads_indirect: false,
+        }
+    }
+
+    /// Records a producer goal this state consumed facts from.
+    pub fn add_dep(&mut self, producer: Goal) {
+        if !self.deps.contains(&producer) {
+            self.deps.push(producer);
         }
     }
 

@@ -60,7 +60,7 @@ pub mod trace;
 pub use budget::Budget;
 pub use config::{DemandConfig, SchedPolicy};
 pub use cycles::CopyGraph;
-pub use engine::DemandEngine;
+pub use engine::{DemandEngine, EditStats};
 pub use inspect::{display_goal, CriticalPath, GoalGraph, GoalProfile};
 pub use ladder::BudgetLadder;
 pub use parallel::{points_to_on_pool, points_to_parallel};
@@ -68,6 +68,6 @@ pub use pool::{StealQueue, ThreadPool};
 pub use qtrace::{QueryTrace, TraceReport};
 pub use query::{AliasResult, CallTargets, QueryResult};
 pub use sched::{SchedStats, Scheduler, SolveOutcome};
-pub use share::{CompletedGoal, SharedMemo};
+pub use share::{dirty_closure, CompletedGoal, SharedMemo};
 pub use stats::EngineStats;
 pub use trace::{Explanation, Origin, TraceStep};

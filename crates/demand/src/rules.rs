@@ -41,9 +41,20 @@ pub trait Deduce<'p> {
     /// subscribed goal's own state (a self copy is the identity).
     fn subscribe(&mut self, goal: Goal, watcher: Watcher);
 
+    /// Records that deriving `goal` read the program rows of `node`, so an
+    /// edit changing those rows must dirty `goal`. The default is a no-op:
+    /// evaluators that don't track incremental support sets ignore it.
+    fn note_support(&mut self, _goal: Goal, _node: NodeId) {}
+
+    /// Records that deriving `goal` scanned the global indirect-callsite
+    /// list, so *any* edit touching indirect calls must dirty `goal`.
+    fn note_indirect(&mut self, _goal: Goal) {}
+
     /// Installs the static `pts` rules for `x`.
     fn install_pts(&mut self, x: NodeId) {
         let cp = self.cp();
+        // The static rules read every row of x's program slice.
+        self.note_support(Goal::Pts(x), x);
         // [ADDR]
         for i in 0..cp.addr_objs_of(x).len() {
             let o = cp.addr_objs_of(x)[i];
@@ -71,6 +82,10 @@ pub trait Deduce<'p> {
         // [PARAM]
         if let NodeKind::Formal { func, index } = cp.node(x).kind {
             let func_obj = cp.func(func).object;
+            // Reads the callee's callsite rows (folded into the function
+            // object's signature) and scans every indirect callsite.
+            self.note_support(Goal::Pts(x), func_obj);
+            self.note_indirect(Goal::Pts(x));
             for i in 0..cp.direct_callsites_of(func).len() {
                 let cs = cp.direct_callsites_of(func)[i];
                 if let Some(Some(a)) = cp.callsite(cs).args.get(index as usize) {
@@ -114,6 +129,8 @@ pub trait Deduce<'p> {
     /// Installs the static `ptb` rules for `o`.
     fn install_ptb(&mut self, o: NodeId) {
         let cp = self.cp();
+        // The static rules read o's addr-inverse row and node kind.
+        self.note_support(Goal::Ptb(o), o);
         // [ADDR⁻¹]
         for i in 0..cp.addr_dsts_of(o).len() {
             let d = cp.addr_dsts_of(o)[i];
@@ -142,6 +159,8 @@ pub trait Deduce<'p> {
             }
             Watcher::StoreInto { obj } => {
                 let w = NodeId::from_u32(elem);
+                // Reads w's store row on behalf of pts(obj).
+                self.note_support(Goal::Pts(obj), w);
                 for i in 0..cp.store_srcs_of(w).len() {
                     let s = cp.store_srcs_of(w)[i];
                     self.subscribe(Goal::Pts(s), Watcher::CopyTo { dst: obj });
@@ -170,6 +189,8 @@ pub trait Deduce<'p> {
             }
             Watcher::LoadSpread { obj } => {
                 let q = NodeId::from_u32(elem);
+                // Reads q's load row on behalf of ptb(obj).
+                self.note_support(Goal::Ptb(obj), q);
                 for i in 0..cp.load_dsts_of(q).len() {
                     let d = cp.load_dsts_of(q)[i];
                     self.add(Goal::Ptb(obj), d.as_u32(), origin);
@@ -192,12 +213,16 @@ pub trait Deduce<'p> {
                 }
             }
             Watcher::FieldOf { dst, field } => {
+                // Reads elem's field declarations on behalf of pts(dst).
+                self.note_support(Goal::Pts(dst), NodeId::from_u32(elem));
                 if let Some(fld) = cp.field_of(NodeId::from_u32(elem), field) {
                     self.add(Goal::Pts(dst), fld.as_u32(), origin);
                 }
             }
             Watcher::FieldPtb { obj, field } => {
                 let base = NodeId::from_u32(elem);
+                // Reads base's field-addr row on behalf of ptb(obj).
+                self.note_support(Goal::Ptb(obj), base);
                 for i in 0..cp.field_addrs_from(base).len() {
                     let (f, dst) = cp.field_addrs_from(base)[i];
                     if f == field {
@@ -211,6 +236,8 @@ pub trait Deduce<'p> {
     /// Rules (a)–(e): forward-propagates the new pointer `w ∈ ptb(obj)`.
     fn fwd_prop(&mut self, obj: NodeId, w: NodeId, origin: Origin) {
         let cp = self.cp();
+        // Rules (a)-(d) read w's copy/store/arg rows on behalf of ptb(obj).
+        self.note_support(Goal::Ptb(obj), w);
         // (a) copies d = w
         for i in 0..cp.copy_dsts_of(w).len() {
             let d = cp.copy_dsts_of(w)[i];
@@ -242,6 +269,10 @@ pub trait Deduce<'p> {
         }
         // (e) w is a return slot: flows to every caller's result
         if let NodeKind::Ret { func } = cp.node(w).kind {
+            // Reads the function's callsite rows (folded into the function
+            // object's signature) and scans every indirect callsite.
+            self.note_support(Goal::Ptb(obj), cp.func(func).object);
+            self.note_indirect(Goal::Ptb(obj));
             for i in 0..cp.direct_callsites_of(func).len() {
                 let cs = cp.direct_callsites_of(func)[i];
                 if let Some(d) = cp.callsite(cs).ret_dst {

@@ -247,6 +247,11 @@ impl<'c, 'p> WorkerCtx<'c, 'p> {
                     for &v in &hit.elems {
                         f.state.add(v);
                     }
+                    for &n in &hit.support {
+                        f.state.support.insert(n);
+                    }
+                    f.state.deps = hit.deps.clone();
+                    f.state.reads_indirect = hit.reads_indirect;
                     f.state.needs_init = false;
                     f.state.complete = true;
                     return;
@@ -435,6 +440,12 @@ impl<'p> Deduce<'p> for WorkerCtx<'_, 'p> {
 
     fn subscribe(&mut self, goal: Goal, watcher: Watcher) {
         let slot = slot_of(goal);
+        // Record the consumer → producer dependency edge before touching
+        // the producer frame (one frame lock at a time, never two).
+        let consumer = slot_of(watcher.consumer());
+        if consumer != slot {
+            self.core.lock(consumer).state.add_dep(goal);
+        }
         self.ensure_active(slot);
         let mut f = self.core.lock(slot);
         // A CopyTo into the subscribed goal itself (`p = p`) is the
@@ -450,6 +461,16 @@ impl<'p> Deduce<'p> for WorkerCtx<'_, 'p> {
             f.state.cursors.push(0);
             self.schedule_locked(slot, &mut f);
         }
+    }
+
+    fn note_support(&mut self, goal: Goal, node: NodeId) {
+        let mut f = self.core.lock(slot_of(goal));
+        f.state.support.insert(node.as_u32());
+    }
+
+    fn note_indirect(&mut self, goal: Goal) {
+        let mut f = self.core.lock(slot_of(goal));
+        f.state.reads_indirect = true;
     }
 }
 
@@ -571,11 +592,19 @@ impl<'p> Scheduler<'p> {
                 pts = f.state.members.iter().map(NodeId::from_u32).collect();
             }
             if !f.seeded_from_engine {
+                let mut deps = std::mem::take(&mut f.state.deps);
+                deps.sort_unstable_by_key(|g| match *g {
+                    Goal::Pts(n) => (0u8, n.as_u32()),
+                    Goal::Ptb(n) => (1u8, n.as_u32()),
+                });
                 completed.push((
                     goal_of(slot as u32),
                     CompletedGoal {
                         elems: f.state.members.iter().collect(),
                         provenance: Vec::new(),
+                        support: f.state.support.iter().collect(),
+                        deps,
+                        reads_indirect: f.state.reads_indirect,
                     },
                 ));
             }

@@ -40,10 +40,12 @@
 //! rule: 64 shards of `Mutex<HashMap>` rather than a lock-free map.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use ddpa_constraints::ProgramDiff;
 
 use crate::goal::Goal;
 use crate::trace::Origin;
@@ -61,6 +63,17 @@ pub struct CompletedGoal {
     /// `(member, first derivation)` pairs; populated only when the
     /// publishing engine ran with tracing on, empty otherwise.
     pub provenance: Vec<(u32, Origin)>,
+    /// Support set: node ids whose program rows this fixpoint read,
+    /// sorted ascending. An empty support on a published entry means
+    /// "unknown provenance" and is treated as always-dirty by
+    /// [`dirty_closure`](crate::dirty_closure).
+    pub support: Vec<u32>,
+    /// Producer goals this fixpoint consumed facts from, in canonical
+    /// order (`Pts` before `Ptb`, then by node id). Transitive dirtying
+    /// follows these edges from producer to consumer.
+    pub deps: Vec<Goal>,
+    /// Whether the fixpoint scanned the global indirect-callsite list.
+    pub reads_indirect: bool,
 }
 
 #[derive(Debug)]
@@ -192,6 +205,28 @@ impl SharedMemo {
         (inserted, evicted)
     }
 
+    /// Removes exactly the `dirty` goals from the *current* generation —
+    /// per-entry dirtying for incremental edits, in contrast to
+    /// [`bump_generation`](Self::bump_generation), which logically evicts
+    /// everything. Also eagerly sweeps stale generations from every shard
+    /// so dirtied entries stop accumulating lazily.
+    ///
+    /// Returns `(removed, compacted)`: current-generation entries dropped
+    /// because they were dirty, and stale-generation entries swept.
+    pub fn invalidate_entries(&self, dirty: &HashSet<Goal>) -> (u64, u64) {
+        let current = self.generation();
+        let mut removed = 0u64;
+        let mut compacted = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            compacted += shard.sweep(current);
+            let before = shard.entries.len();
+            shard.entries.retain(|g, _| !dirty.contains(g));
+            removed += (before - shard.entries.len()) as u64;
+        }
+        (removed, compacted)
+    }
+
     /// Eagerly sweeps every shard, dropping all entries from generations
     /// older than the current one; returns how many were evicted.
     ///
@@ -283,6 +318,67 @@ impl SharedMemo {
     }
 }
 
+/// Computes the transitively dirtied subset of `entries` under `diff`.
+///
+/// An entry is *seed-dirty* when its support set intersects the edit's
+/// changed nodes, when it scanned the indirect-callsite list and that
+/// list changed, when its support is empty (unknown provenance — e.g. an
+/// entry published by a pre-support-set engine), or when it depends on a
+/// producer goal with no entry of its own. Dirt then propagates forward
+/// along the recorded dependency edges, dirty producer → consumer, until
+/// fixpoint — the demanded-dirtying rule of *Demanded Abstract
+/// Interpretation* applied to the goal graph.
+///
+/// Returns the dirty goal set and the number of dependency edges the
+/// propagation traversed.
+pub fn dirty_closure(
+    entries: &[(Goal, CompletedGoal)],
+    diff: &ProgramDiff,
+) -> (HashSet<Goal>, u64) {
+    let index: HashMap<Goal, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(g, _))| (g, i))
+        .collect();
+    // consumers[i] = entries that consumed facts produced by entry i.
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
+    let mut dirty = vec![false; entries.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, (_, cg)) in entries.iter().enumerate() {
+        let mut seed = (cg.reads_indirect && diff.indirect_changed)
+            || cg.support.is_empty()
+            || cg.support.iter().any(|&n| diff.is_changed(n));
+        for p in &cg.deps {
+            match index.get(p) {
+                Some(&pi) if pi != i => consumers[pi].push(i),
+                Some(_) => {}
+                None => seed = true,
+            }
+        }
+        if seed {
+            dirty[i] = true;
+            queue.push(i);
+        }
+    }
+    let mut edges = 0u64;
+    while let Some(i) = queue.pop() {
+        for &c in &consumers[i] {
+            edges += 1;
+            if !dirty[c] {
+                dirty[c] = true;
+                queue.push(c);
+            }
+        }
+    }
+    let set = entries
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| dirty[i])
+        .map(|(_, &(g, _))| g)
+        .collect();
+    (set, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +391,7 @@ mod tests {
     fn entry(elems: &[u32]) -> CompletedGoal {
         CompletedGoal {
             elems: elems.to_vec(),
-            provenance: Vec::new(),
+            ..CompletedGoal::default()
         }
     }
 

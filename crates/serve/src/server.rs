@@ -138,6 +138,18 @@ struct ServerCounters {
     snap_rejects: Counter,
     /// Total snapshot bytes written.
     snap_bytes: Counter,
+    /// Background snapshot writes discarded because an edit raced the
+    /// export (the session generation moved before the file was written).
+    snap_stale_discards: Counter,
+    /// Goals invalidated by `add-constraints` edits (transitively dirty).
+    dirty_goals: Counter,
+    /// Goals kept warm across `add-constraints` edits.
+    dirty_retained: Counter,
+    /// Dependency edges traversed by edit-time dirty propagation.
+    dirty_edges: Counter,
+    /// Parallelism-requesting queries the sequential engine served
+    /// (budgeted, traced, deadline-expired, single-worker, or cache hit).
+    sched_fallbacks: Counter,
 }
 
 impl ServerCounters {
@@ -156,6 +168,11 @@ impl ServerCounters {
             snap_loads: obs.counter("snap.load"),
             snap_rejects: obs.counter("snap.reject"),
             snap_bytes: obs.counter("snap.bytes"),
+            snap_stale_discards: obs.counter("snap.stale_discards"),
+            dirty_goals: obs.counter("demand.dirty.goals"),
+            dirty_retained: obs.counter("demand.dirty.retained"),
+            dirty_edges: obs.counter("demand.dirty.edges"),
+            sched_fallbacks: obs.counter("server.sched.fallbacks"),
         }
     }
 }
@@ -222,6 +239,29 @@ impl ServerState {
         // Wake the accept loop: a throwaway connection unblocks
         // `TcpListener::accept`.
         let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// RAII slot on the `open_connections` gauge: acquiring increments,
+/// dropping decrements. The connection thread owns it for its whole
+/// lifetime, so no early return, IO error, panic, or failed spawn can
+/// leak the slot — a leaked slot would permanently shrink the
+/// `max_connections` budget until the gauge "fills up" and every new
+/// connection is shed with `busy`.
+struct OpenConnGuard {
+    state: Arc<ServerState>,
+}
+
+impl OpenConnGuard {
+    fn acquire(state: Arc<ServerState>) -> Self {
+        state.open_connections.fetch_add(1, Ordering::SeqCst);
+        OpenConnGuard { state }
+    }
+}
+
+impl Drop for OpenConnGuard {
+    fn drop(&mut self) {
+        self.state.open_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -356,19 +396,21 @@ impl Server {
                 let _ = stream.write_all(b"\n");
                 continue;
             }
-            self.state.open_connections.fetch_add(1, Ordering::SeqCst);
+            let guard = OpenConnGuard::acquire(Arc::clone(&self.state));
             self.state.counters.connections.inc();
             let state = Arc::clone(&self.state);
-            match std::thread::Builder::new()
+            // The guard travels into the connection thread; every exit
+            // path — clean EOF, IO error, handler panic, or the spawn
+            // itself failing (the closure is dropped unrun) — releases
+            // the slot exactly once via Drop.
+            if let Ok(t) = std::thread::Builder::new()
                 .name("ddpa-serve-conn".to_string())
                 .spawn(move || {
+                    let _guard = guard;
                     let _ = handle_connection(&state, stream);
-                    state.open_connections.fetch_sub(1, Ordering::SeqCst);
-                }) {
-                Ok(t) => threads.push(t),
-                Err(_) => {
-                    self.state.open_connections.fetch_sub(1, Ordering::SeqCst);
-                }
+                })
+            {
+                threads.push(t);
             }
         }
         for t in threads {
@@ -409,26 +451,51 @@ fn default_snapshot_path(state: &ServerState, session: &str) -> Option<PathBuf> 
 }
 
 /// Exports one session's completed fixpoints and atomically writes them
-/// to `path`; returns `(entries, bytes, generation)`.
+/// to `path`; returns `Some((entries, bytes, generation))`, or `None`
+/// when an `add-constraints` edit raced the export and the stale write
+/// was discarded.
 fn write_session_snapshot(
     state: &ServerState,
     session: &Arc<Mutex<Session>>,
     path: &Path,
-) -> Result<(usize, usize, u64), ddpa_snap::SnapError> {
+) -> Result<Option<(usize, usize, u64)>, ddpa_snap::SnapError> {
     let _span = state.obs.span("snap.write");
     let s = lock_session(session);
     let snapshot = s.export_snapshot();
     let generation = s.generation();
     drop(s);
+    commit_session_snapshot(state, session, &snapshot, generation, path)
+}
+
+/// Second half of [`write_session_snapshot`]: persists `snapshot` only
+/// if `session` is still at the `generation` the export was captured
+/// under. The export runs under the session lock but the (slow) file
+/// write does not, so an `add-constraints` edit can land in between —
+/// blindly renaming the file into place would clobber a fresher
+/// snapshot on disk with pre-edit state. A moved generation discards
+/// the write (`Ok(None)`, counted by `snap.stale_discards`); the next
+/// snapshotter tick re-exports from current state.
+fn commit_session_snapshot(
+    state: &ServerState,
+    session: &Arc<Mutex<Session>>,
+    snapshot: &ddpa_snap::Snapshot,
+    generation: u64,
+    path: &Path,
+) -> Result<Option<(usize, usize, u64)>, ddpa_snap::SnapError> {
+    if lock_session(session).generation() != generation {
+        state.counters.snap_stale_discards.inc();
+        return Ok(None);
+    }
     let entries = snapshot.entries.len();
-    let bytes = ddpa_snap::write_file(&snapshot, path)?;
+    let bytes = ddpa_snap::write_file(snapshot, path)?;
     state.counters.snap_writes.inc();
     state.counters.snap_bytes.add(bytes as u64);
-    Ok((entries, bytes, generation))
+    Ok(Some((entries, bytes, generation)))
 }
 
 /// Writes every live session's snapshot into the snapshot dir. Failures
 /// are counted (`server.errors`) but never fatal: the next tick retries.
+/// Stale discards (an edit raced the export) are not failures.
 fn snapshot_all_sessions(state: &ServerState) {
     let sessions: Vec<(String, Arc<Mutex<Session>>)> = lock_sessions(state)
         .iter()
@@ -995,8 +1062,8 @@ fn dispatch(
                     if path.exists() {
                         match ddpa_snap::read_file(&path) {
                             Ok(snapshot) => match new.restore_snapshot(&snapshot) {
-                                Ok(n) => {
-                                    restored = n as u64;
+                                Ok(r) => {
+                                    restored = r.installed as u64;
                                     state.counters.snap_loads.inc();
                                 }
                                 Err(_) => state.counters.snap_rejects.inc(),
@@ -1049,8 +1116,11 @@ fn dispatch(
             let _span = state.obs.span("server.request.add-constraints");
             let handle = get_session(state, &session)?;
             let mut s = lock_session(&handle);
-            s.add_constraints(&program)?;
+            let edit = s.add_constraints(&program)?;
             state.counters.invalidations.inc();
+            state.counters.dirty_goals.add(edit.invalidated as u64);
+            state.counters.dirty_retained.add(edit.retained as u64);
+            state.counters.dirty_edges.add(edit.dirty_edges);
             let response = ok_response(
                 "add-constraints",
                 vec![
@@ -1061,6 +1131,9 @@ fn dispatch(
                         JsonValue::U64(s.program().num_constraints() as u64),
                     ),
                     ("generation", JsonValue::U64(s.generation())),
+                    ("invalidated", JsonValue::U64(edit.invalidated as u64)),
+                    ("retained", JsonValue::U64(edit.retained as u64)),
+                    ("full_invalidation", JsonValue::Bool(edit.full)),
                 ],
             );
             Ok((response, After::Continue))
@@ -1082,6 +1155,7 @@ fn dispatch(
             let answer = s.query_opt(resolved, budget, deadline, parallel_query);
             let report = s.finish_trace(bracket);
             let generation = s.generation();
+            let sched = s.last_sched();
             drop(s);
             record_query_obs(state, &session, &report.delta, answer.timed_out() as u64);
             let mut fields = vec![
@@ -1089,6 +1163,14 @@ fn dispatch(
                 ("result", render_answer(&answer, generation)),
                 ("generation", JsonValue::U64(generation)),
             ];
+            // A query that asked for parallelism reports how it actually
+            // ran, so budget/trace-forced fallbacks are never silent.
+            if let Some(sched) = sched {
+                if sched == "sequential-fallback" {
+                    state.counters.sched_fallbacks.inc();
+                }
+                fields.push(("sched", JsonValue::str(sched)));
+            }
             if want_trace {
                 fields.push(("trace", report.json()));
             }
@@ -1190,8 +1272,23 @@ fn dispatch(
                     )
                 })?,
             };
-            let (entries, bytes, generation) = write_session_snapshot(state, &handle, &path)
-                .map_err(|e| ProtoError::new(ErrorCode::Snapshot, e.to_string()))?;
+            // A concurrent edit discards the export; for an explicit
+            // snapshot request, re-export from the post-edit state
+            // rather than failing (bounded, in case edits keep coming).
+            let mut written = None;
+            for _ in 0..3 {
+                written = write_session_snapshot(state, &handle, &path)
+                    .map_err(|e| ProtoError::new(ErrorCode::Snapshot, e.to_string()))?;
+                if written.is_some() {
+                    break;
+                }
+            }
+            let (entries, bytes, generation) = written.ok_or_else(|| {
+                ProtoError::new(
+                    ErrorCode::Snapshot,
+                    "session is being edited concurrently; snapshot discarded — retry",
+                )
+            })?;
             let shown = path.display().to_string();
             Ok((
                 ok_response(
@@ -1331,7 +1428,7 @@ fn dispatch(
                 ProtoError::new(ErrorCode::Snapshot, format!("cannot restore {path:?}: {e}"))
             })?;
             let mut s = lock_session(&handle);
-            let installed = s
+            let restore = s
                 .restore_snapshot(&snapshot)
                 .inspect_err(|_| state.counters.snap_rejects.inc())?;
             let generation = s.generation();
@@ -1343,8 +1440,10 @@ fn dispatch(
                     vec![
                         ("session", JsonValue::str(session.as_str())),
                         ("path", JsonValue::str(path.as_str())),
-                        ("installed", JsonValue::U64(installed as u64)),
+                        ("installed", JsonValue::U64(restore.installed as u64)),
                         ("entries", JsonValue::U64(snapshot.entries.len() as u64)),
+                        ("rebound", JsonValue::Bool(restore.rebound)),
+                        ("dropped", JsonValue::U64(restore.dropped as u64)),
                         ("generation", JsonValue::U64(generation)),
                     ],
                 ),
@@ -1418,6 +1517,14 @@ fn stats_response(state: &ServerState) -> JsonValue {
         (
             "batch_queries".to_string(),
             JsonValue::U64(c.batch_queries.get()),
+        ),
+        (
+            "sched_fallbacks".to_string(),
+            JsonValue::U64(c.sched_fallbacks.get()),
+        ),
+        (
+            "open_connections".to_string(),
+            JsonValue::U64(state.open_connections.load(Ordering::SeqCst) as u64),
         ),
     ]);
     let hist_json = |h: &Histogram| {
@@ -1874,5 +1981,314 @@ mod tests {
                 && v.get("op").and_then(JsonValue::as_str) == Some("ping")),
             "non-engine ops are access-logged too"
         );
+    }
+
+    #[test]
+    fn racing_edit_discards_stale_snapshot_commit() {
+        // Satellite regression: the background snapshotter exports under
+        // the session lock but writes the file outside it. An edit landing
+        // in that window must discard the stale write instead of
+        // clobbering disk with pre-edit memo state.
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default(), Obs::new()).expect("bind");
+        let handle = Arc::new(Mutex::new(
+            Session::open("p = &o\nq = p\n", false, None).expect("valid"),
+        ));
+        pts_names(&handle, "q"); // warm the table so the export is non-empty
+        let path = std::env::temp_dir().join(format!(
+            "ddpa-stale-snap-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // Export, then let an edit land before the commit.
+        let s = lock_session(&handle);
+        let snapshot = s.export_snapshot();
+        let generation = s.generation();
+        drop(s);
+        lock_session(&handle)
+            .add_constraints("r = &u\n")
+            .expect("edit");
+
+        let committed =
+            commit_session_snapshot(&server.state, &handle, &snapshot, generation, &path)
+                .expect("no io error");
+        assert_eq!(committed, None, "stale export is discarded");
+        assert!(!path.exists(), "no file written for a discarded commit");
+        assert_eq!(server.state.counters.snap_stale_discards.get(), 1);
+
+        // A fresh export (post-edit generation) commits normally.
+        let s = lock_session(&handle);
+        let snapshot = s.export_snapshot();
+        let generation = s.generation();
+        drop(s);
+        let committed =
+            commit_session_snapshot(&server.state, &handle, &snapshot, generation, &path)
+                .expect("no io error")
+                .expect("fresh export commits");
+        assert!(committed.0 > 0 && path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_connection_gauge_returns_to_zero_after_hammering() {
+        use crate::client::Client;
+        use crate::proto::build;
+        use std::io::Write as _;
+
+        let config = ServeConfig {
+            threads: 2,
+            max_connections: 4, // low cap: some of the hammer gets shed
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let state = Arc::clone(&server.state);
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        // Hammer: concurrent connections that ping, send garbage, or slam
+        // the socket shut mid-line — every exit path must release its
+        // connection slot.
+        let workers: Vec<_> = (0..24)
+            .map(|i| {
+                std::thread::spawn(move || match i % 3 {
+                    0 => {
+                        // Normal request; busy-shed connections error
+                        // here, which is fine — the slot still frees.
+                        if let Ok(mut c) = Client::connect(addr) {
+                            let _ = c.request(&build::ping());
+                        }
+                    }
+                    1 => {
+                        if let Ok(mut c) = Client::connect(addr) {
+                            let _ = c.roundtrip_line("this is not json");
+                        }
+                    }
+                    _ => {
+                        // Half a request, then slam the socket shut.
+                        if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                            let _ = s.write_all(b"{\"op\":");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("hammer thread");
+        }
+
+        // Connection threads unwind shortly after their peers hang up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let open = state.open_connections.load(Ordering::SeqCst);
+            if open == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "open_connections stuck at {open}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The gauge is exported through stats; our own live connection is
+        // the only one open.
+        let mut c = Client::connect(addr).expect("connect");
+        let stats = c.expect_ok(&build::stats()).expect("stats");
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|v| v.get("open_connections"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
+    }
+
+    #[test]
+    fn edits_invalidate_selectively_over_the_wire() {
+        use crate::client::Client;
+        use crate::proto::build;
+
+        let server = Server::bind("127.0.0.1:0", ServeConfig::default(), Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let path = std::env::temp_dir().join(format!(
+            "ddpa-rebind-snap-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut c = Client::connect(addr).expect("connect");
+        c.expect_ok(&build::open("s", "p = &o\nq = p\nr = &u\n", false, None))
+            .expect("open");
+        let q = QuerySpec::PointsTo { name: "q".into() };
+        let r = QuerySpec::PointsTo { name: "r".into() };
+        c.expect_ok(&build::query("s", &q, None, None)).expect("q");
+        c.expect_ok(&build::query("s", &r, None, None)).expect("r");
+        let v = c
+            .expect_ok(&build::snapshot("s", path.to_str()))
+            .expect("snapshot");
+        assert!(
+            v.get("entries").and_then(JsonValue::as_u64).unwrap_or(0) > 0,
+            "warm session exports entries: {v}"
+        );
+
+        // The edit response reports the split: the r-chain is dirtied,
+        // the p/q chain survives.
+        let v = c
+            .expect_ok(&build::add_constraints("s", "r = &u2\n"))
+            .expect("edit");
+        let get = |v: &JsonValue, key: &str| -> u64 {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .unwrap_or_else(|| panic!("missing numeric {key:?} in {v}"))
+        };
+        assert!(get(&v, "invalidated") > 0);
+        assert!(get(&v, "retained") > 0);
+        assert_eq!(
+            v.get("full_invalidation").and_then(JsonValue::as_bool),
+            Some(false)
+        );
+
+        // Satellite: a pre-edit snapshot restores by rebinding survivors
+        // instead of being refused on the hash mismatch. Restoring into
+        // the edited session itself installs nothing new — the tentpole
+        // already kept exactly those survivors warm.
+        let v = c
+            .expect_ok(&build::restore("s", path.to_str().expect("utf8 path")))
+            .expect("restore after edit");
+        assert_eq!(v.get("rebound").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(get(&v, "installed"), 0, "survivors were already warm");
+        assert!(get(&v, "dropped") > 0, "edited r-chain dropped");
+
+        // A cold session over the same edited program rebinds them for
+        // real: survivors install, the dirtied chain is dropped.
+        c.expect_ok(&build::open("s2", "p = &o\nq = p\nr = &u\n", false, None))
+            .expect("open s2");
+        c.expect_ok(&build::add_constraints("s2", "r = &u2\n"))
+            .expect("edit s2");
+        let v = c
+            .expect_ok(&build::restore("s2", path.to_str().expect("utf8 path")))
+            .expect("restore into cold session");
+        assert_eq!(v.get("rebound").and_then(JsonValue::as_bool), Some(true));
+        assert!(get(&v, "installed") > 0, "p/q survivors rebound");
+        assert!(get(&v, "dropped") > 0, "edited r-chain dropped");
+        // The rebound entries answer correctly post-edit.
+        let v = c.expect_ok(&build::query("s2", &r, None, None)).expect("r");
+        assert_eq!(
+            v.get("result")
+                .and_then(|res| res.get("pts"))
+                .and_then(JsonValue::as_array)
+                .map(|a| a.iter().filter_map(JsonValue::as_str).collect::<Vec<_>>()),
+            Some(vec!["u", "u2"])
+        );
+
+        // A session over an unrelated program still refuses the snapshot.
+        c.expect_ok(&build::open("other", "z = &w\n", false, None))
+            .expect("open other");
+        let v = c
+            .request(&build::restore("other", path.to_str().expect("utf8 path")))
+            .expect("roundtrip");
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str),
+            Some("snapshot-error")
+        );
+
+        // The dirty-split counters surface in the metrics export.
+        let scrape = c.expect_ok(&build::scrape()).expect("scrape");
+        let text = scrape
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .expect("text");
+        assert!(text.contains("\"demand.dirty.retained\""), "{text}");
+        assert!(text.contains("\"demand.dirty.goals\""), "{text}");
+
+        let _ = std::fs::remove_file(&path);
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
+    }
+
+    #[test]
+    fn budgeted_parallel_queries_report_their_fallback() {
+        use crate::client::Client;
+        use crate::proto::build;
+
+        let config = ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config, Obs::new()).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let mut c = Client::connect(addr).expect("connect");
+        let mut program = String::from("v0 = &obj\n");
+        for i in 1..60 {
+            program.push_str(&format!("v{} = v{}\n", i, i - 1));
+        }
+        c.expect_ok(&build::open("s", &program, false, None))
+            .expect("open");
+        let spec = QuerySpec::PointsTo { name: "v59".into() };
+
+        // parallel + budget: the engine pins the query to the sequential
+        // path, and the response says so instead of silently degrading.
+        let v = c
+            .expect_ok(&build::with_parallel_query(build::query(
+                "s",
+                &spec,
+                Some(1_000_000),
+                None,
+            )))
+            .expect("budgeted parallel query");
+        assert_eq!(
+            v.get("sched").and_then(JsonValue::as_str),
+            Some("sequential-fallback")
+        );
+
+        // An unbudgeted cold parallel query really runs on the scheduler.
+        c.expect_ok(&build::open("cold", &program, false, None))
+            .expect("open cold");
+        let v = c
+            .expect_ok(&build::with_parallel_query(build::query(
+                "cold", &spec, None, None,
+            )))
+            .expect("parallel query");
+        assert_eq!(v.get("sched").and_then(JsonValue::as_str), Some("parallel"));
+
+        // A plain sequential query carries no marker at all.
+        let v = c
+            .expect_ok(&build::query("s", &spec, None, None))
+            .expect("sequential query");
+        assert!(v.get("sched").is_none());
+
+        // Fallbacks are counted and exported.
+        let scrape = c.expect_ok(&build::scrape()).expect("scrape");
+        let text = scrape
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .expect("text");
+        assert!(text.contains("\"server.sched.fallbacks\""), "{text}");
+        let stats = c.expect_ok(&build::stats()).expect("stats");
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|v| v.get("sched_fallbacks"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+
+        handle.shutdown();
+        runner.join().expect("server thread").expect("clean run");
     }
 }

@@ -28,8 +28,8 @@ use std::time::Instant;
 
 use ddpa_constraints::{CallSiteId, ConstraintProgram, NodeId};
 use ddpa_demand::{
-    DemandConfig, DemandEngine, EngineStats, QueryTrace, SchedPolicy, SharedMemo, ThreadPool,
-    TraceReport,
+    DemandConfig, DemandEngine, EditStats, EngineStats, QueryTrace, SchedPolicy, SharedMemo,
+    ThreadPool, TraceReport,
 };
 
 use crate::proto::{ErrorCode, ProtoError, QuerySpec};
@@ -83,6 +83,20 @@ impl QueryAnswer {
             | QueryAnswer::Targets { timed_out, .. } => *timed_out,
         }
     }
+}
+
+/// What [`Session::restore_snapshot`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Entries newly installed into the shared table.
+    pub installed: usize,
+    /// `true` when the snapshot predated an edit and its surviving
+    /// entries were rebound to the live program (rather than installed
+    /// under a matching hash).
+    pub rebound: bool,
+    /// Entries the rebinding dropped because the edit transitively
+    /// dirtied them. Always 0 on the matching-hash path.
+    pub dropped: usize,
 }
 
 /// Outcome of [`drive`]: the stepped answer plus totals.
@@ -258,6 +272,12 @@ pub struct Session {
     /// Session default for intra-query parallelism: applied when a query
     /// request carries no `parallel_query` override.
     parallel_default: bool,
+    /// How the most recent [`Session::query_opt`] was scheduled, when the
+    /// request asked for parallelism: `"parallel"` (frame scheduler ran)
+    /// or `"sequential-fallback"` (the sequential engine served it —
+    /// budgeted, deadline-expired, single-worker, or a cache hit).
+    /// `None` when the request didn't ask for parallelism.
+    last_sched: Option<&'static str>,
 }
 
 // Compile-time proof that sessions may move between connection threads:
@@ -285,8 +305,15 @@ impl Session {
     pub fn open(text: &str, minic: bool, default_budget: Option<u64>) -> Result<Self, ProtoError> {
         let cp = parse_program(text, minic)?;
         // Canonicalize through the printer so `add_constraints` can
-        // append plain constraint lines even to MiniC-born sessions.
+        // append plain constraint lines even to MiniC-born sessions —
+        // then re-parse the canonical text and serve *that* program, so
+        // `source` is the exact text whose first-appearance order minted
+        // the live node-id space. Edits append to `source` and diff the
+        // re-parse against the live program; if the two were born from
+        // different texts (the printer groups constraints by kind), every
+        // diff would see shuffled ids and fall back to full invalidation.
         let source = ddpa_constraints::print_constraints(&cp);
+        let cp = parse_program(&source, false)?;
         let program = Box::new(cp);
         // SAFETY: the box's heap allocation is stable; the reference is
         // only held by `self.engine`, which drops before `self.program`
@@ -306,6 +333,7 @@ impl Session {
             shared,
             workers: 1,
             parallel_default: false,
+            last_sched: None,
         })
     }
 
@@ -434,44 +462,90 @@ impl Session {
         ddpa_snap::Snapshot::of_memo(&self.shared, self.source.clone())
     }
 
-    /// Warm-starts the session from a snapshot: verifies the snapshot's
-    /// program hash against the session's canonical text, then imports
-    /// the fixpoints into the shared table (where the warm engine's next
-    /// activation of each goal finds them at zero cost). Returns how many
-    /// entries were newly installed.
+    /// Warm-starts the session from a snapshot.
+    ///
+    /// When the snapshot's program hash matches the session's canonical
+    /// text, every entry is imported into the shared table (where the
+    /// warm engine's next activation of each goal finds it at zero
+    /// cost). When the hashes differ — the usual cause is an
+    /// `add-constraints` edit since the snapshot was taken — the
+    /// snapshot's own program text is re-parsed and diffed against the
+    /// live program: if the old node ids survive, every entry the edit
+    /// did not transitively dirty is *rebound* to the live program and
+    /// installed, and only the dirtied remainder is dropped. The restore
+    /// is refused only when the two programs are incompatible (old ids
+    /// name different locations) or the snapshot text does not parse.
     pub fn restore_snapshot(
         &mut self,
         snapshot: &ddpa_snap::Snapshot,
-    ) -> Result<usize, ProtoError> {
-        snapshot
-            .verify_program(&self.source)
-            .map_err(|e| ProtoError::new(ErrorCode::Snapshot, e.to_string()))?;
-        Ok(snapshot.install(&self.shared))
+    ) -> Result<RestoreStats, ProtoError> {
+        if snapshot.verify_program(&self.source).is_ok() {
+            return Ok(RestoreStats {
+                installed: snapshot.install(&self.shared),
+                rebound: false,
+                dropped: 0,
+            });
+        }
+        let old = parse_program(&snapshot.program_text, false).map_err(|e| {
+            ProtoError::new(
+                ErrorCode::Snapshot,
+                format!("snapshot program text does not parse: {}", e.message),
+            )
+        })?;
+        let diff = ddpa_constraints::diff_programs(&old, &self.program);
+        if !diff.compatible {
+            return Err(ProtoError::new(
+                ErrorCode::Snapshot,
+                "snapshot was taken over an incompatible program \
+                 (node ids do not survive into the live program)"
+                    .to_string(),
+            ));
+        }
+        let (dirty, _edges) = ddpa_demand::dirty_closure(&snapshot.entries, &diff);
+        let survivors: Vec<_> = snapshot
+            .entries
+            .iter()
+            .filter(|(g, _)| !dirty.contains(g))
+            .cloned()
+            .collect();
+        let dropped = snapshot.entries.len() - survivors.len();
+        Ok(RestoreStats {
+            installed: self.shared.import(survivors),
+            rebound: true,
+            dropped,
+        })
     }
 
     /// Appends constraint text to the session's program.
     ///
-    /// Re-parses the combined source, atomically swaps the engine onto
-    /// the new program, and invalidates every tabled goal (generation
-    /// bump). On parse error the session is unchanged.
-    pub fn add_constraints(&mut self, extra: &str) -> Result<(), ProtoError> {
+    /// Re-parses the combined source, diffs the old and new programs,
+    /// atomically swaps the engine onto the new program, and invalidates
+    /// only the transitively dirtied goals
+    /// ([`DemandEngine::reload_incremental`]) — everything whose support
+    /// set misses the edit stays warm. The generation is bumped either
+    /// way. On parse error the session is unchanged. Returns what the
+    /// edit did to the memoized state.
+    pub fn add_constraints(&mut self, extra: &str) -> Result<EditStats, ProtoError> {
         let mut combined = self.source.clone();
         if !combined.is_empty() && !combined.ends_with('\n') {
             combined.push('\n');
         }
         combined.push_str(extra);
         let cp = parse_program(&combined, false)?;
-        let source = ddpa_constraints::print_constraints(&cp);
+        // Keep `source` as the appended text (NOT a fresh canonical
+        // print): re-printing would regroup constraints by kind and shift
+        // node ids out from under the next edit's diff.
+        let diff = ddpa_constraints::diff_programs(&self.program, &cp);
         let program = Box::new(cp);
         // SAFETY: same argument as in `open`; ordering matters — the
         // engine is repointed at the new box *before* the old box drops.
         let cp_ref: &'static ConstraintProgram =
             unsafe { &*(program.as_ref() as *const ConstraintProgram) };
-        self.engine.reload(cp_ref);
+        let stats = self.engine.reload_incremental(cp_ref, &diff);
         self.names = index_names(&program);
-        self.source = source;
+        self.source = combined;
         let _old = std::mem::replace(&mut self.program, program);
-        Ok(())
+        Ok(stats)
     }
 
     /// Resolves a spec's names/indices against the loaded program.
@@ -530,24 +604,48 @@ impl Session {
         parallel: Option<bool>,
     ) -> QueryAnswer {
         let budget = budget.or(self.default_budget);
-        let parallel = parallel.unwrap_or(self.parallel_default) && self.workers > 1;
+        let requested = parallel.unwrap_or(self.parallel_default);
+        let parallel = requested && self.workers > 1;
         // SAFETY-free re-borrow dance: `run_resolved` needs the engine
         // (`&mut`) and the program (`&`) at once; the engine's own copy
         // of the program reference is handed out to avoid aliasing
         // `self.program` while `self.engine` is mutably borrowed.
         let cp = self.engine.program();
-        if parallel && budget.is_none() {
-            // Serve memoized/expired-deadline answers through the normal
-            // path; everything else runs unbudgeted on the scheduler.
-            let expired = deadline.is_some_and(|d| Instant::now() >= d);
-            if !expired {
-                self.engine.set_workers(self.workers);
-                let answer = run_resolved(&mut self.engine, cp, spec, None, None);
-                self.engine.set_workers(1);
-                return answer;
+        let answer = 'answer: {
+            if parallel && budget.is_none() {
+                // Serve memoized/expired-deadline answers through the
+                // normal path; everything else runs unbudgeted on the
+                // scheduler.
+                let expired = deadline.is_some_and(|d| Instant::now() >= d);
+                if !expired {
+                    self.engine.set_workers(self.workers);
+                    let answer = run_resolved(&mut self.engine, cp, spec, None, None);
+                    self.engine.set_workers(1);
+                    break 'answer answer;
+                }
             }
-        }
-        run_resolved(&mut self.engine, cp, spec, budget, deadline)
+            run_resolved(&mut self.engine, cp, spec, budget, deadline)
+        };
+        // Report how a parallelism-requesting query was actually
+        // scheduled, so budget/deadline/cache fallbacks are never silent.
+        self.last_sched = if !requested {
+            None
+        } else if self.engine.last_query_parallel() {
+            Some("parallel")
+        } else {
+            Some("sequential-fallback")
+        };
+        answer
+    }
+
+    /// How the most recent [`Session::query_opt`] was scheduled:
+    /// `Some("parallel")` when the frame scheduler ran,
+    /// `Some("sequential-fallback")` when parallelism was requested but
+    /// the sequential engine served the answer (budgeted, traced,
+    /// deadline-expired, single-worker, or a cache hit), `None` when the
+    /// request didn't ask for parallelism.
+    pub fn last_sched(&self) -> Option<&'static str> {
+        self.last_sched
     }
 
     /// Answers a batch by fanning out over `pool` with one engine per
@@ -890,6 +988,113 @@ mod tests {
             QueryAnswer::Set { complete, .. } => assert!(complete, "memoized by now"),
             other => panic!("expected set answer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn edits_keep_disjoint_chains_warm() {
+        let mut s = Session::open("p = &o\nq = p\nr = &u\n", false, None).expect("valid");
+        let spec = |s: &Session, name: &str| {
+            s.resolve(&QuerySpec::PointsTo { name: name.into() })
+                .expect("resolvable")
+        };
+        assert_eq!(set_names(&s.query(spec(&s, "q"), None, None)), vec!["o"]);
+        assert_eq!(set_names(&s.query(spec(&s, "r"), None, None)), vec!["u"]);
+
+        // Edit touches only the r chain; the p/q chain stays warm.
+        let edit = s.add_constraints("s = r\n").expect("valid edit");
+        assert!(!edit.full, "compatible append-only edit");
+        assert!(edit.retained > 0, "p/q chain survives");
+        assert!(edit.invalidated > 0, "r chain is dirtied");
+        assert_eq!(s.generation(), 1);
+        match s.query(spec(&s, "q"), None, None) {
+            QueryAnswer::Set { names, work, .. } => {
+                assert_eq!(names, vec!["o"]);
+                assert_eq!(work, 0, "untouched goal answers from the warm table");
+            }
+            other => panic!("expected set answer, got {other:?}"),
+        }
+        assert_eq!(set_names(&s.query(spec(&s, "s"), None, None)), vec!["u"]);
+    }
+
+    #[test]
+    fn restore_after_edit_rebinds_surviving_entries() {
+        // Warm a session, snapshot it, then edit: the snapshot's hash no
+        // longer matches, but its untouched entries must still restore.
+        let mut donor = Session::open("p = &o\nq = p\nr = &u\n", false, None).expect("valid");
+        let spec = |s: &Session, name: &str| {
+            s.resolve(&QuerySpec::PointsTo { name: name.into() })
+                .expect("resolvable")
+        };
+        donor.query(spec(&donor, "q"), None, None);
+        donor.query(spec(&donor, "r"), None, None);
+        let snapshot = donor.export_snapshot();
+        assert!(!snapshot.entries.is_empty());
+
+        let mut s = Session::open("p = &o\nq = p\nr = &u\n", false, None).expect("valid");
+        s.add_constraints("r = &u2\n").expect("valid edit");
+        let restore = s.restore_snapshot(&snapshot).expect("rebinds");
+        assert!(restore.rebound, "hash mismatch took the rebind path");
+        assert!(restore.installed > 0, "the p/q chain survives the edit");
+        assert!(restore.dropped > 0, "the edited r chain is dropped");
+        // The restored entries serve; the dirtied one re-derives fresh.
+        match s.query(spec(&s, "q"), None, None) {
+            QueryAnswer::Set { names, work, .. } => {
+                assert_eq!(names, vec!["o"]);
+                assert_eq!(work, 0, "restored entry answers at zero cost");
+            }
+            other => panic!("expected set answer, got {other:?}"),
+        }
+        assert_eq!(
+            set_names(&s.query(spec(&s, "r"), None, None)),
+            vec!["u", "u2"],
+            "dirtied entry was not restored stale"
+        );
+
+        // A snapshot of an unrelated program is still refused.
+        let mut foreign = Session::open("z = &w\n", false, None).expect("valid");
+        let err = foreign.restore_snapshot(&snapshot).expect_err("refused");
+        assert_eq!(err.code, ErrorCode::Snapshot);
+    }
+
+    #[test]
+    fn parallel_fallbacks_are_reported() {
+        let mut text = String::from("v0 = &obj\n");
+        for i in 1..80 {
+            text.push_str(&format!("v{} = v{}\n", i, i - 1));
+        }
+        let mut s = Session::open(&text, false, None)
+            .expect("valid chain")
+            .with_parallel(4, SchedPolicy::Dfs, false);
+        let spec = s
+            .resolve(&QuerySpec::PointsTo { name: "v79".into() })
+            .expect("resolvable");
+
+        // No parallelism requested: no sched marker at all.
+        s.query_opt(spec, None, None, None);
+        assert_eq!(s.last_sched(), None);
+
+        // Budgeted parallel request: pinned to the sequential engine.
+        let mut cold = Session::open(&text, false, None)
+            .expect("valid chain")
+            .with_parallel(4, SchedPolicy::Dfs, false);
+        let cspec = cold
+            .resolve(&QuerySpec::PointsTo { name: "v79".into() })
+            .expect("resolvable");
+        cold.query_opt(cspec, Some(10_000), None, Some(true));
+        assert_eq!(cold.last_sched(), Some("sequential-fallback"));
+
+        // Unbudgeted cold parallel request: the scheduler runs.
+        let mut fresh = Session::open(&text, false, None)
+            .expect("valid chain")
+            .with_parallel(4, SchedPolicy::Dfs, false);
+        let fspec = fresh
+            .resolve(&QuerySpec::PointsTo { name: "v79".into() })
+            .expect("resolvable");
+        fresh.query_opt(fspec, None, None, Some(true));
+        assert_eq!(fresh.last_sched(), Some("parallel"));
+        // And the repeat is a cache hit, reported as a fallback.
+        fresh.query_opt(fspec, None, None, Some(true));
+        assert_eq!(fresh.last_sched(), Some("sequential-fallback"));
     }
 
     #[test]

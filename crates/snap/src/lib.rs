@@ -21,7 +21,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  "DDPASNAP"
-//!      8     4  format version (currently 1)
+//!      8     4  format version (currently 2)
 //!     12     4  CRC-32 (IEEE) over the payload (bytes 16..end)
 //! ```
 //!
@@ -36,7 +36,22 @@
 //!        u32  node id
 //!        u32  element count
 //!        u32× elements, strictly ascending
+//!        u32  support count
+//!        u32× support node ids, strictly ascending
+//!        u32  dep count, then per dep:
+//!               u8   goal tag (0 = pts, 1 = ptb)
+//!               u32  node id
+//!        u8   reads_indirect (0 or 1)
 //! ```
+//!
+//! Version 2 added the per-entry support/dependency metadata that makes
+//! restored entries *rebindable* after an edit: a host whose program has
+//! drifted since the snapshot can diff the two texts and install every
+//! entry the edit did not transitively dirty, instead of refusing the
+//! whole file. Version 1 files (no metadata) are rejected with
+//! [`SnapError::Version`] — their entries could only ever be restored
+//! wholesale, and silently treating "no recorded support" as "empty
+//! support" would rebind entries whose provenance is unknown.
 //!
 //! # Consistency rules
 //!
@@ -109,7 +124,7 @@ pub const MAGIC: [u8; 8] = *b"DDPASNAP";
 
 /// Current format version; bumped on any layout change. Readers reject
 /// other versions outright rather than guessing.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Header bytes before the payload: magic + version + crc.
 const HEADER_LEN: usize = 16;
@@ -307,6 +322,20 @@ impl SnapshotWriter {
             for &elem in &result.elems {
                 w.u32(elem);
             }
+            w.u32(result.support.len() as u32);
+            for &node in &result.support {
+                w.u32(node);
+            }
+            w.u32(result.deps.len() as u32);
+            for dep in &result.deps {
+                let (tag, node) = match dep {
+                    Goal::Pts(n) => (0u8, n.as_u32()),
+                    Goal::Ptb(n) => (1u8, n.as_u32()),
+                };
+                w.payload.push(tag);
+                w.u32(node);
+            }
+            w.payload.push(result.reads_indirect as u8);
         }
         let mut out = Vec::with_capacity(HEADER_LEN + w.payload.len());
         out.extend_from_slice(&MAGIC);
@@ -411,11 +440,69 @@ impl<'a> SnapshotReader<'a> {
                 }
                 elems.push(elem);
             }
+            let support_count = self.u32("support count")? as usize;
+            if support_count
+                .checked_mul(4)
+                .is_none_or(|b| b > self.remaining())
+            {
+                return Err(SnapError::Corrupt(format!(
+                    "entry {i}: claims {support_count} support nodes but only {} payload bytes remain",
+                    self.remaining()
+                )));
+            }
+            let mut support = Vec::with_capacity(support_count);
+            for _ in 0..support_count {
+                let node = self.u32("support node")?;
+                if let Some(&prev) = support.last() {
+                    if node <= prev {
+                        return Err(SnapError::Corrupt(format!(
+                            "entry {i}: support not strictly ascending ({prev} then {node})"
+                        )));
+                    }
+                }
+                support.push(node);
+            }
+            let dep_count = self.u32("dep count")? as usize;
+            if dep_count
+                .checked_mul(5)
+                .is_none_or(|b| b > self.remaining())
+            {
+                return Err(SnapError::Corrupt(format!(
+                    "entry {i}: claims {dep_count} deps but only {} payload bytes remain",
+                    self.remaining()
+                )));
+            }
+            let mut deps = Vec::with_capacity(dep_count);
+            for _ in 0..dep_count {
+                let tag = self.u8("dep goal tag")?;
+                let node = NodeId::from_u32(self.u32("dep node id")?);
+                deps.push(match tag {
+                    0 => Goal::Pts(node),
+                    1 => Goal::Ptb(node),
+                    other => {
+                        return Err(SnapError::Corrupt(format!(
+                            "entry {i}: unknown dep goal tag {other}"
+                        )))
+                    }
+                });
+            }
+            let reads_indirect = match self.u8("reads_indirect flag")? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(SnapError::Corrupt(format!(
+                        "entry {i}: reads_indirect flag is {other}, expected 0 or 1"
+                    )))
+                }
+            };
             entries.push((
                 goal,
                 CompletedGoal {
                     elems,
                     provenance: Vec::new(),
+                    support,
+                    deps,
+                    reads_indirect,
                 },
             ));
         }
@@ -536,7 +623,8 @@ mod tests {
     fn entry(elems: &[u32]) -> CompletedGoal {
         CompletedGoal {
             elems: elems.to_vec(),
-            provenance: Vec::new(),
+            support: elems.to_vec(),
+            ..CompletedGoal::default()
         }
     }
 
@@ -547,7 +635,16 @@ mod tests {
             vec![
                 (goal(1), entry(&[4, 9, 200])),
                 (goal(2), entry(&[])),
-                (Goal::Ptb(NodeId::from_u32(5)), entry(&[0])),
+                (
+                    Goal::Ptb(NodeId::from_u32(5)),
+                    CompletedGoal {
+                        elems: vec![0],
+                        support: vec![5],
+                        deps: vec![goal(1), Goal::Ptb(NodeId::from_u32(2))],
+                        reads_indirect: true,
+                        ..CompletedGoal::default()
+                    },
+                ),
             ],
         )
     }
@@ -621,6 +718,52 @@ mod tests {
         assert!(matches!(
             Snapshot::from_bytes(&bytes),
             Err(SnapError::Corrupt(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn support_and_deps_round_trip() {
+        let snap = sample();
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).expect("round trip");
+        let (_, e) = &decoded.entries[2];
+        assert_eq!(e.support, vec![5]);
+        assert_eq!(e.deps, vec![goal(1), Goal::Ptb(NodeId::from_u32(2))]);
+        assert!(e.reads_indirect);
+        let (_, plain) = &decoded.entries[1];
+        assert!(plain.deps.is_empty());
+        assert!(!plain.reads_indirect);
+    }
+
+    #[test]
+    fn v1_files_are_rejected_as_unsupported() {
+        // A v1 file is byte-identical up to the version field; readers
+        // must reject it before attempting to parse the (shorter) entry
+        // layout.
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::Version { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn unsorted_support_is_rejected() {
+        let snap = Snapshot::new(
+            0,
+            "x = &y\n",
+            vec![(
+                goal(1),
+                CompletedGoal {
+                    elems: vec![3],
+                    support: vec![5, 2],
+                    ..CompletedGoal::default()
+                },
+            )],
+        );
+        assert!(matches!(
+            Snapshot::from_bytes(&snap.to_bytes()),
+            Err(SnapError::Corrupt(msg)) if msg.contains("support")
         ));
     }
 

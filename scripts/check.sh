@@ -194,6 +194,43 @@ if cargo run -q -p ddpa-cli -- restore "$tmp/snap-prog.mc" "$cli_snap" > /dev/nu
     echo "corrupted snapshot was not refused" >&2; exit 1
 fi
 
+echo "==> incremental edit smoke test"
+# A warm session edited via add-constraints keeps the goals whose
+# support sets miss the edit: the differential suite (fixed seeds)
+# proves the split is exact across edit scripts; end-to-end, the edit
+# must leave a nonzero demand.dirty.retained in the metrics export and
+# a re-query of an untouched goal must answer at zero deduction work.
+cargo test -q -p ddpa-demand --test incremental
+edit_base="$tmp/edit-base.cons"
+edit_extra="$tmp/edit-extra.cons"
+printf 'p = &o\nq = p\nr = &u\n' > "$edit_base"
+printf 's = r\n' > "$edit_extra"
+portfile5="$tmp/serve-edit-port"
+edit_metrics="$tmp/serve-edit-metrics.jsonl"
+cargo run -q -p ddpa-cli -- serve --addr 127.0.0.1:0 \
+    --port-file "$portfile5" --metrics-out "$edit_metrics" \
+    > "$tmp/serve-edit.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$portfile5" ] && break
+    sleep 0.1
+done
+[ -s "$portfile5" ] || { echo "server never wrote $portfile5" >&2; exit 1; }
+addr="$(cat "$portfile5")"
+client open smoke "$edit_base"
+client query smoke q r                   # warm both chains
+client add smoke "$edit_extra"           # touches only the r-chain
+# The untouched q-chain answers from the still-warm table.
+cargo run -q -p ddpa-cli -- client --addr "$addr" query smoke q \
+    > "$tmp/edit-requery.out"
+grep -q '"work":0' "$tmp/edit-requery.out" \
+    || { echo "re-query after edit re-derived an untouched goal: $(cat "$tmp/edit-requery.out")" >&2; exit 1; }
+client shutdown
+wait "$srv_pid"
+cargo run -q -p ddpa-cli -- jsonl-check "$edit_metrics"
+grep -q '"name":"demand.dirty.retained","value":[1-9]' "$edit_metrics" \
+    || { echo "metrics missing a nonzero demand.dirty.retained" >&2; exit 1; }
+
 echo "==> parallel scheduler smoke test"
 # The differential suite (fixed seeds) proves the frame scheduler is
 # exact — {sequential, DFS×1..N, BFS×1..N} all match the wave solver,
